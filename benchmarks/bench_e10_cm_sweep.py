@@ -1,0 +1,54 @@
+"""E10 — crossover: when does hierarchy-awareness matter?
+
+Sweeps the cost-multiplier spread ``cm(0) / cm(1)`` from 1 (uniform
+metric — plain k-BGP, where flat partitioning is already the right
+algorithm) upward.  Expected shape: at ratio 1 the flat baseline matches
+hierarchy-aware methods; as the spread grows, the gap between
+hierarchy-oblivious (``flat_identity``) and hierarchy-aware (``hgp``,
+``flat_quotient``) placements widens roughly linearly in the spread,
+because every cross-socket edge's penalty scales with it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hierarchy, SolverConfig
+from repro.bench import Table, make_instance, run_method, save_result
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["cm_ratio", "method", "cost", "gap_vs_identity"],
+        title="E10: cost vs cm(0)/cm(1) spread (2x4, blocks family)",
+    )
+    for ratio in (1.0, 2.0, 5.0, 10.0, 20.0):
+        hier = Hierarchy([2, 4], [3.0 * ratio, 3.0, 0.0])
+        inst = make_instance("blocks", 28, hier, seed=41)
+        costs = {}
+        for method in ("flat_identity", "flat_quotient", "hgp"):
+            p = run_method(
+                method, inst, seed=0, config=SolverConfig(seed=0, n_trees=4)
+            )
+            costs[method] = p.cost()
+        for method in ("flat_identity", "flat_quotient", "hgp"):
+            gap = (
+                0.0
+                if costs["flat_identity"] == 0
+                else 1.0 - costs[method] / costs["flat_identity"]
+            )
+            table.add_row([ratio, method, costs[method], gap])
+    return table
+
+
+def test_e10_cm_sweep(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E10_cm_sweep", table.show(), results_dir)
+    # Shape: the hgp-vs-identity gap is non-trivial at large spreads and
+    # weakly grows from the uniform-metric corner to the widest spread.
+    gaps = {
+        (float(r), m): float(g)
+        for r, m, _c, g in table.rows
+    }
+    assert gaps[(20.0, "hgp")] >= gaps[(1.0, "hgp")] - 0.05
+    assert gaps[(20.0, "hgp")] > 0.1

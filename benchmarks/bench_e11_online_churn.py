@@ -1,0 +1,84 @@
+"""E11 (extension) — online placement under churn vs. migration budget.
+
+Beyond the paper: stream systems see continuous task arrivals and
+departures, and migrating a running operator is expensive.  This
+experiment replays a clustered churn trace under re-optimisation
+policies of increasing aggressiveness and reports the mean/final Eq. (1)
+cost and migrations paid.
+
+Expected shape: mean cost decreases monotonically as the policy gets
+more aggressive (never → small budget → unlimited), and most of the
+benefit arrives with a small migration budget — the anytime behaviour a
+production scheduler wants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hierarchy, SolverConfig
+from repro.bench import Table, save_result
+from repro.streaming.online import ChurnEvent, simulate_churn
+from repro.utils.rng import ensure_rng
+
+
+def make_churn_trace(n_events: int, n_clusters: int, seed: int) -> list[ChurnEvent]:
+    """Clustered arrivals with 25% departures, deterministic per seed."""
+    rng = ensure_rng(seed)
+    events: list[ChurnEvent] = []
+    live: list[int] = []
+    next_id = 0
+    for _ in range(n_events):
+        if live and rng.random() < 0.25:
+            t = live.pop(int(rng.integers(0, len(live))))
+            events.append(ChurnEvent("depart", t))
+        else:
+            cluster = next_id % n_clusters
+            intra = tuple(
+                (u, 5.0) for u in live if u % n_clusters == cluster
+            )[:4]
+            inter = tuple((u, 0.3) for u in live if u % n_clusters != cluster)[:2]
+            events.append(
+                ChurnEvent(
+                    "arrive", next_id, float(rng.uniform(0.1, 0.3)), intra + inter
+                )
+            )
+            live.append(next_id)
+            next_id += 1
+    return events
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["policy", "mean_cost", "final_cost", "migrations"],
+        title="E11: online churn vs re-optimisation policy (extension)",
+    )
+    hier = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+    events = make_churn_trace(48, 4, seed=3)
+    cfg = SolverConfig(n_trees=2, refine=False, seed=0)
+    policies = [
+        ("never", 0, None),
+        ("period12_budget2", 12, 2),
+        ("period12_budget6", 12, 6),
+        ("period12_unlimited", 12, None),
+    ]
+    for name, period, budget in policies:
+        costs, migrations = simulate_churn(
+            hier, events, reopt_period=period, migration_budget=budget, config=cfg
+        )
+        table.add_row([name, float(np.mean(costs)), costs[-1], migrations])
+    return table
+
+
+def test_e11_online_churn(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E11_online_churn", table.show(), results_dir)
+    means = {row[0]: float(row[1]) for row in table.rows}
+    finals = {row[0]: float(row[2]) for row in table.rows}
+    # Unlimited re-optimisation dominates never on both metrics; small
+    # budgets reliably improve the *final* state (the mean can dip:
+    # early migrations become stale as more tasks arrive — an honest
+    # finding recorded in EXPERIMENTS.md).
+    assert means["period12_unlimited"] <= means["never"] + 1e-9
+    assert finals["period12_unlimited"] <= finals["never"] + 1e-9
+    assert finals["period12_budget6"] <= finals["never"] + 1e-9

@@ -1,0 +1,60 @@
+"""E13 (extension) — how machine shape changes the placement problem.
+
+Same 16 processors, four shapes: flat (k-BGP), 2 sockets × 8, 4 × 4,
+and a 3-level 4 × 2 × 2.  For comparability every hierarchy uses
+``cm(0) = 16`` at the root and geometric decay toward the leaves, so the
+*worst* possible cost (all edges at root distance) is identical across
+shapes.
+
+Expected shape: the HGP solver's advantage over the honest
+hierarchy-oblivious baseline (``flat_shuffled``) grows with hierarchy
+depth — deeper machines give locality more levels to exploit — while the
+flat shape reduces to k-BGP where the two coincide up to partition
+quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hierarchy, SolverConfig
+from repro.bench import Table, make_instance, run_method, save_result
+
+SHAPES = {
+    "flat16": Hierarchy([16], [16.0, 0.0]),
+    "2x8": Hierarchy([2, 8], [16.0, 4.0, 0.0]),
+    "4x4": Hierarchy([4, 4], [16.0, 4.0, 0.0]),
+    "4x2x2": Hierarchy([4, 2, 2], [16.0, 8.0, 4.0, 0.0]),
+}
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["shape", "h", "method", "cost", "violation"],
+        title="E13: same 16 processors, different hierarchy shapes",
+    )
+    for name, hier in SHAPES.items():
+        inst = make_instance("blocks", 32, hier, fill=0.55, skew=0.3, seed=29)
+        for method in ("flat_shuffled", "recursive_bisection", "hgp"):
+            p = run_method(
+                method, inst, seed=0, config=SolverConfig(seed=0, n_trees=4)
+            )
+            table.add_row([name, hier.h, method, p.cost(), p.max_violation()])
+    return table
+
+
+def test_e13_hierarchy_shapes(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E13_hierarchy_shapes", table.show(), results_dir)
+    costs: dict[tuple, float] = {}
+    for shape, _h, method, cost, _v in table.rows:
+        costs[(shape, method)] = float(cost)
+    # hgp never loses to the oblivious baseline on any shape ...
+    for shape in SHAPES:
+        assert costs[(shape, "hgp")] <= costs[(shape, "flat_shuffled")] + 1e-9
+    # ... and the relative advantage on the deepest shape beats the
+    # flat shape (locality pays more where there are more levels).
+    def advantage(shape):
+        return costs[(shape, "flat_shuffled")] / max(costs[(shape, "hgp")], 1e-9)
+
+    assert advantage("4x2x2") >= advantage("flat16") * 0.9

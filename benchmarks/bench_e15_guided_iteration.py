@@ -1,0 +1,51 @@
+"""E15 (extension) — warm-started (placement-guided) iteration ablation.
+
+Measures whether re-solving on decomposition trees derived from the
+incumbent placement improves quality, across base-ensemble strengths.
+
+Expected shape: iterated cost ≤ plain cost always (the incumbent stays a
+candidate); the improvement is largest when the base ensemble is weak
+(1 tree, no refinement) and disappears as the base gets strong — i.e.
+guided iteration is a *recovery* mechanism, cheaper than enlarging the
+ensemble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SolverConfig
+from repro.bench import Table, make_instance, save_result, standard_hierarchy
+from repro.core.solver import solve_hgp
+from repro.decomposition.guided import solve_hgp_iterated
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["base", "family", "plain_cost", "iterated_cost", "improvement"],
+        title="E15: placement-guided iteration vs base ensemble strength",
+    )
+    hier = standard_hierarchy("2x4")
+    bases = {
+        "weak(1 tree, no refine)": SolverConfig(
+            seed=0, n_trees=1, refine=False, tree_methods=("contraction",)
+        ),
+        "default(4 trees)": SolverConfig(seed=0, n_trees=4),
+    }
+    for base_name, cfg in bases.items():
+        for family in ("blocks", "powerlaw"):
+            inst = make_instance(family, 32, hier, fill=0.65, skew=0.4, seed=37)
+            plain = solve_hgp(inst.graph, inst.hierarchy, inst.demands, cfg)
+            iterated = solve_hgp_iterated(
+                inst.graph, inst.hierarchy, inst.demands, cfg, rounds=3
+            )
+            gain = 0.0 if plain.cost == 0 else 1.0 - iterated.cost / plain.cost
+            table.add_row([base_name, family, plain.cost, iterated.cost, gain])
+    return table
+
+
+def test_e15_guided_iteration(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E15_guided_iteration", table.show(), results_dir)
+    for _base, _family, plain, iterated, _gain in table.rows:
+        assert float(iterated) <= float(plain) + 1e-9

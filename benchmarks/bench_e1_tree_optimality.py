@@ -1,0 +1,60 @@
+"""E1 — Theorem 2: the DP is cost-optimal on trees.
+
+Compares the signature DP's optimum against exhaustive enumeration of
+all cut-level assignments on random small trees (the oracle from the
+unit tests, run here across a parameter grid and reported as a table).
+Expected shape: ratio exactly 1.0 everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Table, save_result
+from repro.bench.oracles import brute_force_optimum, path_binary_tree as simple_btree
+from repro.hgpt.dp import solve_rhgpt
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["n_leaves", "h", "seed", "dp_cost", "oracle_cost", "ratio"],
+        title="E1: DP optimality on trees (Theorem 2)",
+    )
+    rng_master = np.random.default_rng(42)
+    for n in (4, 5, 6):
+        for h in (1, 2):
+            for trial in range(3):
+                seed = int(rng_master.integers(0, 1 << 30))
+                rng = np.random.default_rng(seed)
+                weights = rng.uniform(0.3, 3.0, size=n - 1).round(2).tolist()
+                demands = rng.integers(1, 4, size=n).tolist()
+                bt = simple_btree(weights, demands)
+                total = sum(demands)
+                if h == 1:
+                    caps = [max(max(demands), total // 2 + 1)]
+                    deltas = [0.0, 1.0]
+                else:
+                    caps = [total, max(max(demands), total // 2)]
+                    deltas = [0.0, 2.0, 1.0]
+                dp = solve_rhgpt(bt, caps, deltas).cost
+                oracle = brute_force_optimum(bt, caps, deltas)
+                ratio = 1.0 if oracle == dp == 0 else dp / oracle
+                table.add_row([n, h, trial, dp, oracle, ratio])
+    return table
+
+
+def test_e1_tree_optimality(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E1_tree_optimality", table.show(), results_dir)
+    for row in table.rows:
+        assert abs(float(row[-1]) - 1.0) < 1e-6
+
+
+def test_e1_dp_throughput(benchmark):
+    """Raw DP speed on a 32-leaf tree (the pytest-benchmark headline)."""
+    rng = np.random.default_rng(0)
+    bt = simple_btree(
+        rng.uniform(0.3, 3.0, size=31).tolist(), rng.integers(1, 4, size=32).tolist()
+    )
+    caps = [64, 24]
+    benchmark(lambda: solve_rhgpt(bt, caps, [0.0, 2.0, 1.0]))

@@ -1,0 +1,59 @@
+"""E2 — Theorems 2 & 5: measured capacity violation vs. the guarantee.
+
+For hierarchies of height 1, 2 and 3 and a range of grid slacks, run the
+pipeline and record the realised per-level violation against the proven
+bound ``(1 + j)(1 + ε)``.  Expected shape: measured ≤ bound always, and
+usually far below it (the worst case needs adversarial demand packings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hierarchy, SolverConfig, solve_hgp
+from repro.bench import Table, save_result
+from repro.graph.generators import planted_partition, power_law, random_demands
+
+HIERARCHIES = {
+    1: Hierarchy([8], [1.0, 0.0]),
+    2: Hierarchy([2, 4], [10.0, 3.0, 0.0]),
+    3: Hierarchy([2, 2, 2], [8.0, 4.0, 1.0, 0.0]),
+}
+
+
+def _experiment() -> Table:
+    table = Table(
+        [
+            "h",
+            "slack",
+            "fill",
+            "level",
+            "violation",
+            "bound",
+            "within",
+        ],
+        title="E2: capacity violation vs Theorem-1 bound",
+    )
+    for h, hier in HIERARCHIES.items():
+        for slack in (0.1, 0.3):
+            for fill in (0.5, 0.85):
+                g = power_law(28, seed=h * 10)
+                d = random_demands(
+                    g.n, hier.total_capacity, fill=fill, skew=0.5, seed=h * 10 + 1
+                )
+                cfg = SolverConfig(seed=0, n_trees=4, slack=slack, refine=False)
+                res = solve_hgp(g, hier, d, cfg)
+                for j in range(1, h + 1):
+                    violation = res.placement.level_violation(j)
+                    bound = (1 + j) * (1 + res.grid.epsilon)
+                    table.add_row(
+                        [h, slack, fill, j, violation, bound, str(violation <= bound + 1e-9)]
+                    )
+    return table
+
+
+def test_e2_capacity_violation(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E2_capacity_violation", table.show(), results_dir)
+    for row in table.rows:
+        assert row[-1] == "True"

@@ -1,0 +1,50 @@
+"""E3 — Theorem 1: end-to-end cost against the exact optimum.
+
+Small instances where branch-and-bound ground truth is affordable.  The
+bicriteria guarantee is ``O(log n)`` on cost with ``(1+ε)(1+h)`` balance
+slack; expected shape: realized ratios are small constants (often < 1
+because the pipeline may use its balance slack where OPT may not).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hierarchy, SolverConfig, exact_hgp, solve_hgp
+from repro.bench import Table, save_result
+from repro.graph.generators import grid_2d, power_law, random_regular
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["instance", "n", "opt_cost", "hgp_cost", "ratio", "violation"],
+        title="E3: approximation ratio vs exact optimum (Theorem 1)",
+    )
+    hier = Hierarchy([2, 2], [5.0, 1.0, 0.0])
+    cases = []
+    for seed in range(3):
+        cases.append((f"grid2x4-s{seed}", grid_2d(2, 4, weight_range=(0.5, 2.0), seed=seed)))
+        cases.append((f"rr8-s{seed}", random_regular(8, 3, weight_range=(0.5, 2.0), seed=seed)))
+    cases.append(("pl9", power_law(9, seed=5)))
+    for name, g in cases:
+        # Uniform demands sized so a strictly feasible packing exists:
+        # ceil(n / k) vertices must fit on one unit leaf.
+        per_leaf = -(-g.n // hier.k)
+        d = np.full(g.n, min(0.5, 0.95 / per_leaf))
+        opt = exact_hgp(g, hier, d, violation=1.0)
+        cfg = SolverConfig(seed=0, n_trees=8, grid_mode="epsilon", epsilon=0.2)
+        res = solve_hgp(g, hier, d, cfg)
+        ratio = res.cost / opt.cost() if opt.cost() > 0 else (0.0 if res.cost == 0 else float("inf"))
+        table.add_row(
+            [name, g.n, opt.cost(), res.cost, ratio, res.placement.max_violation()]
+        )
+    return table
+
+
+def test_e3_approximation_ratio(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E3_approximation_ratio", table.show(), results_dir)
+    for row in table.rows:
+        ratio = float(row[4])
+        assert ratio <= 3.0  # small-constant regime on these instances
+        assert float(row[5]) <= (1 + 0.2) * 3 + 1e-9

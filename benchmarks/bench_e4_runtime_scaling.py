@@ -1,0 +1,90 @@
+"""E4 — running-time scaling of the DP (``O(n · D^{3h+2})`` in theory).
+
+Three sweeps on the signature DP:
+
+* vertices ``n`` at fixed grid (near-linear thanks to sparse states +
+  dominance pruning + beam),
+* grid resolution ``D`` at fixed ``n`` (the pseudo-polynomial axis —
+  sharp growth, the reason the engineering grid exists),
+* height ``h`` at fixed ``n`` and grid (each level multiplies the
+  signature space).
+
+Expected shape: polynomial growth along every axis, steepest in ``D``
+and ``h``, exactly as the paper's bound predicts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import Hierarchy
+from repro.bench import Table, save_result
+from repro.decomposition.spectral_tree import spectral_decomposition_tree
+from repro.graph.generators import planted_partition, random_demands
+from repro.hgpt.binarize import binarize
+from repro.hgpt.dp import DPStats, solve_rhgpt
+from repro.hgpt.quantize import DemandGrid
+
+
+def _run_dp(g, hier, d, budget, beam=256):
+    grid = DemandGrid.from_budget(hier, d, budget, slack=0.25)
+    q = grid.quantize(d)
+    tree = spectral_decomposition_tree(g, seed=0)
+    bt = binarize(tree, q)
+    caps = [grid.caps[j] for j in range(1, hier.h + 1)]
+    norm, _ = hier.normalized()
+    deltas = [0.0] + [norm.cm[k - 1] - norm.cm[k] for k in range(1, hier.h + 1)]
+    stats = DPStats()
+    t0 = time.perf_counter()
+    solve_rhgpt(bt, caps, deltas, beam_width=beam, stats=stats)
+    return time.perf_counter() - t0, stats
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["sweep", "n", "h", "grid_cells", "time_s", "states_max", "merges"],
+        title="E4: DP runtime scaling (O(n * D^{3h+2}) axis-by-axis)",
+    )
+    hier2 = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+    # Sweep n.
+    for blocks in (4, 8, 16):
+        g = planted_partition(blocks, 6, 0.6, 0.05, seed=blocks)
+        d = random_demands(g.n, hier2.total_capacity, fill=0.6, seed=blocks)
+        secs, stats = _run_dp(g, hier2, d, budget=4 * g.n)
+        table.add_row(["n", g.n, 2, 4 * g.n, secs, stats.states_max, stats.merges])
+    # Sweep grid resolution D.
+    g = planted_partition(6, 6, 0.6, 0.05, seed=1)
+    d = random_demands(g.n, hier2.total_capacity, fill=0.6, skew=0.5, seed=2)
+    for budget in (g.n, 2 * g.n, 4 * g.n, 8 * g.n):
+        secs, stats = _run_dp(g, hier2, d, budget=budget, beam=None)
+        table.add_row(["D", g.n, 2, budget, secs, stats.states_max, stats.merges])
+    # Sweep height h.
+    for h, hier in (
+        (1, Hierarchy([8], [1.0, 0.0])),
+        (2, Hierarchy([2, 4], [10.0, 3.0, 0.0])),
+        (3, Hierarchy([2, 2, 2], [8.0, 4.0, 1.0, 0.0])),
+    ):
+        d = random_demands(g.n, hier.total_capacity, fill=0.6, skew=0.5, seed=3)
+        secs, stats = _run_dp(g, hier, d, budget=4 * g.n, beam=None)
+        table.add_row(["h", g.n, h, 4 * g.n, secs, stats.states_max, stats.merges])
+    return table
+
+
+def test_e4_runtime_scaling(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E4_runtime_scaling", table.show(), results_dir)
+    # Shape assertions: D-sweep and h-sweep merge counts must be increasing.
+    d_rows = [r for r in table.rows if r[0] == "D"]
+    assert int(d_rows[-1][6]) > int(d_rows[0][6])
+    h_rows = [r for r in table.rows if r[0] == "h"]
+    assert int(h_rows[-1][5]) >= int(h_rows[0][5])
+
+
+def test_e4_pipeline_throughput(benchmark):
+    """Wall-clock of one mid-size DP run (the pytest-benchmark headline)."""
+    hier = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+    g = planted_partition(8, 6, 0.6, 0.05, seed=0)
+    d = random_demands(g.n, hier.total_capacity, fill=0.6, seed=1)
+    benchmark(lambda: _run_dp(g, hier, d, budget=4 * g.n))

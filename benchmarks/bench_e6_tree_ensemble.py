@@ -1,0 +1,51 @@
+"""E6 — ablation: value of the decomposition-tree ensemble (Theorem 7).
+
+Sweeps the ensemble size and compares single-builder ensembles against
+the mixed default.  Expected shape: best-mapped-cost is non-increasing
+in ensemble size with rapidly diminishing returns (a handful of trees
+captures most of Räcke's ``arg min``), and the mixed ensemble is at
+least as good as the typical single builder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SolverConfig, solve_hgp
+from repro.bench import Table, make_instance, save_result, standard_hierarchy
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["family", "builders", "n_trees", "best_cost"],
+        title="E6: ensemble-size and builder ablation (Theorem 7 arg-min)",
+    )
+    hier = standard_hierarchy("2x4")
+    for family in ("blocks", "powerlaw"):
+        inst = make_instance(family, 28, hier, seed=23)
+        for methods, label in (
+            (None, "mixed"),
+            (("spectral",), "spectral"),
+            (("contraction",), "contraction"),
+            (("frt",), "frt"),
+        ):
+            for n_trees in (1, 2, 4, 8):
+                cfg = SolverConfig(
+                    seed=0, n_trees=n_trees, tree_methods=methods, refine=False
+                )
+                res = solve_hgp(inst.graph, inst.hierarchy, inst.demands, cfg)
+                table.add_row([family, label, n_trees, res.cost])
+    return table
+
+
+def test_e6_tree_ensemble(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E6_tree_ensemble", table.show(), results_dir)
+    # Monotonicity within each (family, builder) series.
+    series: dict[tuple, list[tuple[int, float]]] = {}
+    for family, label, n_trees, cost in table.rows:
+        series.setdefault((family, label), []).append((int(n_trees), float(cost)))
+    for key, points in series.items():
+        points.sort()
+        costs = [c for _, c in points]
+        assert all(costs[i + 1] <= costs[i] + 1e-9 for i in range(len(costs) - 1)), key

@@ -1,0 +1,64 @@
+"""E7 — ablation: demand-grid resolution and slack (the ε trade-off).
+
+Sweeps (a) the grid budget (cells of quantized demand — the paper's
+``D``) and (b) the capacity slack, recording cost, violation and DP
+time.  Expected shape: finer grids and larger slack weakly lower cost;
+violation tracks ``(1 + slack)``-scaled bounds; time grows sharply with
+the budget (the pseudo-polynomial axis measured in E4).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import SolverConfig, solve_hgp
+from repro.bench import Table, make_instance, save_result, standard_hierarchy
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["knob", "value", "cost", "violation", "solve_s"],
+        title="E7: demand-grid resolution / slack ablation",
+    )
+    hier = standard_hierarchy("2x4")
+    inst = make_instance("blocks", 28, hier, seed=31)
+    for budget_mult in (1, 2, 4, 8):
+        cfg = SolverConfig(
+            seed=0,
+            n_trees=4,
+            grid_mode="budget",
+            grid_budget=budget_mult * inst.graph.n,
+            refine=False,
+        )
+        t0 = time.perf_counter()
+        res = solve_hgp(inst.graph, inst.hierarchy, inst.demands, cfg)
+        secs = time.perf_counter() - t0
+        table.add_row(
+            [
+                "budget_cells",
+                budget_mult * inst.graph.n,
+                res.cost,
+                res.placement.max_violation(),
+                secs,
+            ]
+        )
+    for slack in (0.05, 0.15, 0.3, 0.6):
+        cfg = SolverConfig(seed=0, n_trees=4, slack=slack, refine=False)
+        t0 = time.perf_counter()
+        res = solve_hgp(inst.graph, inst.hierarchy, inst.demands, cfg)
+        secs = time.perf_counter() - t0
+        table.add_row(
+            ["slack", slack, res.cost, res.placement.max_violation(), secs]
+        )
+    return table
+
+
+def test_e7_quantization(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E7_quantization", table.show(), results_dir)
+    # Violation must always respect the worst-case bound (1+slack)(1+h).
+    for knob, value, _cost, violation, _secs in table.rows:
+        slack = float(value) if knob == "slack" else 0.25
+        assert float(violation) <= (1 + slack) * 3 + 1e-9

@@ -1,0 +1,60 @@
+"""E8 — the k-BGP specialisation (h = 1) against classical partitioners.
+
+HGP with a flat hierarchy *is* balanced k-way partitioning; this
+experiment checks the general machinery degrades gracefully: on
+minimum-bisection and k-way instances the pipeline's cut should sit in
+the same range as the dedicated multilevel/KL/FM machinery, and both
+should crush random partitions.  Expected shape: multilevel ≈ hgp ≪
+random; on planted instances both land near the planted cut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SolverConfig, solve_kbgp
+from repro.bench import Table, save_result
+from repro.baselines.multilevel import partition_kway
+from repro.core.kbgp import minimum_bisection
+from repro.graph.generators import grid_2d, planted_partition, random_regular
+
+
+def _experiment() -> Table:
+    table = Table(
+        ["instance", "k", "method", "cut"],
+        title="E8: k-BGP specialisation (h = 1)",
+    )
+    cases = [
+        ("grid6x6", grid_2d(6, 6), 4),
+        ("blocks4x8", planted_partition(4, 8, 0.8, 0.03, seed=3), 4),
+        ("expander24", random_regular(24, 4, seed=4), 4),
+    ]
+    rng = np.random.default_rng(0)
+    for name, g, k in cases:
+        labels_ml = partition_kway(g, k, seed=0)
+        table.add_row([name, k, "multilevel", g.partition_cut_weight(labels_ml)])
+        p = solve_kbgp(g, k, config=SolverConfig(seed=0, n_trees=4))
+        table.add_row([name, k, "hgp(h=1)", g.partition_cut_weight(p.leaf_of)])
+        random_labels = rng.integers(0, k, size=g.n)
+        table.add_row([name, k, "random", g.partition_cut_weight(random_labels)])
+    # Minimum bisection corner.
+    g = planted_partition(2, 12, 0.85, 0.02, seed=9)
+    cut, _ = minimum_bisection(g, seed=0)
+    table.add_row(["bisect-blocks", 2, "multilevel_bisect", cut])
+    planted = g.cut_weight(np.arange(24) < 12)
+    table.add_row(["bisect-blocks", 2, "planted", planted])
+    return table
+
+
+def test_e8_kbgp(benchmark, results_dir):
+    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result("E8_kbgp", table.show(), results_dir)
+    cuts: dict[tuple, float] = {}
+    for name, k, method, cut in table.rows:
+        cuts[(name, method)] = float(cut)
+    for name in ("grid6x6", "blocks4x8", "expander24"):
+        assert cuts[(name, "multilevel")] < cuts[(name, "random")]
+        assert cuts[(name, "hgp(h=1)")] < cuts[(name, "random")]
+    assert cuts[("bisect-blocks", "multilevel_bisect")] <= 1.5 * cuts[
+        ("bisect-blocks", "planted")
+    ]

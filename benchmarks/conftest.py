@@ -1,0 +1,21 @@
+"""Shared configuration for the experiment benchmarks.
+
+Every experiment function both *times* its core computation (via the
+pytest-benchmark fixture, so ``--benchmark-only`` runs it) and *prints +
+saves* the table/series the paper-style evaluation reports, under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

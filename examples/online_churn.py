@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Online placement under churn — beyond the static paper setting.
+
+Streams of task arrivals/departures hit an :class:`OnlinePlacer`; we
+compare never re-optimising, re-optimising with a small migration
+budget, and unlimited re-optimisation, and show where each policy's cost
+trajectory ends up.
+
+Run:  python examples/online_churn.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Hierarchy, SolverConfig
+from repro.bench import Table
+from repro.streaming import ChurnEvent, simulate_churn
+from repro.utils.rng import ensure_rng
+
+
+def make_trace(n_events: int, n_clusters: int, seed: int) -> list[ChurnEvent]:
+    """Clustered arrivals with ~25% departures."""
+    rng = ensure_rng(seed)
+    events: list[ChurnEvent] = []
+    live: list[int] = []
+    next_id = 0
+    for _ in range(n_events):
+        if live and rng.random() < 0.25:
+            victim = live.pop(int(rng.integers(0, len(live))))
+            events.append(ChurnEvent("depart", victim))
+            continue
+        cluster = next_id % n_clusters
+        intra = tuple((u, 5.0) for u in live if u % n_clusters == cluster)[:4]
+        inter = tuple((u, 0.3) for u in live if u % n_clusters != cluster)[:2]
+        events.append(
+            ChurnEvent("arrive", next_id, float(rng.uniform(0.1, 0.3)), intra + inter)
+        )
+        live.append(next_id)
+        next_id += 1
+    return events
+
+
+def main() -> None:
+    hierarchy = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+    events = make_trace(60, n_clusters=4, seed=5)
+    cfg = SolverConfig(n_trees=2, refine=False, seed=0)
+
+    table = Table(
+        ["policy", "mean_cost", "final_cost", "migrations"],
+        title="re-optimisation policies over a 60-event churn trace",
+    )
+    series = {}
+    for name, period, budget in (
+        ("never", 0, None),
+        ("every 15, budget 3", 15, 3),
+        ("every 15, unlimited", 15, None),
+    ):
+        costs, migrations = simulate_churn(
+            hierarchy, events, reopt_period=period, migration_budget=budget, config=cfg
+        )
+        series[name] = costs
+        table.add_row([name, float(np.mean(costs)), costs[-1], migrations])
+    table.show()
+
+    # A coarse sparkline of the trajectories.
+    print("\ncost trajectory (one char per 3 events, scaled to the max):")
+    peak = max(max(c) for c in series.values()) or 1.0
+    glyphs = " .:-=+*#%@"
+    for name, costs in series.items():
+        line = "".join(
+            glyphs[min(9, int(9 * costs[i] / peak))] for i in range(0, len(costs), 3)
+        )
+        print(f"  {name:<22s} |{line}|")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+The offline sandbox lacks ``wheel``, so PEP-517 editable installs fail
+with ``invalid command 'bdist_wheel'``.  Keeping this ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to the
+legacy develop-install path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

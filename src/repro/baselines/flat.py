@@ -1,0 +1,165 @@
+"""Flat (hierarchy-oblivious) partitioning baselines.
+
+The natural "state of practice" the paper argues against: partition ``G``
+into ``k`` balanced parts with a high-quality flat partitioner, then
+assign parts to leaves.  Two mapping variants:
+
+* ``identity`` — parts go to leaves in index order, i.e. the partitioner
+  is *completely* blind to the hierarchy.  This is the honest k-BGP
+  baseline: it minimises total cut but pays arbitrary multipliers.
+* ``quotient`` — the *dual recursive bipartitioning* mapping of
+  Pellegrini/SCOTCH (paper reference [22]): build the quotient graph over
+  parts (weights = inter-part traffic) and recursively bisect it along
+  the hierarchy's own structure, so heavily-communicating parts land
+  under nearby H-nodes.  This is the strongest heuristic comparator and
+  the method closest to what production mappers do.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.placement import Placement
+from repro.baselines.multilevel import bisect, partition_kway
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["flat_placement", "map_parts_to_leaves"]
+
+
+def flat_placement(
+    g: Graph,
+    hierarchy: Hierarchy,
+    demands: Sequence[float],
+    mapping: str = "quotient",
+    tol: float = 0.05,
+    seed: SeedLike = None,
+) -> Placement:
+    """k-way partition + part-to-leaf mapping.
+
+    Parameters
+    ----------
+    g, hierarchy, demands:
+        The HGP instance.
+    mapping:
+        ``"identity"`` (hierarchy-oblivious) or ``"quotient"`` (dual
+        recursive bipartitioning).
+    tol:
+        Balance tolerance per bisection split.
+    seed:
+        RNG seed.
+    """
+    if mapping not in ("identity", "quotient", "shuffled"):
+        raise InvalidInputError(f"unknown mapping {mapping!r}")
+    d = np.asarray(demands, dtype=np.float64)
+    rng = ensure_rng(seed)
+    labels = partition_kway(g, hierarchy.k, vertex_weights=d, tol=tol, seed=rng)
+    if mapping == "identity":
+        # NOTE: recursive bisection numbers parts hierarchically (parts
+        # 0..k/2-1 are one side of the first split), so identity mapping
+        # is *accidentally* hierarchy-friendly.  Use "shuffled" for the
+        # honest hierarchy-oblivious baseline.
+        leaf_of = labels.copy()
+    elif mapping == "shuffled":
+        perm = rng.permutation(hierarchy.k)
+        leaf_of = perm[labels]
+    else:
+        part_to_leaf = map_parts_to_leaves(g, hierarchy, labels, seed=rng)
+        leaf_of = part_to_leaf[labels]
+    return Placement(
+        g, hierarchy, d, leaf_of, meta={"solver": f"flat_{mapping}"}
+    )
+
+
+def map_parts_to_leaves(
+    g: Graph,
+    hierarchy: Hierarchy,
+    labels: np.ndarray,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Dual recursive bipartitioning: map ``k`` parts onto the ``k`` leaves.
+
+    Recursively splits the set of parts following the hierarchy: at a
+    level-``j`` node with ``DEG(j)`` children, the quotient graph over
+    the remaining parts is split into ``DEG(j)`` groups of proportional
+    sizes by recursive bisection (minimising inter-group traffic, which
+    is exactly the traffic that will pay ``cm(j)``), and each group
+    recurses into one child.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``part_to_leaf[p]`` = leaf id for part ``p``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (g.n,):
+        raise InvalidInputError(f"labels must have shape ({g.n},)")
+    n_parts = int(labels.max()) + 1 if labels.size else 0
+    if n_parts > hierarchy.k:
+        raise InvalidInputError(
+            f"{n_parts} parts do not fit on {hierarchy.k} leaves"
+        )
+    rng = ensure_rng(seed)
+    quotient = g.contract(labels)
+    part_to_leaf = np.zeros(n_parts, dtype=np.int64)
+
+    def rec(parts: np.ndarray, level: int, node: int) -> None:
+        if parts.size == 0:
+            return
+        if level == hierarchy.h:
+            # One leaf per part slot (parts.size <= 1 by capacity).
+            part_to_leaf[parts] = node
+            return
+        deg = hierarchy.degrees[level]
+        child_nodes = hierarchy.children(level, node)
+        # Split `parts` into deg groups of near-equal count by recursive
+        # bisection of the induced quotient subgraph.
+        groups = _split_groups(quotient, parts, deg, rng)
+        for child, group in zip(child_nodes, groups):
+            rec(group, level + 1, int(child))
+
+    rec(np.arange(n_parts, dtype=np.int64), 0, 0)
+    return part_to_leaf
+
+
+def _split_groups(
+    quotient: Graph, parts: np.ndarray, deg: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Split ``parts`` into ``deg`` groups of near-equal cardinality,
+    minimising quotient-graph cut via recursive bisection."""
+    if deg == 1 or parts.size <= 1:
+        groups = [parts] + [np.empty(0, dtype=np.int64)] * (deg - 1)
+        return groups
+    d1 = deg // 2
+    d2 = deg - d1
+    sub, back = quotient.subgraph(parts)
+    frac = d1 / deg
+    mask = bisect(sub, target_fraction=frac, tol=0.5 / deg, seed=rng)
+    left = back[np.nonzero(mask)[0]]
+    right = back[np.nonzero(~mask)[0]]
+    # Cardinality correction: each side must fit its leaf budget.
+    left, right = _enforce_counts(left, right, d1, d2, parts.size)
+    return _split_groups(quotient, left, d1, rng) + _split_groups(
+        quotient, right, d2, rng
+    )
+
+
+def _enforce_counts(
+    left: np.ndarray, right: np.ndarray, d1: int, d2: int, total: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Move surplus parts so each side's count fits its leaf budget."""
+    max_left = d1 * -(-total // (d1 + d2))
+    max_right = d2 * -(-total // (d1 + d2))
+    left = left.copy()
+    right = right.copy()
+    while left.size > max_left:
+        left, moved = left[:-1], left[-1:]
+        right = np.concatenate([right, moved])
+    while right.size > max_right:
+        right, moved = right[:-1], right[-1:]
+        left = np.concatenate([left, moved])
+    return left, right

@@ -1,0 +1,149 @@
+"""Fiduccia–Mattheyses two-way refinement.
+
+The classic linear-time-per-pass move-based refinement used inside every
+serious multilevel partitioner (METIS, SCOTCH, JOSTLE — the packages the
+paper's related work cites).  Given an initial two-sided partition, each
+pass tentatively moves every vertex once in order of best *gain* (cut
+reduction), tracks the best prefix of moves that respects the balance
+window, and commits it.  Passes repeat until no improvement.
+
+This implementation uses a lazy max-heap instead of the original gain
+buckets — gains here are floats (weighted graphs), so bucket arrays do
+not apply; the heap keeps the pass at ``O(m log n)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+
+__all__ = ["fm_refine"]
+
+
+def _gains(g: Graph, side: np.ndarray) -> np.ndarray:
+    """Gain of moving each vertex to the other side: external − internal weight."""
+    gain = np.zeros(g.n)
+    same = side[g.edges_u] == side[g.edges_v]
+    # external edges contribute +w to both endpoints, internal −w.
+    contrib = np.where(same, -g.edges_w, g.edges_w)
+    np.add.at(gain, g.edges_u, contrib)
+    np.add.at(gain, g.edges_v, contrib)
+    return gain
+
+
+def fm_refine(
+    g: Graph,
+    side: np.ndarray,
+    vertex_weights: Optional[np.ndarray] = None,
+    target_fraction: float = 0.5,
+    tol: float = 0.1,
+    max_passes: int = 10,
+) -> np.ndarray:
+    """Refine a 2-way partition in place-style (returns a new mask).
+
+    Parameters
+    ----------
+    g:
+        Graph being partitioned.
+    side:
+        Boolean mask: ``True`` = side A.
+    vertex_weights:
+        Balance weights (defaults to unit).
+    target_fraction:
+        Desired fraction of total weight on side A.
+    tol:
+        Allowed deviation of side A's weight fraction from the target.
+    max_passes:
+        FM passes (each pass is a full tentative move sequence).
+
+    Returns
+    -------
+    numpy.ndarray
+        Refined boolean mask with cut weight no worse than the input's
+        (monotone improvement is asserted by tests).
+    """
+    side = np.asarray(side, dtype=bool).copy()
+    if side.shape != (g.n,):
+        raise InvalidInputError(f"side must have shape ({g.n},)")
+    w = (
+        np.ones(g.n)
+        if vertex_weights is None
+        else np.asarray(vertex_weights, dtype=np.float64)
+    )
+    if w.shape != (g.n,):
+        raise InvalidInputError(f"vertex_weights must have shape ({g.n},)")
+    total_w = float(w.sum())
+    # The balance window is widened to at least one heaviest vertex on
+    # each side of the target (METIS convention): a window narrower than
+    # a single vertex weight would freeze every move and silently disable
+    # refinement on small or integer-weighted graphs.
+    w_max = float(w.max()) if w.size else 0.0
+    half = max(tol * total_w, w_max)
+    lo = target_fraction * total_w - half
+    hi = target_fraction * total_w + half
+
+    for _ in range(max_passes):
+        gain = _gains(g, side)
+        locked = np.zeros(g.n, dtype=bool)
+        heap = [(-gain[v], v) for v in range(g.n)]
+        heapq.heapify(heap)
+        weight_a = float(w[side].sum())
+
+        moves: list[int] = []
+        cum_gain = 0.0
+        best_gain = 0.0
+        best_prefix = 0
+        trial_side = side.copy()
+        trial_gain = gain
+
+        while heap:
+            negg, v = heapq.heappop(heap)
+            if locked[v] or -negg != trial_gain[v]:
+                # Stale entry: every gain change pushed a fresh entry at
+                # update time, so this one can simply be discarded.
+                continue
+            # Balance check for the tentative move.
+            new_weight_a = weight_a + (-w[v] if trial_side[v] else w[v])
+            if not (lo - 1e-12 <= new_weight_a <= hi + 1e-12):
+                locked[v] = True  # cannot move this pass
+                continue
+            # Commit tentatively.
+            locked[v] = True
+            cum_gain += float(trial_gain[v])
+            moves.append(v)
+            weight_a = new_weight_a
+            old = trial_side[v]
+            trial_side[v] = not old
+            # Update neighbour gains: an edge to a same-side neighbour was
+            # internal (now external) and vice versa.
+            start, end = g.indptr[v], g.indptr[v + 1]
+            for idx in range(start, end):
+                u = int(g.indices[idx])
+                if locked[u]:
+                    continue
+                wuv = float(g.adj_weights[idx])
+                if trial_side[u] == old:
+                    # was same side, now opposite: u's gain decreases... no:
+                    # moving u would now keep them together; edge flipped
+                    # from internal to external for u: gain increases? For u,
+                    # edge (u,v): before move, u and v same side => edge
+                    # internal => contributed -w to u's gain. After, opposite
+                    # sides => +w. Delta = +2w.
+                    trial_gain[u] += 2.0 * wuv
+                else:
+                    trial_gain[u] -= 2.0 * wuv
+                heapq.heappush(heap, (-trial_gain[u], u))
+            if cum_gain > best_gain + 1e-12:
+                best_gain = cum_gain
+                best_prefix = len(moves)
+
+        if best_prefix == 0:
+            break
+        for v in moves[:best_prefix]:
+            side[v] = not side[v]
+    return side

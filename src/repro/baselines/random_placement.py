@@ -1,0 +1,68 @@
+"""Trivial baselines: random and round-robin placements.
+
+These anchor the bottom of every comparison table: random placement pays
+the *expected* multiplier over all leaf pairs on every edge, so the gap
+between it and any structured method measures how much locality the
+workload offers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.placement import Placement
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["random_placement", "round_robin_placement"]
+
+
+def random_placement(
+    g: Graph,
+    hierarchy: Hierarchy,
+    demands: Sequence[float],
+    seed: SeedLike = None,
+) -> Placement:
+    """Capacity-aware random placement.
+
+    Vertices are shuffled and each is sent to a uniformly random leaf
+    among those that still fit; if none fits, the least-loaded leaf takes
+    it (a violation the diagnostics will show).
+    """
+    rng = ensure_rng(seed)
+    d = np.asarray(demands, dtype=np.float64)
+    k = hierarchy.k
+    cap = hierarchy.leaf_capacity
+    loads = np.zeros(k)
+    leaf_of = np.zeros(g.n, dtype=np.int64)
+    for v in rng.permutation(g.n):
+        fits = np.nonzero(loads + d[v] <= cap + 1e-12)[0]
+        leaf = int(rng.choice(fits)) if fits.size else int(np.argmin(loads))
+        leaf_of[v] = leaf
+        loads[leaf] += d[v]
+    return Placement(g, hierarchy, d, leaf_of, meta={"solver": "random"})
+
+
+def round_robin_placement(
+    g: Graph,
+    hierarchy: Hierarchy,
+    demands: Sequence[float],
+    seed: SeedLike = None,
+) -> Placement:
+    """Least-loaded (LPT) placement: perfect balance, zero locality.
+
+    This is roughly what a locality-oblivious OS scheduler achieves
+    (Section 1's starting point): sort by demand descending, always take
+    the least-loaded leaf.
+    """
+    d = np.asarray(demands, dtype=np.float64)
+    loads = np.zeros(hierarchy.k)
+    leaf_of = np.zeros(g.n, dtype=np.int64)
+    for v in np.argsort(d)[::-1]:
+        leaf = int(np.argmin(loads))
+        leaf_of[v] = leaf
+        loads[leaf] += d[v]
+    return Placement(g, hierarchy, d, leaf_of, meta={"solver": "round_robin"})

@@ -1,0 +1,36 @@
+"""Benchmark harness: shared instances, table rendering, result persistence."""
+
+from repro.bench.instances import (
+    FAMILIES,
+    METHODS,
+    Instance,
+    make_instance,
+    run_method,
+    standard_hierarchy,
+)
+from repro.bench.metrics import (
+    adjusted_rand_index,
+    block_recovery,
+    cut_fraction,
+    load_imbalance,
+)
+from repro.bench.oracles import brute_force_optimum, path_binary_tree
+from repro.bench.tables import Table, format_series, save_result
+
+__all__ = [
+    "FAMILIES",
+    "METHODS",
+    "Instance",
+    "make_instance",
+    "run_method",
+    "standard_hierarchy",
+    "Table",
+    "format_series",
+    "save_result",
+    "brute_force_optimum",
+    "path_binary_tree",
+    "adjusted_rand_index",
+    "block_recovery",
+    "cut_fraction",
+    "load_imbalance",
+]

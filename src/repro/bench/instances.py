@@ -1,0 +1,175 @@
+"""Shared experiment instances and method runners.
+
+Centralising the workload grid here keeps every experiment comparable:
+the same four graph families, the same hierarchy shapes, the same demand
+profiles, the same seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.generators import (
+    grid_2d,
+    hypercube,
+    layered_dag,
+    planted_partition,
+    power_law,
+    random_demands,
+    random_regular,
+    rmat,
+)
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.placement import Placement
+from repro.core.config import SolverConfig
+from repro.core.solver import solve_hgp
+from repro.baselines import placement_baselines
+from repro.baselines.local_search import enforce_capacity, refine_placement
+
+__all__ = [
+    "Instance",
+    "standard_hierarchy",
+    "make_instance",
+    "FAMILIES",
+    "run_method",
+    "METHODS",
+]
+
+
+@dataclass
+class Instance:
+    """One benchmark instance: graph + hierarchy + demands + provenance."""
+
+    name: str
+    graph: Graph
+    hierarchy: Hierarchy
+    demands: np.ndarray
+    seed: int
+
+
+def standard_hierarchy(shape: str = "2x4") -> Hierarchy:
+    """Named hierarchy shapes used across experiments.
+
+    * ``2x4`` — 2 sockets × 4 cores, cm = (10, 3, 0); the paper's server.
+    * ``2x8`` — 2 sockets × 8 cores, cm = (10, 3, 0).
+    * ``4x4`` — 4 racks × 4 servers, cm = (20, 5, 0); a cluster shape.
+    * ``2x2x2`` — 3-level NUMA, cm = (8, 4, 1, 0).
+    * ``flat8`` / ``flat16`` — k-BGP hierarchies.
+    """
+    shapes = {
+        "2x4": ([2, 4], [10.0, 3.0, 0.0]),
+        "2x8": ([2, 8], [10.0, 3.0, 0.0]),
+        "4x4": ([4, 4], [20.0, 5.0, 0.0]),
+        "2x2x2": ([2, 2, 2], [8.0, 4.0, 1.0, 0.0]),
+        "flat8": ([8], [1.0, 0.0]),
+        "flat16": ([16], [1.0, 0.0]),
+    }
+    degrees, cm = shapes[shape]
+    return Hierarchy(degrees, cm)
+
+
+def _grid(n_target: int, seed: int) -> Graph:
+    side = max(2, int(round(n_target ** 0.5)))
+    return grid_2d(side, side, weight_range=(0.5, 2.0), seed=seed)
+
+
+def _expander(n_target: int, seed: int) -> Graph:
+    n = n_target + (n_target * 3) % 2  # make n*d even
+    return random_regular(n, 3, weight_range=(0.5, 2.0), seed=seed)
+
+
+def _powerlaw(n_target: int, seed: int) -> Graph:
+    return power_law(n_target, m_per_node=2, weight_range=(0.5, 2.0), seed=seed)
+
+
+def _blocks(n_target: int, seed: int) -> Graph:
+    bs = max(3, n_target // 4)
+    return planted_partition(4, bs, 0.7, 0.03, weight_in=2.0, weight_out=1.0, seed=seed)
+
+
+def _dag(n_target: int, seed: int) -> Graph:
+    width = max(2, n_target // 6)
+    return layered_dag(6, width, fan_out=2, weight_range=(1.0, 10.0), seed=seed)
+
+
+def _hypercube(n_target: int, seed: int) -> Graph:
+    dim = max(2, int(round(np.log2(max(4, n_target)))))
+    return hypercube(dim, weight_range=(0.5, 2.0), seed=seed)
+
+
+def _rmat(n_target: int, seed: int) -> Graph:
+    scale = max(3, int(round(np.log2(max(8, n_target)))))
+    g = rmat(scale, edge_factor=4, seed=seed)
+    from repro.graph.ops import largest_component
+
+    sub, _ = largest_component(g)
+    return sub
+
+
+#: Graph family name -> builder(n_target, seed).
+FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
+    "grid": _grid,
+    "expander": _expander,
+    "powerlaw": _powerlaw,
+    "blocks": _blocks,
+    "dag": _dag,
+    "hypercube": _hypercube,
+    "rmat": _rmat,
+}
+
+
+def make_instance(
+    family: str,
+    n_target: int,
+    hierarchy: Hierarchy,
+    fill: float = 0.6,
+    skew: float = 0.3,
+    seed: int = 0,
+) -> Instance:
+    """Build one instance of the named family sized near ``n_target``."""
+    g = FAMILIES[family](n_target, seed)
+    d = random_demands(
+        g.n, hierarchy.total_capacity, fill=fill, skew=skew, seed=seed + 1
+    )
+    return Instance(f"{family}-n{g.n}", g, hierarchy, d, seed)
+
+
+def run_method(
+    method: str, inst: Instance, seed: int = 0, config: SolverConfig | None = None
+) -> Placement:
+    """Run one named method on an instance.
+
+    Methods: every key of :func:`repro.baselines.placement_baselines`,
+    plus ``hgp`` (the paper's pipeline) and ``hgp_feasible`` (pipeline +
+    capacity enforcement to violation 1, the strict-balance variant).
+    """
+    if method == "hgp":
+        cfg = config or SolverConfig(seed=seed)
+        return solve_hgp(inst.graph, inst.hierarchy, inst.demands, cfg).placement
+    if method == "hgp_feasible":
+        cfg = config or SolverConfig(seed=seed)
+        p = solve_hgp(inst.graph, inst.hierarchy, inst.demands, cfg).placement
+        p = enforce_capacity(p, target_violation=1.0, seed=seed)
+        return refine_placement(
+            p, max_passes=4, max_violation=1.0, seed=seed, allow_swaps=True
+        )
+    registry = placement_baselines()
+    return registry[method](inst.graph, inst.hierarchy, inst.demands, seed=seed)
+
+
+#: Canonical method order for comparison tables.
+METHODS: Sequence[str] = (
+    "random",
+    "round_robin",
+    "greedy",
+    "flat_shuffled",
+    "flat_identity",
+    "flat_quotient",
+    "recursive_bisection",
+    "hgp",
+    "hgp_feasible",
+)

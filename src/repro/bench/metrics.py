@@ -1,0 +1,103 @@
+"""Partition-quality metrics used by the experiment analysis.
+
+Implemented from scratch (no sklearn in the environment):
+
+* :func:`adjusted_rand_index` — chance-corrected agreement between a
+  computed partition and a reference (e.g. the planted blocks of an SBM
+  instance); 1 = identical, ≈0 = random.
+* :func:`load_imbalance` — max/mean load ratio of a placement's leaves
+  (1 = perfectly balanced).
+* :func:`cut_fraction` — fraction of total edge weight whose endpoints
+  meet strictly above leaf level (the "remote traffic" share).
+* :func:`block_recovery` — convenience bundle for SBM-style instances.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.hierarchy.placement import Placement
+
+__all__ = [
+    "adjusted_rand_index",
+    "load_imbalance",
+    "cut_fraction",
+    "block_recovery",
+]
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand Index between two labelings of the same items.
+
+    Uses the standard pair-counting formulation with the hypergeometric
+    chance correction; returns 1.0 for identical partitions (up to label
+    permutation) and values near 0 for independent ones.
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape or a.ndim != 1:
+        raise InvalidInputError("labelings must be 1-D and equally sized")
+    n = a.size
+    if n < 2:
+        return 1.0
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    contingency = np.zeros((ai.max() + 1, bi.max() + 1), dtype=np.int64)
+    np.add.at(contingency, (ai, bi), 1)
+    sum_comb_cells = sum(comb(int(x), 2) for x in contingency.ravel() if x >= 2)
+    sum_comb_rows = sum(comb(int(x), 2) for x in contingency.sum(axis=1) if x >= 2)
+    sum_comb_cols = sum(comb(int(x), 2) for x in contingency.sum(axis=0) if x >= 2)
+    total_pairs = comb(n, 2)
+    expected = sum_comb_rows * sum_comb_cols / total_pairs
+    max_index = (sum_comb_rows + sum_comb_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return (sum_comb_cells - expected) / (max_index - expected)
+
+
+def load_imbalance(placement: Placement) -> float:
+    """Max/mean leaf-load ratio over the leaves actually needed.
+
+    The mean uses ``total demand / k`` (the ideal spread), so the metric
+    is comparable across placements that use different leaf counts.
+    """
+    loads = placement.leaf_loads()
+    ideal = placement.demands.sum() / placement.hierarchy.k
+    if ideal <= 0:
+        return 1.0
+    return float(loads.max()) / ideal
+
+
+def cut_fraction(placement: Placement) -> float:
+    """Share of edge weight whose endpoints are not co-located."""
+    g = placement.graph
+    if g.m == 0:
+        return 0.0
+    hier = placement.hierarchy
+    levels = np.asarray(
+        hier.lca_level(placement.leaf_of[g.edges_u], placement.leaf_of[g.edges_v])
+    )
+    remote = float(g.edges_w[levels < hier.h].sum())
+    return remote / g.total_weight
+
+
+def block_recovery(placement: Placement, true_blocks: np.ndarray) -> Dict[str, float]:
+    """Bundle of quality metrics against a known ground-truth clustering.
+
+    Uses the *socket-level* assignment (level-1 ancestors) for recovery:
+    a good hierarchical placement keeps each true block under one
+    high-level node even when it spans several leaves.
+    """
+    hier = placement.hierarchy
+    level = 1 if hier.h >= 1 else 0
+    groups = np.asarray(hier.ancestor(placement.leaf_of, level))
+    return {
+        "ari_leaf": adjusted_rand_index(placement.leaf_of, true_blocks),
+        "ari_group": adjusted_rand_index(groups, true_blocks),
+        "imbalance": load_imbalance(placement),
+        "cut_fraction": cut_fraction(placement),
+    }

@@ -1,0 +1,96 @@
+"""Exhaustive oracles used to certify the DP (tests + experiment E1).
+
+``brute_force_optimum`` enumerates every *edge cut-level assignment* of a
+binary tree — each edge gets a deepest-kept level ``j_e`` and is cut at
+all levels ``k > j_e``, exactly the shape of nice solutions (Corollary 1)
+— derives the leaf components per level, checks quantized capacities, and
+charges ``w(e) · (cm(k−1) − cm(k))`` for every cut level whose child-side
+component is non-empty.  Its minimum is the ground-truth RHGPT optimum
+for small trees (exponential in the edge count — keep below ~10 edges).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.decomposition.tree import TreeAssembler
+from repro.hgpt.binarize import BinaryTree, binarize
+
+__all__ = ["brute_force_optimum", "path_binary_tree"]
+
+
+def path_binary_tree(weights: Sequence[float], demands: Sequence[int]) -> BinaryTree:
+    """Balanced binary decomposition tree over a path graph's vertices.
+
+    A convenient small-instance factory: ``weights[i]`` is the path edge
+    ``(i, i+1)``; leaves get ``demands``.
+    """
+    n = len(demands)
+    g = Graph(n, [(i, i + 1, float(weights[i])) for i in range(n - 1)])
+    asm = TreeAssembler(g)
+    nodes: List[int] = [asm.add_leaf(v) for v in range(n)]
+    while len(nodes) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(nodes) - 1, 2):
+            nxt.append(asm.add_internal([nodes[i], nodes[i + 1]]))
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+    tree = asm.finish(nodes[0])
+    return binarize(tree, np.asarray(demands, dtype=np.int64))
+
+
+def brute_force_optimum(
+    bt: BinaryTree, caps: Sequence[int], deltas: Sequence[float]
+) -> float:
+    """Minimum edge-cut cost over all cut-level assignments (see module doc)."""
+    h = len(caps)
+    edges = [v for v in range(bt.n_nodes) if v != bt.root]
+    choice_sets = [
+        [h] if math.isinf(bt.up_weight[v]) else list(range(h + 1)) for v in edges
+    ]
+    parent = _parents(bt)
+    best = math.inf
+    for combo in itertools.product(*choice_sets):
+        j_of = dict(zip(edges, combo))
+        cost = 0.0
+        ok = True
+        for k in range(1, h + 1):
+            parent_k = {
+                v: (parent[v] if v != bt.root and j_of[v] >= k else -1)
+                for v in range(bt.n_nodes)
+            }
+
+            def root_of(v: int) -> int:
+                while parent_k[v] >= 0:
+                    v = parent_k[v]
+                return v
+
+            demand: dict[int, int] = {}
+            for v in range(bt.n_nodes):
+                if bt.is_leaf(v):
+                    r = root_of(v)
+                    demand[r] = demand.get(r, 0) + int(bt.demand[v])
+            if any(dm > caps[k - 1] for dm in demand.values()):
+                ok = False
+                break
+            for v in edges:
+                if j_of[v] < k and demand.get(root_of(v), 0) > 0:
+                    cost += float(bt.up_weight[v]) * deltas[k]
+        if ok and cost < best:
+            best = cost
+    return best
+
+
+def _parents(bt: BinaryTree) -> List[int]:
+    parent = [-1] * bt.n_nodes
+    for p in range(bt.n_nodes):
+        if bt.left[p] >= 0:
+            parent[int(bt.left[p])] = p
+            parent[int(bt.right[p])] = p
+    return parent

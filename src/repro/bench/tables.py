@@ -1,0 +1,92 @@
+"""Plain-text table/series rendering for the experiment harness.
+
+Every experiment prints rows through :class:`Table` (aligned columns,
+deterministic formatting) and optionally persists them with
+:func:`save_result`, so EXPERIMENTS.md can quote the literal harness
+output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["Table", "save_result", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+class Table:
+    """Fixed-column text table with numeric formatting.
+
+    Examples
+    --------
+    >>> t = Table(["method", "cost"], title="demo")
+    >>> t.add_row(["flat", 12.3456])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    # demo
+    method  cost...
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append one row; floats are rendered with 4 significant digits."""
+        rendered = []
+        for c in cells:
+            if isinstance(c, float):
+                rendered.append(f"{c:.4g}")
+            else:
+                rendered.append(str(c))
+        if len(rendered) != len(self.columns):
+            raise ValueError(
+                f"row has {len(rendered)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Render the aligned table (with ``# title`` header if set)."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(f"# {self.title}")
+        lines.append("  ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> str:
+        """Print and return the rendering (bench targets call this)."""
+        text = self.render()
+        print("\n" + text)
+        return text
+
+
+def format_series(xs: Sequence[float], ys: Sequence[float], name: str) -> str:
+    """One-line-per-point rendering of a figure series."""
+    lines = [f"# series: {name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:.6g}\t{y:.6g}")
+    return "\n".join(lines)
+
+
+def save_result(name: str, text: str, directory: Union[str, Path, None] = None) -> Path:
+    """Persist experiment output under ``benchmarks/results/<name>.txt``.
+
+    Returns the written path.  The default directory resolves relative to
+    the repository root when run from within it, else the CWD.
+    """
+    if directory is None:
+        directory = Path("benchmarks") / "results"
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

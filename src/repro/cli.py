@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro``.
+
+Two subcommands cover the operator workflow end-to-end:
+
+``generate``
+    Write a synthetic workload graph (any family from
+    :data:`repro.bench.FAMILIES`) to an edge-list file.
+
+``solve``
+    Read a graph (edge-list or METIS), build the hierarchy from
+    ``--degrees/--cm``, solve with the paper's pipeline or any baseline,
+    print the ASCII placement report, and optionally save the placement
+    as JSON.
+
+Examples
+--------
+::
+
+    python -m repro generate --family blocks --n 32 --seed 7 --out tasks.edges
+    python -m repro solve --graph tasks.edges --degrees 2,4 \
+        --cm 10,3,0 --fill 0.6 --method hgp --seed 0 --out pin.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInputError, ReproError
+from repro.graph.graph import Graph
+from repro.graph.generators import random_demands
+from repro.graph.io import read_edgelist, read_metis, write_edgelist
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.report import placement_to_json, render_placement
+from repro.core.config import SolverConfig
+from repro.core.solver import solve_hgp
+
+__all__ = ["main", "build_parser"]
+
+
+def _float_list(text: str) -> List[float]:
+    return [float(tok) for tok in text.split(",") if tok.strip()]
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(tok) for tok in text.split(",") if tok.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical Graph Partitioning (SPAA 2014) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic workload graph")
+    gen.add_argument("--family", required=True, help="grid | expander | powerlaw | blocks | dag")
+    gen.add_argument("--n", type=int, required=True, help="approximate vertex count")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output edge-list path")
+
+    solve = sub.add_parser("solve", help="place a task graph onto a hierarchy")
+    solve.add_argument("--graph", required=True, help="edge-list or METIS file")
+    solve.add_argument(
+        "--format",
+        choices=("edgelist", "metis", "auto"),
+        default="auto",
+        help="input format (auto: by extension, .graph = METIS)",
+    )
+    solve.add_argument(
+        "--degrees", required=True, type=_int_list, help="e.g. 2,4 for 2 sockets x 4 cores"
+    )
+    solve.add_argument(
+        "--cm", required=True, type=_float_list, help="h+1 cost multipliers, e.g. 10,3,0"
+    )
+    solve.add_argument("--leaf-capacity", type=float, default=1.0)
+    solve.add_argument(
+        "--demands",
+        default=None,
+        help="path to a demands file (one float per line); default: synthetic via --fill/--skew",
+    )
+    solve.add_argument("--fill", type=float, default=0.6, help="synthetic demand utilisation")
+    solve.add_argument("--skew", type=float, default=0.3, help="synthetic demand skew")
+    solve.add_argument(
+        "--method",
+        default="hgp",
+        help="hgp | hgp_feasible | random | round_robin | greedy | flat_identity | "
+        "flat_shuffled | flat_quotient | recursive_bisection",
+    )
+    solve.add_argument("--n-trees", type=int, default=8)
+    solve.add_argument("--slack", type=float, default=0.25)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--out", default=None, help="write the placement as JSON here")
+    solve.add_argument(
+        "--dot", default=None, help="write a Graphviz rendering of the loaded hierarchy here"
+    )
+    solve.add_argument(
+        "--taskset",
+        default=None,
+        help="write a taskset pinning script here (see repro.hierarchy.pin_script)",
+    )
+    solve.add_argument(
+        "--cpus-per-leaf", type=int, default=1, help="CPUs backing one leaf (for --taskset)"
+    )
+    solve.add_argument(
+        "--quiet", action="store_true", help="print only the one-line summary"
+    )
+    return parser
+
+
+def _load_graph(path: str, fmt: str) -> Graph:
+    p = Path(path)
+    if not p.exists():
+        raise InvalidInputError(f"graph file not found: {path}")
+    if fmt == "auto":
+        fmt = "metis" if p.suffix == ".graph" else "edgelist"
+    if fmt == "metis":
+        g, _ = read_metis(p)
+        return g
+    return read_edgelist(p)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.bench.instances import FAMILIES
+
+    if args.family not in FAMILIES:
+        raise InvalidInputError(
+            f"unknown family {args.family!r}; choose from {sorted(FAMILIES)}"
+        )
+    g = FAMILIES[args.family](args.n, args.seed)
+    write_edgelist(args.out, g)
+    print(f"wrote {args.family} graph: n={g.n} m={g.m} -> {args.out}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    g = _load_graph(args.graph, args.format)
+    hier = Hierarchy(args.degrees, args.cm, leaf_capacity=args.leaf_capacity)
+    if args.demands is not None:
+        d = np.asarray(
+            [float(line) for line in Path(args.demands).read_text().split()],
+            dtype=np.float64,
+        )
+        if d.size != g.n:
+            raise InvalidInputError(
+                f"demands file has {d.size} entries, graph has {g.n} vertices"
+            )
+    else:
+        d = random_demands(
+            g.n, hier.total_capacity, fill=args.fill, skew=args.skew, seed=args.seed
+        )
+
+    if args.method in ("hgp", "hgp_feasible"):
+        cfg = SolverConfig(seed=args.seed, n_trees=args.n_trees, slack=args.slack)
+        placement = solve_hgp(g, hier, d, cfg).placement
+        if args.method == "hgp_feasible":
+            from repro.baselines.local_search import enforce_capacity, refine_placement
+
+            placement = enforce_capacity(placement, 1.0, seed=args.seed)
+            placement = refine_placement(
+                placement, max_violation=1.0, seed=args.seed, allow_swaps=True
+            )
+    else:
+        from repro.baselines import placement_baselines
+
+        registry = placement_baselines()
+        if args.method not in registry:
+            raise InvalidInputError(
+                f"unknown method {args.method!r}; choose hgp, hgp_feasible or one of "
+                f"{sorted(registry)}"
+            )
+        placement = registry[args.method](g, hier, d, seed=args.seed)
+
+    if args.quiet:
+        print(placement.summary())
+    else:
+        print(render_placement(placement))
+    if args.out:
+        Path(args.out).write_text(placement_to_json(placement))
+        print(f"placement written to {args.out}")
+    if args.dot:
+        from repro.viz import hierarchy_to_dot
+
+        Path(args.dot).write_text(hierarchy_to_dot(placement))
+        print(f"hierarchy DOT written to {args.dot}")
+    if args.taskset:
+        from repro.hierarchy.pin_script import to_taskset_script
+
+        Path(args.taskset).write_text(
+            to_taskset_script(placement, cpus_per_leaf=args.cpus_per_leaf)
+        )
+        print(f"pinning script written to {args.taskset}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        return _cmd_solve(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Core solvers: the Theorem-1 pipeline, k-BGP reduction, exact search."""
+
+from repro.core.config import SolverConfig
+from repro.core.solver import HGPResult, solve_hgp, solve_hgpt
+from repro.core.exact import exact_hgp
+from repro.core.kbgp import kbgp_hierarchy, minimum_bisection, solve_kbgp
+from repro.core.portfolio import seed_portfolio, solve_hgp_portfolio
+
+__all__ = [
+    "SolverConfig",
+    "HGPResult",
+    "solve_hgp",
+    "solve_hgpt",
+    "exact_hgp",
+    "kbgp_hierarchy",
+    "minimum_bisection",
+    "solve_kbgp",
+    "seed_portfolio",
+    "solve_hgp_portfolio",
+]

@@ -1,0 +1,103 @@
+"""Solver configuration for the Theorem-1 pipeline.
+
+All knobs in one frozen dataclass so experiments can sweep them and
+record exactly what ran (the config is attached to every returned
+placement's ``meta``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import InvalidInputError
+
+__all__ = ["SolverConfig"]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Parameters of :func:`repro.core.solver.solve_hgp`.
+
+    Attributes
+    ----------
+    n_trees:
+        Size of the decomposition-tree ensemble (Theorem 7's distribution;
+        E6 ablates this).
+    tree_methods:
+        Builder names cycled round-robin (``None`` = library default mix).
+    grid_mode:
+        ``"auto"`` — engineering grid with budget ``max(64, 4n)`` and
+        ``slack`` capacity headroom (the recommended default);
+        ``"epsilon"`` — the paper-faithful grid ``unit = ε · CP(h) / n``
+        (exact lower bound, pseudo-polynomial blow-up; small ``n`` only);
+        ``"budget"`` — explicit ``grid_budget`` with ``slack``.
+    epsilon:
+        Rounding parameter of the ``"epsilon"`` grid.
+    grid_budget:
+        Total-quantized-demand target of the ``"budget"`` grid.
+    slack:
+        Capacity headroom factor of the engineering grids (E7 ablates).
+    beam_width:
+        Per-node state cap of the DP (``None`` = exact DP; the default
+        256 keeps n ≈ 500 instances interactive while rarely moving the
+        optimum — E4/E7 quantify).
+    refine:
+        Run hierarchy-aware greedy local search on the final placement
+        (paper's practical cousin, cf. Moulitsas–Karypis refinement).
+    refine_passes:
+        Maximum local-search sweeps.
+    n_jobs:
+        Worker processes for the per-tree DP solves (the ensemble members
+        are embarrassingly parallel).  1 = in-process; results are
+        bit-identical either way.
+    seed:
+        Master RNG seed.
+    """
+
+    n_trees: int = 8
+    tree_methods: Optional[Sequence[str]] = None
+    grid_mode: str = "auto"
+    epsilon: float = 0.3
+    grid_budget: Optional[int] = None
+    slack: float = 0.25
+    beam_width: Optional[int] = 256
+    refine: bool = True
+    refine_passes: int = 4
+    n_jobs: int = 1
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.n_trees < 1:
+            raise InvalidInputError(f"n_trees must be >= 1, got {self.n_trees}")
+        if self.grid_mode not in ("auto", "epsilon", "budget"):
+            raise InvalidInputError(
+                f"grid_mode must be 'auto', 'epsilon' or 'budget', got {self.grid_mode!r}"
+            )
+        if self.epsilon <= 0:
+            raise InvalidInputError(f"epsilon must be > 0, got {self.epsilon}")
+        if self.slack <= 0:
+            raise InvalidInputError(f"slack must be > 0, got {self.slack}")
+        if self.grid_mode == "budget" and (
+            self.grid_budget is None or self.grid_budget < 1
+        ):
+            raise InvalidInputError(
+                "grid_mode='budget' requires a positive grid_budget"
+            )
+        if self.beam_width is not None and self.beam_width < 1:
+            raise InvalidInputError(
+                f"beam_width must be >= 1, got {self.beam_width}"
+            )
+        if self.refine_passes < 0:
+            raise InvalidInputError(
+                f"refine_passes must be >= 0, got {self.refine_passes}"
+            )
+        if self.n_jobs < 1:
+            raise InvalidInputError(f"n_jobs must be >= 1, got {self.n_jobs}")
+
+    def describe(self) -> dict:
+        """Plain-dict view for placement metadata / experiment logs."""
+        out = asdict(self)
+        if out["tree_methods"] is not None:
+            out["tree_methods"] = list(out["tree_methods"])
+        return out

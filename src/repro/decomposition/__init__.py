@@ -1,0 +1,34 @@
+"""Decomposition trees and their builders (the paper's Section 4 substrate)."""
+
+from repro.decomposition.tree import DecompositionTree, TreeAssembler, min_leaf_cut
+from repro.decomposition.recursive import build_recursive_tree
+from repro.decomposition.spectral_tree import spectral_decomposition_tree
+from repro.decomposition.contraction import (
+    contraction_decomposition_tree,
+    heavy_edge_matching,
+)
+from repro.decomposition.frt import frt_decomposition_tree
+from repro.decomposition.mincut_split import (
+    gomory_hu_decomposition_tree,
+    mincut_decomposition_tree,
+)
+from repro.decomposition.racke import BUILDERS, build_tree, racke_ensemble
+from repro.decomposition.guided import placement_guided_tree, solve_hgp_iterated
+
+__all__ = [
+    "DecompositionTree",
+    "TreeAssembler",
+    "min_leaf_cut",
+    "build_recursive_tree",
+    "spectral_decomposition_tree",
+    "contraction_decomposition_tree",
+    "heavy_edge_matching",
+    "frt_decomposition_tree",
+    "gomory_hu_decomposition_tree",
+    "mincut_decomposition_tree",
+    "BUILDERS",
+    "build_tree",
+    "racke_ensemble",
+    "placement_guided_tree",
+    "solve_hgp_iterated",
+]

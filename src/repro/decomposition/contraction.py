@@ -1,0 +1,111 @@
+"""Contraction (heavy-edge agglomeration) decomposition trees.
+
+Bottom-up counterpart of the recursive-bisection builders: repeatedly
+compute a randomized *heavy-edge matching* (prefer merging the pairs that
+communicate most) and contract matched pairs into supervertices; the merge
+forest, read top-down, is the decomposition tree.  The intuition mirrors
+multilevel partitioners: heavily-communicating vertices should share a
+subtree so any partition cutting high in the tree leaves them together.
+
+Because every round at least halves the number of clusters that found a
+match, the tree has O(log n) expected depth on bounded-degree graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.decomposition.tree import DecompositionTree, TreeAssembler
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["contraction_decomposition_tree", "heavy_edge_matching"]
+
+
+def heavy_edge_matching(g: Graph, rng: np.random.Generator) -> np.ndarray:
+    """Randomized greedy heavy-edge matching.
+
+    Visits vertices in random order; each unmatched vertex grabs its
+    heaviest unmatched neighbour.  Returns ``match[v]`` = partner id or
+    ``-1``.  This is the classic METIS coarsening step.
+    """
+    match = np.full(g.n, -1, dtype=np.int64)
+    for v in rng.permutation(g.n):
+        if match[v] >= 0:
+            continue
+        nbrs = g.neighbors(v)
+        ws = g.neighbor_weights(v)
+        free = match[nbrs] < 0
+        # Exclude self-matching artifacts (cannot happen: no self-loops).
+        if not free.any():
+            continue
+        cand_ws = np.where(free, ws, -np.inf)
+        u = int(nbrs[int(np.argmax(cand_ws))])
+        if u == v or match[u] >= 0:
+            continue
+        match[v] = u
+        match[u] = v
+    return match
+
+
+def contraction_decomposition_tree(
+    g: Graph, seed: SeedLike = None, max_rounds: int = 10_000
+) -> DecompositionTree:
+    """Decomposition tree via iterated heavy-edge contraction.
+
+    Each matching round merges matched cluster pairs under a new internal
+    node.  When a round makes no progress (no edges left — disconnected
+    remnants), all remaining clusters join under the root.
+    """
+    rng = ensure_rng(seed)
+    asm = TreeAssembler(g)
+    # Current clusters: tree-node id per cluster + member vertex lists.
+    node_of_cluster: List[int] = [asm.add_leaf(v) for v in range(g.n)]
+    members: List[np.ndarray] = [np.asarray([v], dtype=np.int64) for v in range(g.n)]
+    current = g
+
+    for _ in range(max_rounds):
+        if len(node_of_cluster) == 1:
+            break
+        if current.m == 0:
+            # Disconnected leftovers: a single root joins them for free.
+            root = asm.add_internal(node_of_cluster)
+            node_of_cluster = [root]
+            break
+        match = heavy_edge_matching(current, rng)
+        labels = np.full(current.n, -1, dtype=np.int64)
+        new_nodes: List[int] = []
+        new_members: List[np.ndarray] = []
+        nxt = 0
+        for v in range(current.n):
+            if labels[v] >= 0:
+                continue
+            u = int(match[v])
+            if u >= 0 and labels[u] < 0:
+                labels[v] = labels[u] = nxt
+                new_nodes.append(
+                    asm.add_internal([node_of_cluster[v], node_of_cluster[u]])
+                )
+                new_members.append(
+                    np.concatenate([members[v], members[u]])
+                )
+            else:
+                labels[v] = nxt
+                new_nodes.append(node_of_cluster[v])
+                new_members.append(members[v])
+            nxt += 1
+        if nxt == current.n:
+            # No pair matched (e.g. a perfect independent remnant): join all.
+            root = asm.add_internal(node_of_cluster)
+            node_of_cluster = [root]
+            break
+        current = current.contract(labels)
+        node_of_cluster = new_nodes
+        members = new_members
+
+    if len(node_of_cluster) != 1:
+        root = asm.add_internal(node_of_cluster)
+        node_of_cluster = [root]
+    return asm.finish(node_of_cluster[0])

@@ -1,0 +1,92 @@
+"""Min-cut–guided decomposition trees.
+
+Splits clusters along *actual* minimum cuts: Stoer–Wagner global min cut
+for small pieces (exact sparsest separation by weight) and a
+Gomory–Hu-tree split (remove the lightest flow-tree edge) as an
+alternative criterion.  Min-cut splits can be very unbalanced — that is
+fine for decomposition trees, whose purpose is to expose cheap cuts to
+the DP, not to balance anything (balance is the DP's job via capacities).
+
+A vertex-count ceiling keeps the O(n³)-ish cut routines off large
+clusters; above it we defer to the spectral split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.spectral import fiedler_vector, sweep_cut
+from repro.flow.mincut import stoer_wagner
+from repro.flow.gomory_hu import gomory_hu_tree
+from repro.decomposition.recursive import build_recursive_tree
+from repro.decomposition.tree import DecompositionTree
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["mincut_decomposition_tree", "gomory_hu_decomposition_tree"]
+
+
+def mincut_decomposition_tree(
+    g: Graph,
+    exact_below: int = 64,
+    seed: SeedLike = None,
+) -> DecompositionTree:
+    """Recursive Stoer–Wagner splits (spectral above ``exact_below``)."""
+    rng = ensure_rng(seed)
+
+    def split(sub: Graph, r: np.random.Generator) -> np.ndarray:
+        if sub.m == 0:
+            mask = np.zeros(sub.n, dtype=bool)
+            mask[: sub.n // 2] = True
+            return mask
+        if sub.n <= exact_below:
+            _, mask = stoer_wagner(sub)
+            return mask
+        fv = fiedler_vector(sub, seed=r)
+        mask, _ = sweep_cut(sub, fv, balance_fraction=0.2)
+        return mask
+
+    return build_recursive_tree(g, split, seed=rng)
+
+
+def gomory_hu_decomposition_tree(
+    g: Graph,
+    exact_below: int = 48,
+    seed: SeedLike = None,
+) -> DecompositionTree:
+    """Recursive splits along the lightest Gomory–Hu tree edge.
+
+    Removing the minimum-flow edge of the flow tree splits the cluster at
+    its *globally cheapest pairwise min cut*, grouping vertices by cut
+    connectivity.  Falls back to spectral on large clusters (the flow tree
+    costs ``n − 1`` max-flows).
+    """
+    rng = ensure_rng(seed)
+
+    def split(sub: Graph, r: np.random.Generator) -> np.ndarray:
+        if sub.m == 0:
+            mask = np.zeros(sub.n, dtype=bool)
+            mask[: sub.n // 2] = True
+            return mask
+        if sub.n <= exact_below:
+            parent, flow = gomory_hu_tree(sub)
+            # Lightest tree edge (skip the root's unused slot 0).
+            cand = np.arange(1, sub.n)
+            e = int(cand[int(np.argmin(flow[1:]))])
+            # Side = subtree under `e` in the flow tree.
+            children: list[list[int]] = [[] for _ in range(sub.n)]
+            for v in range(sub.n):
+                if parent[v] >= 0:
+                    children[int(parent[v])].append(v)
+            mask = np.zeros(sub.n, dtype=bool)
+            stack = [e]
+            while stack:
+                v = stack.pop()
+                mask[v] = True
+                stack.extend(children[v])
+            return mask
+        fv = fiedler_vector(sub, seed=r)
+        mask, _ = sweep_cut(sub, fv, balance_fraction=0.2)
+        return mask
+
+    return build_recursive_tree(g, split, seed=rng)

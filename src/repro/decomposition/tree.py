@@ -1,0 +1,272 @@
+"""Decomposition trees (paper Section 4).
+
+A decomposition tree ``T`` of a graph ``G`` is a rooted tree whose leaves
+are in bijection with ``V(G)`` (the node map ``m_V`` restricted to
+leaves).  Every tree edge ``e_T = (v, parent(v))`` splits the leaves into
+the set under ``v`` and the rest; its weight is defined (paper, Section 4)
+as the total ``G``-weight crossing that split:
+
+    ``w_T(e_T) = Σ_{(x,y) ∈ E(G), split separates x from y} w(x, y)``.
+
+Two facts make these trees useful:
+
+* **Proposition 1** — for any leaf subset ``P_T``,
+  ``w_T(CUT_T(P_T)) ≥ w(CUT(m(P_T)))``: cut costs measured on the tree
+  upper-bound true cut costs in ``G``.  Hence the DP cost of a tree
+  solution upper-bounds the Eq. (1) cost of the mapped placement, and the
+  pipeline's "solve each tree, keep the cheapest *mapped* solution" is
+  sound for *any* tree family.
+* **Theorem 6 (Räcke)** — there is a distribution of such trees that
+  also *lower*-bounds cuts up to ``O(log n)``, giving the approximation
+  factor.  We replace that (heavyweight) construction with an ensemble of
+  cut-based heuristic trees (see :mod:`repro.decomposition.racke` and
+  DESIGN.md's substitution note).
+
+The class stores the tree in flat arrays and supports the exact
+minimum-leaf-cut computation used to validate Proposition 1 in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInputError, SolverError
+from repro.graph.graph import Graph
+
+__all__ = ["DecompositionTree", "TreeAssembler", "min_leaf_cut"]
+
+
+class DecompositionTree:
+    """Rooted decomposition tree over a graph's vertex set.
+
+    Attributes
+    ----------
+    graph:
+        The underlying graph ``G``.
+    parent:
+        ``parent[i]`` is the parent node id of tree node ``i`` (root: −1).
+    children:
+        Child id lists per node.
+    edge_weight:
+        ``edge_weight[i]`` is ``w_T`` of the edge to ``parent[i]``
+        (0 at the root).
+    leaf_vertex:
+        ``leaf_vertex[i]`` is the ``G``-vertex at leaf ``i`` (−1 for
+        internal nodes).
+    leaf_node_of_vertex:
+        Inverse map: tree node id of each ``G``-vertex's leaf.
+    root:
+        Root node id.
+    """
+
+    __slots__ = (
+        "graph",
+        "parent",
+        "children",
+        "edge_weight",
+        "leaf_vertex",
+        "leaf_node_of_vertex",
+        "root",
+        "_leaf_sets",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        parent: np.ndarray,
+        children: List[List[int]],
+        edge_weight: np.ndarray,
+        leaf_vertex: np.ndarray,
+        root: int,
+    ):
+        self.graph = graph
+        self.parent = np.asarray(parent, dtype=np.int64)
+        self.children = children
+        self.edge_weight = np.asarray(edge_weight, dtype=np.float64)
+        self.leaf_vertex = np.asarray(leaf_vertex, dtype=np.int64)
+        self.root = int(root)
+        n_nodes = self.parent.size
+        if not (
+            self.edge_weight.shape == (n_nodes,)
+            and self.leaf_vertex.shape == (n_nodes,)
+            and len(children) == n_nodes
+        ):
+            raise InvalidInputError("inconsistent decomposition-tree arrays")
+        leaves = np.nonzero(self.leaf_vertex >= 0)[0]
+        verts = self.leaf_vertex[leaves]
+        if np.sort(verts).tolist() != list(range(graph.n)):
+            raise InvalidInputError("tree leaves must biject with graph vertices")
+        inv = np.full(graph.n, -1, dtype=np.int64)
+        inv[verts] = leaves
+        self.leaf_node_of_vertex = inv
+        self._leaf_sets: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of tree nodes (internal + leaves)."""
+        return int(self.parent.size)
+
+    def is_leaf(self, node: int) -> bool:
+        """Whether ``node`` is a leaf (hosts a graph vertex)."""
+        return self.leaf_vertex[node] >= 0
+
+    def postorder(self) -> np.ndarray:
+        """Node ids in post-order (children before parents)."""
+        order: List[int] = []
+        stack: List[int] = [self.root]
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            stack.extend(self.children[v])
+        return np.asarray(order[::-1], dtype=np.int64)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf edge count."""
+        depths = np.zeros(self.n_nodes, dtype=np.int64)
+        best = 0
+        for v in self.postorder()[::-1]:  # pre-order
+            p = self.parent[v]
+            if p >= 0:
+                depths[v] = depths[p] + 1
+                best = max(best, int(depths[v]))
+        return best
+
+    def leaf_sets(self) -> List[np.ndarray]:
+        """For every node, the sorted ``G``-vertex ids below it (cached).
+
+        Computed in one bottom-up pass; total memory O(n · depth).
+        """
+        if self._leaf_sets is None:
+            sets: List[Optional[np.ndarray]] = [None] * self.n_nodes
+            for v in self.postorder():
+                if self.is_leaf(v):
+                    sets[v] = np.asarray([self.leaf_vertex[v]], dtype=np.int64)
+                else:
+                    sets[v] = np.sort(
+                        np.concatenate([sets[c] for c in self.children[v]])
+                    )
+            self._leaf_sets = sets  # type: ignore[assignment]
+        return self._leaf_sets  # type: ignore[return-value]
+
+    def validate(self) -> None:
+        """Check structural invariants and the ``w_T`` definition.
+
+        Raises :class:`SolverError` on any violation; used by tests and by
+        builders' self-checks (cheap relative to tree construction).
+        """
+        sets = self.leaf_sets()
+        for v in range(self.n_nodes):
+            p = self.parent[v]
+            if p >= 0 and v not in self.children[p]:
+                raise SolverError(f"node {v} missing from parent {p}'s child list")
+            if p < 0 and v != self.root:
+                raise SolverError(f"non-root node {v} has no parent")
+            if not self.is_leaf(v) and not self.children[v]:
+                raise SolverError(f"internal node {v} has no children")
+            if p >= 0:
+                expected = self.graph.cut_weight(sets[v])
+                if abs(expected - float(self.edge_weight[v])) > 1e-6 * max(
+                    1.0, expected
+                ):
+                    raise SolverError(
+                        f"edge weight at node {v}: stored {self.edge_weight[v]}, "
+                        f"cut weight {expected}"
+                    )
+        if sets[self.root].size != self.graph.n:
+            raise SolverError("root leaf set does not cover V(G)")
+
+
+class TreeAssembler:
+    """Incremental builder used by all decomposition-tree constructions.
+
+    Builders call :meth:`add_leaf` / :meth:`add_internal` bottom-up and
+    then :meth:`finish`, which computes every edge weight from the
+    ``w_T`` definition (one cut-weight evaluation per tree node).
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._parent: List[int] = []
+        self._children: List[List[int]] = []
+        self._leaf_vertex: List[int] = []
+
+    def add_leaf(self, vertex: int) -> int:
+        """Create a leaf node hosting ``vertex``; returns its node id."""
+        if not (0 <= vertex < self.graph.n):
+            raise InvalidInputError(f"vertex {vertex} out of range")
+        nid = len(self._parent)
+        self._parent.append(-1)
+        self._children.append([])
+        self._leaf_vertex.append(vertex)
+        return nid
+
+    def add_internal(self, children: Sequence[int]) -> int:
+        """Create an internal node over existing ``children``; returns its id."""
+        children = list(children)
+        if len(children) < 1:
+            raise InvalidInputError("internal node needs at least one child")
+        nid = len(self._parent)
+        self._parent.append(-1)
+        self._children.append(children)
+        self._leaf_vertex.append(-1)
+        for c in children:
+            if self._parent[c] != -1:
+                raise InvalidInputError(f"node {c} already has a parent")
+            self._parent[c] = nid
+        return nid
+
+    def finish(self, root: int) -> DecompositionTree:
+        """Finalize: compute ``w_T`` for every edge and validate bijection."""
+        n_nodes = len(self._parent)
+        if not (0 <= root < n_nodes) or self._parent[root] != -1:
+            raise InvalidInputError(f"bad root {root}")
+        tree = DecompositionTree(
+            self.graph,
+            np.asarray(self._parent, dtype=np.int64),
+            self._children,
+            np.zeros(n_nodes),
+            np.asarray(self._leaf_vertex, dtype=np.int64),
+            root,
+        )
+        sets = tree.leaf_sets()
+        weights = np.zeros(n_nodes)
+        for v in range(n_nodes):
+            if tree.parent[v] >= 0:
+                weights[v] = tree.graph.cut_weight(sets[v])
+        tree.edge_weight = weights
+        return tree
+
+
+def min_leaf_cut(tree: DecompositionTree, leaf_set: np.ndarray) -> float:
+    """Exact minimum tree-cut separating a leaf set from the other leaves.
+
+    This is ``w_T(CUT_T(P_T))`` from the paper: the cheapest set of tree
+    edges whose removal disconnects every leaf in ``leaf_set`` (given as
+    ``G``-vertex ids) from every leaf outside it.  Solved by a two-state
+    tree DP — state = which side the component containing the node joins —
+    in O(n) time.  Used to verify Proposition 1 empirically.
+    """
+    mark = np.zeros(tree.graph.n, dtype=bool)
+    ls = np.asarray(leaf_set, dtype=np.int64)
+    if ls.size:
+        mark[ls] = True
+    INF = float("inf")
+    # dp[v] = (cost if v's component is S-side, cost if rest-side)
+    dp = np.zeros((tree.n_nodes, 2))
+    for v in tree.postorder():
+        if tree.is_leaf(v):
+            in_s = mark[tree.leaf_vertex[v]]
+            dp[v, 0] = 0.0 if in_s else INF
+            dp[v, 1] = INF if in_s else 0.0
+        else:
+            for side in (0, 1):
+                total = 0.0
+                for c in tree.children[v]:
+                    w = float(tree.edge_weight[c])
+                    total += min(dp[c, side], dp[c, 1 - side] + w)
+                dp[v, side] = total
+    return float(min(dp[tree.root, 0], dp[tree.root, 1]))

@@ -1,0 +1,29 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class; subclasses distinguish user errors (bad inputs)
+from infeasibility (no valid assignment exists) and internal invariant
+violations (bugs — these should never fire and are asserted in tests).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidInputError(ReproError, ValueError):
+    """An argument violates the documented contract (shape, range, type)."""
+
+
+class InfeasibleError(ReproError):
+    """No solution satisfies the constraints.
+
+    Raised e.g. when total demand exceeds total hierarchy capacity, or a
+    single vertex demand exceeds even the violated leaf capacity.
+    """
+
+
+class SolverError(ReproError):
+    """An internal invariant of a solver was violated (a bug, not bad input)."""

@@ -1,0 +1,15 @@
+"""Flow substrate: Dinic max-flow, min cuts, Gomory–Hu trees."""
+
+from repro.flow.maxflow import DinicMaxFlow, max_flow
+from repro.flow.mincut import isolating_cut_weight, st_min_cut, stoer_wagner
+from repro.flow.gomory_hu import gomory_hu_tree, min_cut_from_tree
+
+__all__ = [
+    "DinicMaxFlow",
+    "max_flow",
+    "isolating_cut_weight",
+    "st_min_cut",
+    "stoer_wagner",
+    "gomory_hu_tree",
+    "min_cut_from_tree",
+]

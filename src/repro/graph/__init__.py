@@ -1,0 +1,64 @@
+"""Graph substrate: CSR kernel, generators, I/O, algorithms, spectral tools."""
+
+from repro.graph.graph import Graph
+from repro.graph.ops import (
+    UnionFind,
+    all_pairs_dijkstra,
+    bfs_order,
+    dijkstra,
+    largest_component,
+    minimum_spanning_tree,
+)
+from repro.graph.generators import (
+    grid_2d,
+    hypercube,
+    layered_dag,
+    planted_partition,
+    power_law,
+    random_demands,
+    random_geometric,
+    random_regular,
+    random_tree,
+    random_weights,
+    rmat,
+    torus_2d,
+)
+from repro.graph.io import read_edgelist, read_metis, write_edgelist, write_metis
+from repro.graph.spectral import (
+    fiedler_vector,
+    laplacian,
+    normalized_laplacian,
+    spectral_bisection,
+    sweep_cut,
+)
+
+__all__ = [
+    "Graph",
+    "UnionFind",
+    "all_pairs_dijkstra",
+    "bfs_order",
+    "dijkstra",
+    "largest_component",
+    "minimum_spanning_tree",
+    "grid_2d",
+    "hypercube",
+    "layered_dag",
+    "planted_partition",
+    "power_law",
+    "random_demands",
+    "random_geometric",
+    "random_regular",
+    "random_tree",
+    "random_weights",
+    "rmat",
+    "torus_2d",
+    "read_edgelist",
+    "read_metis",
+    "write_edgelist",
+    "write_metis",
+    "fiedler_vector",
+    "laplacian",
+    "normalized_laplacian",
+    "spectral_bisection",
+    "sweep_cut",
+]

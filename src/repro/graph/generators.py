@@ -1,0 +1,392 @@
+"""Synthetic workload graph generators.
+
+The paper motivates HGP with streaming-task placement (Section 1) and
+evaluates nothing; the experiment suite therefore draws on the standard
+graph families used throughout the balanced-partitioning literature the
+paper cites (grids/meshes from VLSI and scientific computing, expanders as
+the hard case for cut-based methods, power-law graphs for data-intensive
+workloads, planted-partition graphs as the easy/clusterable case) plus
+layered operator DAGs mirroring the TidalRace-style workloads.
+
+All generators are deterministic given ``seed`` and return
+:class:`repro.graph.Graph` instances.  Weights are positive floats; demand
+vectors are generated separately by :func:`random_demands` so the same
+topology can be paired with different load profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = [
+    "grid_2d",
+    "torus_2d",
+    "random_regular",
+    "power_law",
+    "planted_partition",
+    "random_geometric",
+    "random_tree",
+    "layered_dag",
+    "hypercube",
+    "rmat",
+    "random_weights",
+    "random_demands",
+]
+
+
+def _apply_weights(
+    n: int,
+    eu: np.ndarray,
+    ev: np.ndarray,
+    weight_range: Optional[Tuple[float, float]],
+    rng: np.random.Generator,
+) -> Graph:
+    if weight_range is None:
+        ew = np.ones(eu.size, dtype=np.float64)
+    else:
+        lo, hi = weight_range
+        if not (0 < lo <= hi):
+            raise InvalidInputError(f"weight_range must satisfy 0 < lo <= hi, got {weight_range}")
+        ew = rng.uniform(lo, hi, size=eu.size)
+    return Graph.from_edge_arrays(n, eu, ev, ew)
+
+
+def grid_2d(
+    rows: int,
+    cols: int,
+    weight_range: Optional[Tuple[float, float]] = None,
+    seed: SeedLike = None,
+) -> Graph:
+    """``rows × cols`` 4-neighbour mesh; vertex ``(r, c)`` has id ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise InvalidInputError("grid dimensions must be >= 1")
+    rng = ensure_rng(seed)
+    ids = np.arange(rows * cols).reshape(rows, cols)
+    horiz_u = ids[:, :-1].ravel()
+    horiz_v = ids[:, 1:].ravel()
+    vert_u = ids[:-1, :].ravel()
+    vert_v = ids[1:, :].ravel()
+    eu = np.concatenate([horiz_u, vert_u])
+    ev = np.concatenate([horiz_v, vert_v])
+    return _apply_weights(rows * cols, eu, ev, weight_range, rng)
+
+
+def torus_2d(
+    rows: int,
+    cols: int,
+    weight_range: Optional[Tuple[float, float]] = None,
+    seed: SeedLike = None,
+) -> Graph:
+    """Wrap-around mesh (every vertex has degree 4 when dims >= 3)."""
+    if rows < 3 or cols < 3:
+        raise InvalidInputError("torus dimensions must be >= 3 to avoid parallel edges")
+    rng = ensure_rng(seed)
+    ids = np.arange(rows * cols).reshape(rows, cols)
+    right = np.roll(ids, -1, axis=1)
+    down = np.roll(ids, -1, axis=0)
+    eu = np.concatenate([ids.ravel(), ids.ravel()])
+    ev = np.concatenate([right.ravel(), down.ravel()])
+    return _apply_weights(rows * cols, eu, ev, weight_range, rng)
+
+
+def random_regular(
+    n: int,
+    d: int,
+    weight_range: Optional[Tuple[float, float]] = None,
+    seed: SeedLike = None,
+    max_tries: int = 200,
+) -> Graph:
+    """Random ``d``-regular graph via the configuration model with retries.
+
+    Random regular graphs are expanders with high probability — the
+    adversarial family for cut-based partitioners, exercised by E5.
+    """
+    if n * d % 2 != 0:
+        raise InvalidInputError("n * d must be even for a d-regular graph")
+    if d >= n:
+        raise InvalidInputError("need d < n")
+    if d < 1:
+        raise InvalidInputError("need d >= 1")
+    rng = ensure_rng(seed)
+    for _ in range(max_tries):
+        stubs = np.repeat(np.arange(n, dtype=np.int64), d)
+        rng.shuffle(stubs)
+        eu, ev = stubs[0::2], stubs[1::2]
+        # Reject matchings with self-loops or parallel edges (simple graph).
+        if np.any(eu == ev):
+            continue
+        lo = np.minimum(eu, ev)
+        hi = np.maximum(eu, ev)
+        key = lo * n + hi
+        if np.unique(key).size != key.size:
+            continue
+        return _apply_weights(n, eu, ev, weight_range, rng)
+    raise InvalidInputError(
+        f"failed to sample a simple {d}-regular graph on {n} vertices in {max_tries} tries"
+    )
+
+
+def power_law(
+    n: int,
+    m_per_node: int = 2,
+    weight_range: Optional[Tuple[float, float]] = None,
+    seed: SeedLike = None,
+) -> Graph:
+    """Barabási–Albert preferential attachment (heavy-tailed degrees).
+
+    Models hub-and-spoke communication patterns common in stream graphs
+    where a few aggregation operators talk to everyone.
+    """
+    if m_per_node < 1 or n <= m_per_node:
+        raise InvalidInputError("need 1 <= m_per_node < n")
+    rng = ensure_rng(seed)
+    eus: list[int] = []
+    evs: list[int] = []
+    # Repeated-nodes list: sampling uniformly from it is preferential attachment.
+    repeated: list[int] = list(range(m_per_node))
+    for v in range(m_per_node, n):
+        targets: set[int] = set()
+        while len(targets) < m_per_node:
+            targets.add(int(repeated[rng.integers(0, len(repeated))]))
+        for t in targets:
+            eus.append(v)
+            evs.append(t)
+            repeated.append(t)
+        repeated.extend([v] * m_per_node)
+    return _apply_weights(
+        n,
+        np.asarray(eus, dtype=np.int64),
+        np.asarray(evs, dtype=np.int64),
+        weight_range,
+        rng,
+    )
+
+
+def planted_partition(
+    n_blocks: int,
+    block_size: int,
+    p_in: float,
+    p_out: float,
+    weight_in: float = 1.0,
+    weight_out: float = 1.0,
+    seed: SeedLike = None,
+) -> Graph:
+    """Stochastic block model with equal-size blocks.
+
+    The "easy" family: a good hierarchical partitioner should recover the
+    blocks and co-locate each one, so the HGP cost collapses to the sparse
+    inter-block edges.
+    """
+    if not (0 <= p_out <= p_in <= 1):
+        raise InvalidInputError("need 0 <= p_out <= p_in <= 1")
+    if n_blocks < 1 or block_size < 1:
+        raise InvalidInputError("need n_blocks >= 1 and block_size >= 1")
+    rng = ensure_rng(seed)
+    n = n_blocks * block_size
+    block = np.arange(n) // block_size
+    iu, iv = np.triu_indices(n, k=1)
+    same = block[iu] == block[iv]
+    prob = np.where(same, p_in, p_out)
+    keep = rng.random(iu.size) < prob
+    eu, ev = iu[keep], iv[keep]
+    ew = np.where(same[keep], weight_in, weight_out).astype(np.float64)
+    return Graph.from_edge_arrays(n, eu, ev, ew)
+
+
+def random_geometric(
+    n: int,
+    radius: float,
+    weight_range: Optional[Tuple[float, float]] = None,
+    seed: SeedLike = None,
+) -> Graph:
+    """Random geometric graph on the unit square (mesh-like locality)."""
+    if n < 1:
+        raise InvalidInputError("need n >= 1")
+    if radius <= 0:
+        raise InvalidInputError("need radius > 0")
+    rng = ensure_rng(seed)
+    pts = rng.random((n, 2))
+    iu, iv = np.triu_indices(n, k=1)
+    d2 = ((pts[iu] - pts[iv]) ** 2).sum(axis=1)
+    keep = d2 <= radius * radius
+    return _apply_weights(n, iu[keep], iv[keep], weight_range, rng)
+
+
+def random_tree(
+    n: int,
+    weight_range: Optional[Tuple[float, float]] = None,
+    seed: SeedLike = None,
+) -> Graph:
+    """Uniform random recursive tree: vertex ``v`` attaches to a random earlier vertex."""
+    if n < 1:
+        raise InvalidInputError("need n >= 1")
+    rng = ensure_rng(seed)
+    if n == 1:
+        return Graph(1, [])
+    ev = np.arange(1, n, dtype=np.int64)
+    eu = np.array([int(rng.integers(0, v)) for v in range(1, n)], dtype=np.int64)
+    return _apply_weights(n, eu, ev, weight_range, rng)
+
+
+def layered_dag(
+    n_layers: int,
+    width: int,
+    fan_out: int = 2,
+    weight_range: Optional[Tuple[float, float]] = (1.0, 10.0),
+    seed: SeedLike = None,
+) -> Graph:
+    """Layered operator-DAG skeleton, undirected communication view.
+
+    Mirrors the streaming pipelines of Section 1: ``n_layers`` stages of
+    ``width`` operators each; every operator feeds ``fan_out`` random
+    operators in the next layer.  Returned as an *undirected* weighted
+    graph because HGP's cost function only sees communication volume, not
+    direction.  (The richer, rate-aware directed model lives in
+    :mod:`repro.streaming`.)
+    """
+    if n_layers < 2 or width < 1:
+        raise InvalidInputError("need n_layers >= 2 and width >= 1")
+    if not (1 <= fan_out <= width):
+        raise InvalidInputError("need 1 <= fan_out <= width")
+    rng = ensure_rng(seed)
+    n = n_layers * width
+    eus: list[int] = []
+    evs: list[int] = []
+    for layer in range(n_layers - 1):
+        base = layer * width
+        nxt = base + width
+        for i in range(width):
+            targets = rng.choice(width, size=fan_out, replace=False)
+            for t in targets:
+                eus.append(base + i)
+                evs.append(nxt + int(t))
+    return _apply_weights(
+        n,
+        np.asarray(eus, dtype=np.int64),
+        np.asarray(evs, dtype=np.int64),
+        weight_range,
+        rng,
+    )
+
+
+def random_weights(g: Graph, lo: float, hi: float, seed: SeedLike = None) -> Graph:
+    """Re-weight an existing topology with i.i.d. uniform weights in ``[lo, hi]``."""
+    if not (0 < lo <= hi):
+        raise InvalidInputError(f"need 0 < lo <= hi, got ({lo}, {hi})")
+    rng = ensure_rng(seed)
+    ew = rng.uniform(lo, hi, size=g.m)
+    return Graph.from_edge_arrays(g.n, g.edges_u, g.edges_v, ew)
+
+
+def random_demands(
+    n: int,
+    total_capacity: float,
+    fill: float = 0.8,
+    skew: float = 0.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Per-vertex demand vector summing to ``fill * total_capacity``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    total_capacity:
+        Aggregate capacity of the hierarchy (``k`` for unit leaves).
+    fill:
+        Target utilisation in ``(0, 1]``; the paper's feasibility regime.
+    skew:
+        ``0`` gives equal demands; larger values draw from a lognormal
+        with that sigma — tasks in real stream systems are heavily skewed.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    numpy.ndarray
+        Demand vector with every entry in ``(0, 1]``.
+    """
+    if n < 1:
+        raise InvalidInputError("need n >= 1")
+    if not (0 < fill <= 1):
+        raise InvalidInputError(f"fill must be in (0, 1], got {fill}")
+    if skew < 0:
+        raise InvalidInputError(f"skew must be >= 0, got {skew}")
+    rng = ensure_rng(seed)
+    if skew == 0:
+        raw = np.ones(n)
+    else:
+        raw = rng.lognormal(mean=0.0, sigma=skew, size=n)
+    d = raw / raw.sum() * (fill * total_capacity)
+    # Per the problem statement a single task must fit on one (unit) leaf.
+    return np.clip(d, 1e-9, 1.0)
+
+
+def hypercube(dim: int, weight_range: Optional[Tuple[float, float]] = None,
+              seed: SeedLike = None) -> Graph:
+    """``dim``-dimensional hypercube (n = 2^dim, the classic HPC topology).
+
+    Vertices are bit strings; edges connect strings at Hamming distance 1.
+    """
+    if not (1 <= dim <= 16):
+        raise InvalidInputError(f"dim must be in [1, 16], got {dim}")
+    rng = ensure_rng(seed)
+    n = 1 << dim
+    ids = np.arange(n)
+    eus, evs = [], []
+    for b in range(dim):
+        mask = 1 << b
+        lower = ids[(ids & mask) == 0]
+        eus.append(lower)
+        evs.append(lower | mask)
+    return _apply_weights(
+        n, np.concatenate(eus), np.concatenate(evs), weight_range, rng
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 4,
+    probs: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    weight_range: Optional[Tuple[float, float]] = (0.5, 2.0),
+    seed: SeedLike = None,
+) -> Graph:
+    """R-MAT (recursive matrix) graph — the Graph500 generator.
+
+    Produces heavy-tailed, community-free graphs on ``2^scale`` vertices
+    with about ``edge_factor * 2^scale`` undirected edges (self-loops
+    dropped, duplicates merged).  The default probabilities are the
+    Graph500 kernel's.
+    """
+    if not (2 <= scale <= 16):
+        raise InvalidInputError(f"scale must be in [2, 16], got {scale}")
+    if edge_factor < 1:
+        raise InvalidInputError("edge_factor must be >= 1")
+    a, b, c, d = probs
+    if abs(a + b + c + d - 1.0) > 1e-9 or min(probs) < 0:
+        raise InvalidInputError(f"probs must be a distribution, got {probs}")
+    rng = ensure_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    # Vectorised bit-by-bit quadrant descent.
+    us = np.zeros(m, dtype=np.int64)
+    vs = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        r = rng.random(m)
+        # Quadrants in order (0,0), (0,1), (1,0), (1,1).
+        right = (r >= a) & (r < a + b)
+        down = (r >= a + b) & (r < a + b + c)
+        both = r >= a + b + c
+        us = (us << 1) | (down | both).astype(np.int64)
+        vs = (vs << 1) | (right | both).astype(np.int64)
+    keep = us != vs
+    if not keep.any():
+        # Degenerate draw: fall back to a single edge to keep a graph.
+        return Graph(n, [(0, 1 % n if n > 1 else 0, 1.0)])
+    return _apply_weights(n, us[keep], vs[keep], weight_range, rng)

@@ -1,0 +1,20 @@
+"""HGPT machinery: quantization, binarization, the signature DP, repair."""
+
+from repro.hgpt.quantize import DemandGrid
+from repro.hgpt.binarize import INF_WEIGHT, BinaryTree, binarize
+from repro.hgpt.solution import LevelSet, TreeSolution
+from repro.hgpt.dp import DPStats, solve_rhgpt
+from repro.hgpt.repair import RepairReport, repair_to_placement
+
+__all__ = [
+    "DemandGrid",
+    "INF_WEIGHT",
+    "BinaryTree",
+    "binarize",
+    "LevelSet",
+    "TreeSolution",
+    "DPStats",
+    "solve_rhgpt",
+    "RepairReport",
+    "repair_to_placement",
+]

@@ -1,0 +1,511 @@
+"""The RHGPT signature dynamic program (paper Section 3, Theorem 4).
+
+Overview
+--------
+The relaxed problem (Definition 4) drops the ``≤ DEG(j)`` refinement
+bound, after which Theorem 3 guarantees an optimal *nice* solution: for
+every tree node ``v`` and level ``j`` at most one set's mirror region
+crosses ``v`` — the ``(v, j)``-active set.  A partial solution on
+``SUB(v)`` is then fully summarised by its *signature*
+``(D¹, …, Dʰ)`` — the quantized demand of the active set per level
+(Definition 8) — because every other set is closed strictly inside or
+strictly outside the subtree.
+
+States and transitions
+----------------------
+* Leaf ``v`` with quantized demand ``d'``: single state
+  ``(d', …, d')`` at cost 0 (the leaf is active at every level).
+* Internal ``v`` with children ``v1, v2`` reached by edges of weight
+  ``w1, w2``: choose cut levels ``j1, j2 ∈ {0, …, h}`` (Definition 9).
+  Child ``i``'s active sets at levels ``k ≤ ji`` propagate through ``v``
+  and merge with the other child's; levels ``k > ji`` with ``Dᵢᵏ > 0``
+  are *closed* — edge ``v vᵢ`` joins their cut and pays
+  ``wᵢ · (cm(k−1) − cm(k))``.  The merged signature is
+  ``Dᵏ = D₁ᵏ·[k ≤ j1] + D₂ᵏ·[k ≤ j2]`` and must respect the quantized
+  capacities; Corollary 1's monotonicity ``Dᵏ ≥ Dᵏ⁺¹`` is automatic.
+
+Cost accounting (one deliberate deviation — DESIGN.md §2)
+---------------------------------------------------------
+The paper's Eq. (4) charges half the multiplier difference per closed
+set, matching Eq. (3) where per-set *minimum* cuts double-count shared
+boundary edges.  We charge the full difference once per cut edge per
+level — the *edge-cut* objective
+
+    ``cost = Σ_{e ∈ T} Σ_{k : e cut at level k} w_T(e) · (cm(k−1) − cm(k))``
+
+— which (i) equals the Eq. (1) cost of the placement induced by the level
+sets (each level-``k`` component is one H-subtree) and (ii) upper-bounds
+the mapped Eq. (1) cost on decomposition trees via Proposition 1.  The
+literal half-payment rule can undercount by up to 2× when a closed set's
+boundary edge is shared with the enclosing set, yielding tree "costs"
+below the cost of any realizable placement.
+
+Implementation
+--------------
+State tables are *structure-of-arrays* (signature matrix, cost vector,
+back-pointer columns) and every pass — projection, pairwise merge,
+deduplication, dominance pruning — is vectorised numpy over those
+arrays; profiling showed the original dict-of-tuples implementation
+spent ~70% of its time in the O(K²) Python dominance loop.  Semantics:
+
+* **Projection**: cutting a child's up-edge at level ``j`` zeroes
+  signature components above ``j`` and pays for each closed non-empty
+  level.  Infinite (dummy) edges admit only payment-free cut levels.
+* **Dominance pruning**: ``(sig', cost')`` kills ``(sig, cost)`` when
+  ``sig' ≤ sig`` componentwise and ``cost' ≤ cost`` — a smaller active
+  set only loosens future capacity checks, and any payment triggered by
+  ``Dᵏ > 0`` under ``sig'`` is also triggered under ``sig``.
+* **Beam**: an optional cap on states kept per node; the most-closed
+  surviving state is always retained (dropping every flexible state can
+  make an ancestor infeasible), and the solver escalates to the exact
+  DP if pruning ever kills feasibility.  Beamed runs stay *sound* — any
+  kept state reconstructs to a valid solution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.hgpt.binarize import BinaryTree
+from repro.hgpt.solution import LevelSet, TreeSolution
+
+__all__ = ["solve_rhgpt", "DPStats"]
+
+
+class DPStats:
+    """Counters describing one DP run (consumed by E4's scaling study)."""
+
+    __slots__ = ("states_total", "states_max", "merges", "nodes")
+
+    def __init__(self) -> None:
+        self.states_total = 0
+        self.states_max = 0
+        self.merges = 0
+        self.nodes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DPStats(nodes={self.nodes}, states_total={self.states_total}, "
+            f"states_max={self.states_max}, merges={self.merges})"
+        )
+
+
+@dataclass
+class _Table:
+    """State table of one tree node (structure-of-arrays).
+
+    ``sigs[(m, h)]`` / ``costs[(m,)]`` hold the Pareto states; the four
+    back-pointer columns record, for internal nodes, which child states
+    and cut levels produced each state (−1 at leaves).
+    """
+
+    sigs: np.ndarray
+    costs: np.ndarray
+    ia: np.ndarray
+    ja: np.ndarray
+    ib: np.ndarray
+    jb: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.costs.size)
+
+
+def _encode_rows(sigs: np.ndarray) -> Optional[np.ndarray]:
+    """Radix-encode signature rows into scalar int64 keys (or ``None``
+    when the value range would overflow — caller falls back to
+    row-wise uniqueness)."""
+    if sigs.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    bases = sigs.max(axis=0).astype(np.int64) + 1
+    total = 1
+    for b in bases:
+        total *= int(b)
+        if total > (1 << 62):
+            return None
+    keys = np.zeros(sigs.shape[0], dtype=np.int64)
+    for i in range(sigs.shape[1]):
+        keys = keys * int(bases[i]) + sigs[:, i]
+    return keys
+
+
+def _dedupe_min(
+    sigs: np.ndarray, costs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per unique signature keep the cheapest row.
+
+    Returns (unique_sigs, min_costs, source_row_index), deterministic:
+    ties resolve to the first row in (cost, row-order).  Rows are
+    radix-encoded to scalar keys so uniqueness is one int64 sort —
+    ``np.unique(axis=0)``'s structured-dtype argsort profiled ~10x
+    slower on the DP's tables.
+    """
+    if sigs.shape[0] == 0:
+        return sigs, costs, np.empty(0, dtype=np.int64)
+    keys = _encode_rows(sigs)
+    if keys is None:  # pragma: no cover - astronomically large capacities
+        uniq, inverse = np.unique(sigs, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        order = np.lexsort((np.arange(costs.size), costs, inverse))
+        sorted_inv = inverse[order]
+        first = np.concatenate([[True], sorted_inv[1:] != sorted_inv[:-1]])
+        winners = order[first]
+        return uniq, costs[winners], winners
+    order = np.lexsort((np.arange(costs.size), costs, keys))
+    sorted_keys = keys[order]
+    first = np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]])
+    winners = order[first]
+    return sigs[winners], costs[winners], winners
+
+
+def _project(
+    table: _Table, w: float, deltas: np.ndarray, h: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All (cut-level, signature) projections of a child's state table.
+
+    Returns (psigs, pcosts, origin_state, cut_level) after per-signature
+    deduplication.  Infinite edges keep only payment-free projections.
+    """
+    sigs, costs = table.sigs, table.costs
+    m = costs.size
+    infinite = math.isinf(w)
+    blocks_sig: List[np.ndarray] = []
+    blocks_cost: List[np.ndarray] = []
+    blocks_orig: List[np.ndarray] = []
+    blocks_j: List[np.ndarray] = []
+    extra = np.zeros(m)
+    valid = np.ones(m, dtype=bool)
+    arange = np.arange(m, dtype=np.int64)
+    for j in range(h, -1, -1):
+        psig = sigs.copy()
+        if j < h:
+            psig[:, j:] = 0
+        rows = valid if infinite else slice(None)
+        blocks_sig.append(psig[rows])
+        blocks_cost.append((costs + extra)[rows])
+        blocks_orig.append(arange[rows])
+        blocks_j.append(np.full(int(np.count_nonzero(valid)) if infinite else m, j,
+                                dtype=np.int64))
+        if j > 0:
+            pays = sigs[:, j - 1] > 0
+            if infinite:
+                # A row that would pay on an uncuttable edge is invalid at
+                # this and every smaller cut level.
+                valid = valid & ~pays
+            else:
+                extra = extra + np.where(pays, w * deltas[j], 0.0)
+    psigs = np.vstack(blocks_sig)
+    pcosts = np.concatenate(blocks_cost)
+    porig = np.concatenate(blocks_orig)
+    pj = np.concatenate(blocks_j)
+    uniq, min_costs, winners = _dedupe_min(psigs, pcosts)
+    return uniq, min_costs, porig[winners], pj[winners]
+
+
+def _dominance_prune(
+    sigs: np.ndarray,
+    costs: np.ndarray,
+    beam_width: Optional[int],
+) -> np.ndarray:
+    """Indices of surviving states (dominance + optional beam).
+
+    States are scanned in ascending (cost, signature) order; a state
+    survives unless a previously kept signature is ≤ it componentwise.
+    Because survivors are scanned cheapest-first, the kept signatures
+    form an antichain — for ``h ≤ 2`` that is a monotone staircase, so
+    dominance queries become binary searches (O(m log m) total) instead
+    of the generic O(m · kept) scan.  Under beam truncation the
+    most-closed state (minimal component sum) is always re-inserted —
+    see the module docstring.
+    """
+    m = costs.size
+    h = sigs.shape[1]
+    if m <= 1:
+        return np.arange(m, dtype=np.int64)
+    order = np.lexsort(tuple(sigs[:, i] for i in range(h - 1, -1, -1)) + (costs,))
+
+    kept_idx: List[int] = []
+    truncated = False
+    if h == 1:
+        # Survivor iff its signature is a new minimum.
+        best = np.iinfo(np.int64).max
+        for pos in order:
+            s = int(sigs[pos, 0])
+            if s >= best:
+                continue
+            best = s
+            kept_idx.append(int(pos))
+            if beam_width is not None and len(kept_idx) >= beam_width:
+                truncated = True
+                break
+    elif h == 2:
+        # Maintain the Pareto frontier of kept signatures as a staircase
+        # (xs strictly increasing, ys strictly decreasing): (a, b) is
+        # dominated iff the frontier point with the largest x <= a has
+        # y <= b.  Kept states themselves need not be an antichain (a
+        # later, more expensive state may be componentwise smaller), so
+        # insertion evicts frontier points the new signature covers.
+        import bisect
+
+        xs: List[int] = []
+        ys: List[int] = []
+        for pos in order:
+            a, b = int(sigs[pos, 0]), int(sigs[pos, 1])
+            k = bisect.bisect_right(xs, a)
+            if k > 0 and ys[k - 1] <= b:
+                continue
+            # Evict frontier points (x >= a, y >= b): anything they would
+            # dominate in the future, (a, b) dominates too.
+            end = k
+            while end < len(xs) and ys[end] >= b:
+                end += 1
+            del xs[k:end]
+            del ys[k:end]
+            xs.insert(k, a)
+            ys.insert(k, b)
+            kept_idx.append(int(pos))
+            if beam_width is not None and len(kept_idx) >= beam_width:
+                truncated = True
+                break
+    else:
+        kept_rows = np.empty((m, h), dtype=sigs.dtype)
+        n_kept = 0
+        for pos in order:
+            sig = sigs[pos]
+            if n_kept and bool(np.all(kept_rows[:n_kept] <= sig, axis=1).any()):
+                continue
+            kept_rows[n_kept] = sig
+            kept_idx.append(int(pos))
+            n_kept += 1
+            if beam_width is not None and n_kept >= beam_width:
+                truncated = True
+                break
+    if truncated:
+        sums = sigs.sum(axis=1)
+        flex = np.lexsort(
+            tuple(sigs[:, i] for i in range(h - 1, -1, -1)) + (sums,)
+        )[0]
+        if int(flex) not in kept_idx:
+            kept_idx.append(int(flex))
+    return np.asarray(kept_idx, dtype=np.int64)
+
+
+# Cap on the pa-block x pb cross-product materialised at once (entries).
+_MERGE_CHUNK = 4_000_000
+
+
+def solve_rhgpt(
+    bt: BinaryTree,
+    caps: Sequence[int],
+    deltas: Sequence[float],
+    beam_width: Optional[int] = None,
+    stats: Optional[DPStats] = None,
+) -> TreeSolution:
+    """Run the signature DP and reconstruct an optimal nice solution.
+
+    Parameters
+    ----------
+    bt:
+        Binarized decomposition tree with quantized leaf demands.
+    caps:
+        Quantized capacities for levels ``1..h`` (``caps[i]`` is
+        ``C'(i+1)``), non-increasing in ``i``.
+    deltas:
+        ``deltas[k] = cm(k−1) − cm(k)`` for ``k = 1..h`` (index 0
+        unused); non-negative.
+    beam_width:
+        Optional cap on states kept per node (exact when ``None``).
+    stats:
+        Optional counter object filled during the run.
+
+    Returns
+    -------
+    TreeSolution
+        Optimal relaxed solution (level collections 1..h) with its
+        edge-cut cost.
+
+    Raises
+    ------
+    SolverError
+        If no feasible state survives at the root (cannot happen when the
+        demand grid admitted the instance — signals a bug).
+    """
+    h = len(caps)
+    if len(deltas) != h + 1:
+        raise SolverError(f"need h+1 = {h + 1} deltas, got {len(deltas)}")
+    if any(d < 0 for d in deltas):
+        raise SolverError(f"deltas must be non-negative, got {list(deltas)}")
+    caps_arr = np.asarray(caps, dtype=np.int64)
+    if np.any(caps_arr[:-1] < caps_arr[1:]):
+        raise SolverError(f"capacities must be non-increasing, got {list(caps)}")
+    deltas_arr = np.asarray(deltas, dtype=np.float64)
+
+    post = bt.postorder()
+    tables: List[Optional[_Table]] = [None] * bt.n_nodes
+    neg1 = np.full(1, -1, dtype=np.int64)
+
+    for node in post:
+        if bt.is_leaf(node):
+            d = int(bt.demand[node])
+            if d > int(caps_arr.min()):
+                raise SolverError(
+                    f"leaf demand {d} exceeds capacities {list(caps)} — the "
+                    "demand grid should have rejected this instance"
+                )
+            tables[node] = _Table(
+                sigs=np.full((1, h), d, dtype=np.int64),
+                costs=np.zeros(1),
+                ia=neg1.copy(),
+                ja=neg1.copy(),
+                ib=neg1.copy(),
+                jb=neg1.copy(),
+            )
+        else:
+            a, b = int(bt.left[node]), int(bt.right[node])
+            ta, tb = tables[a], tables[b]
+            assert ta is not None and tb is not None
+            pa_sig, pa_cost, pa_orig, pa_j = _project(
+                ta, float(bt.up_weight[a]), deltas_arr, h
+            )
+            pb_sig, pb_cost, pb_orig, pb_j = _project(
+                tb, float(bt.up_weight[b]), deltas_arr, h
+            )
+            na, nb = pa_cost.size, pb_cost.size
+            if stats is not None:
+                stats.merges += na * nb
+            # Chunked outer merge to bound peak memory on exact runs.
+            block = max(1, _MERGE_CHUNK // max(1, nb * h))
+            cand_sigs: List[np.ndarray] = []
+            cand_costs: List[np.ndarray] = []
+            cand_pa: List[np.ndarray] = []
+            cand_pb: List[np.ndarray] = []
+            for start in range(0, na, block):
+                stop = min(na, start + block)
+                sums = pa_sig[start:stop, None, :] + pb_sig[None, :, :]
+                feas = (sums <= caps_arr).all(axis=2)
+                if not feas.any():
+                    continue
+                ii, jj = np.nonzero(feas)
+                cand_sigs.append(sums[ii, jj])
+                cand_costs.append(pa_cost[start:stop][ii] + pb_cost[jj])
+                cand_pa.append(ii + start)
+                cand_pb.append(jj)
+            if not cand_sigs:
+                raise SolverError(
+                    "no feasible merged state — capacities too tight for "
+                    "this tree (grid admission should prevent this)"
+                )
+            all_sigs = np.vstack(cand_sigs)
+            all_costs = np.concatenate(cand_costs)
+            all_pa = np.concatenate(cand_pa)
+            all_pb = np.concatenate(cand_pb)
+            uniq, min_costs, winners = _dedupe_min(all_sigs, all_costs)
+            keep = _dominance_prune(uniq, min_costs, beam_width)
+            win = winners[keep]
+            tables[node] = _Table(
+                sigs=uniq[keep],
+                costs=min_costs[keep],
+                ia=pa_orig[all_pa[win]],
+                ja=pa_j[all_pa[win]],
+                ib=pb_orig[all_pb[win]],
+                jb=pb_j[all_pb[win]],
+            )
+        if stats is not None:
+            stats.nodes += 1
+            size = tables[node].size  # type: ignore[union-attr]
+            stats.states_total += size
+            stats.states_max = max(stats.states_max, size)
+
+    root_table = tables[bt.root]
+    assert root_table is not None
+    # Deterministic winner: min cost, ties by lexicographically smallest sig.
+    order = np.lexsort(
+        tuple(root_table.sigs[:, i] for i in range(h - 1, -1, -1))
+        + (root_table.costs,)
+    )
+    best = int(order[0])
+    solution = _rebuild(bt, tables, best, h)
+    solution.cost = float(root_table.costs[best])
+    return solution
+
+
+def _rebuild(
+    bt: BinaryTree,
+    tables: List[Optional[_Table]],
+    root_state: int,
+    h: int,
+) -> TreeSolution:
+    """Reconstruct the level collections from the stored back-pointers.
+
+    Two iterative passes (deep trees must not hit the recursion limit):
+    a pre-order descent assigning each node its chosen state index, then
+    a reverse sweep maintaining per-node active-set vertex lists and
+    closing sets where the chosen cut levels dictate.
+    """
+    state_of: dict[int, int] = {bt.root: root_state}
+    preorder: List[int] = []
+    stack = [bt.root]
+    while stack:
+        v = stack.pop()
+        preorder.append(v)
+        if bt.is_leaf(v):
+            continue
+        t = tables[v]
+        assert t is not None
+        s = state_of[v]
+        a, b = int(bt.left[v]), int(bt.right[v])
+        state_of[a] = int(t.ia[s])
+        state_of[b] = int(t.ib[s])
+        stack.append(a)
+        stack.append(b)
+
+    closed: List[List[LevelSet]] = [[] for _ in range(h)]
+    active: dict[int, List[List[int]]] = {}
+    for v in reversed(preorder):
+        if bt.is_leaf(v):
+            active[v] = [[int(bt.vertex[v])] for _ in range(h)]
+            continue
+        t = tables[v]
+        assert t is not None
+        s = state_of[v]
+        a, b = int(bt.left[v]), int(bt.right[v])
+        ta, tb = tables[a], tables[b]
+        assert ta is not None and tb is not None
+        parts_spec = (
+            (a, ta.sigs[int(t.ia[s])], int(t.ja[s])),
+            (b, tb.sigs[int(t.ib[s])], int(t.jb[s])),
+        )
+        act: List[List[int]] = []
+        for i in range(h):
+            level = i + 1
+            merged: List[int] = []
+            for child, sigc, jc in parts_spec:
+                child_active = active[child][i]
+                if level <= jc:
+                    merged.extend(child_active)
+                elif sigc[i] > 0:
+                    closed[i].append(LevelSet(np.asarray(child_active), int(sigc[i])))
+                elif child_active:
+                    raise SolverError(
+                        "active set non-empty but signature component is 0 "
+                        "(positive quantized demands should prevent this)"
+                    )
+            act.append(merged)
+        active[v] = act
+        del active[a], active[b]
+
+    root_t = tables[bt.root]
+    assert root_t is not None
+    root_sig = root_t.sigs[root_state]
+    for i in range(h):
+        root_active = active[bt.root][i]
+        if root_sig[i] > 0:
+            closed[i].append(LevelSet(np.asarray(root_active), int(root_sig[i])))
+        elif root_active:
+            raise SolverError("root active set inconsistent with its signature")
+    return TreeSolution(levels=closed, cost=0.0)

@@ -1,0 +1,177 @@
+"""Demand quantization (the Hochbaum–Shmoys rounding step, Section 3).
+
+The DP of Theorem 4 is pseudo-polynomial in the *total quantized demand*
+``D``, so demands must live on a coarse integer grid.  The paper scales by
+``ε/n`` and eats a ``(1+ε)`` capacity violation; we expose the grid as a
+first-class object so the resolution/violation trade-off is explicit and
+measurable (experiment E7).
+
+Rounding scheme (slightly different from the paper's floor, see below):
+
+* ``unit`` — grid cell size in demand units.
+* quantized demand  ``d'(v) = max(1, ceil(d(v) / unit))``,
+* quantized capacity ``C'(j) = floor((1 + ε_cap) · CP(j) / unit)``.
+
+Rounding demands *up* (vs. the paper's floor) keeps every quantized
+demand strictly positive, which lets the DP use ``D = 0  ⇔  no active
+set`` without a special case for zero-demand leaves.  The accounting is
+the same as the paper's:
+
+* any solution feasible with *real* capacities stays feasible on the grid
+  provided ``n · unit ≤ ε_cap · CP(h)`` (each vertex rounds up by less
+  than one unit, and a level-``j`` node hosts at most ``n`` vertices), so
+  the DP optimum lower-bounds the true optimum; and
+* any grid-feasible solution has real load at most
+  ``unit · C'(j) ≤ (1 + ε_cap) · CP(j)`` — the ``(1 + ε)`` factor of
+  Theorem 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InfeasibleError, InvalidInputError
+from repro.hierarchy.hierarchy import Hierarchy
+
+__all__ = ["DemandGrid"]
+
+
+@dataclass(frozen=True)
+class DemandGrid:
+    """An integer demand grid tied to a hierarchy.
+
+    Attributes
+    ----------
+    hierarchy:
+        The hierarchy whose capacities the grid discretises.
+    unit:
+        Size of one grid cell in demand units.
+    epsilon:
+        Capacity slack ``ε_cap`` baked into the quantized capacities.
+    caps:
+        Quantized capacity per level, ``caps[j] = C'(j)``,
+        ``j = 0 .. h``.
+    """
+
+    hierarchy: Hierarchy
+    unit: float
+    epsilon: float
+    caps: tuple
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_epsilon(cls, hierarchy: Hierarchy, n: int, epsilon: float) -> "DemandGrid":
+        """Paper-faithful grid: ``unit = ε · CP(h) / n``.
+
+        Guarantees the lower-bound direction for any demand vector of
+        length ``n``; the DP then costs ``O(n · D^{3h+2})`` with
+        ``D ≈ n / ε`` — use only for small instances (E1/E3 do).
+        """
+        if n < 1:
+            raise InvalidInputError(f"n must be >= 1, got {n}")
+        if epsilon <= 0:
+            raise InvalidInputError(f"epsilon must be > 0, got {epsilon}")
+        unit = epsilon * hierarchy.capacity(hierarchy.h) / n
+        return cls._build(hierarchy, unit, epsilon)
+
+    @classmethod
+    def from_budget(
+        cls,
+        hierarchy: Hierarchy,
+        demands: Sequence[float],
+        budget: int,
+        slack: float = 0.25,
+    ) -> "DemandGrid":
+        """Engineering grid: choose ``unit`` so total quantized demand ≈ ``budget``.
+
+        Unlike :meth:`from_epsilon`, the capacity slack is *decoupled*
+        from the rounding error: capacities get ``(1 + slack)`` headroom
+        regardless of the unit.  When ``slack`` is below the worst-case
+        rounding error ``n · unit / CP(h)`` (reported by
+        :meth:`rounding_epsilon`), the DP may fail to contain the true
+        optimum — solutions stay *valid* (soundness never depends on the
+        grid), only the optimality lower bound weakens.  E7 sweeps this
+        trade-off.
+        """
+        d = np.asarray(demands, dtype=np.float64)
+        if budget < max(1, d.size):
+            raise InvalidInputError(
+                f"budget must be >= n = {d.size} (every vertex costs >= 1 cell)"
+            )
+        if d.size == 0:
+            raise InvalidInputError("demands must be non-empty")
+        if d.min() <= 0:
+            raise InvalidInputError("demands must be > 0")
+        if slack <= 0:
+            raise InvalidInputError(f"slack must be > 0, got {slack}")
+        unit = float(d.sum()) / budget
+        return cls._build(hierarchy, unit, slack)
+
+    @classmethod
+    def _build(cls, hierarchy: Hierarchy, unit: float, epsilon: float) -> "DemandGrid":
+        if unit <= 0:
+            raise InvalidInputError(f"unit must be > 0, got {unit}")
+        caps = tuple(
+            int(np.floor((1.0 + epsilon) * hierarchy.capacity(j) / unit + 1e-9))
+            for j in range(hierarchy.h + 1)
+        )
+        return cls(hierarchy, unit, epsilon, caps)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def quantize(self, demands: Sequence[float]) -> np.ndarray:
+        """Quantize a real demand vector to positive grid cells.
+
+        Raises :class:`InfeasibleError` if any single vertex cannot fit on
+        a leaf even with the ``(1 + ε)`` slack, or if the total demand
+        exceeds the root capacity (no assignment can exist).
+        """
+        d = np.asarray(demands, dtype=np.float64)
+        if d.size and (d.min() <= 0 or not np.all(np.isfinite(d))):
+            raise InvalidInputError("demands must be finite and > 0")
+        q = np.maximum(1, np.ceil(d / self.unit - 1e-12)).astype(np.int64)
+        h = self.hierarchy.h
+        if q.size and q.max() > self.caps[h]:
+            worst = int(np.argmax(q))
+            raise InfeasibleError(
+                f"vertex {worst} demand {d[worst]:.4g} exceeds leaf capacity "
+                f"{self.hierarchy.capacity(h):.4g} even with (1+eps) slack"
+            )
+        if int(q.sum()) > self.caps[0]:
+            raise InfeasibleError(
+                f"total quantized demand {int(q.sum())} exceeds root capacity "
+                f"{self.caps[0]} — instance is infeasible on this grid"
+            )
+        return q
+
+    def dequantize_load(self, cells: int) -> float:
+        """Upper bound on the real demand represented by ``cells`` grid cells."""
+        return cells * self.unit
+
+    def violation_bound(self, level: int) -> float:
+        """Real-capacity violation guaranteed at ``level`` by grid feasibility:
+        ``(1 + ε)``."""
+        self.hierarchy._check_level(level)
+        return 1.0 + self.epsilon
+
+    def rounding_epsilon(self, n: int) -> float:
+        """Worst-case rounding error for ``n`` vertices: ``n · unit / CP(h)``.
+
+        The DP's optimum lower-bounds the true optimum whenever
+        ``epsilon >= rounding_epsilon(n)`` (always true for
+        :meth:`from_epsilon` grids).
+        """
+        return n * self.unit / self.hierarchy.capacity(self.hierarchy.h)
+
+    @property
+    def total_cells(self) -> int:
+        """Root-level quantized capacity ``C'(0)`` (the DP's ``D`` bound)."""
+        return int(self.caps[0])

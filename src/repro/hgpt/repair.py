@@ -1,0 +1,187 @@
+"""Theorem 5: converting relaxed solutions into hierarchy placements.
+
+A RHGPT solution may refine a level-``j`` set into arbitrarily many
+level-``(j+1)`` sets, but the hierarchy node only has ``DEG(j)``
+children.  Theorem 5 repairs this top-down: the level-``(j+1)`` sets
+refining each group are re-merged into at most ``DEG(j)`` *bins*, at the
+price of violating level-``(j+1)`` capacity by a factor ``(2 + j)``
+(= ``1 + (j+1)``, the paper's ``(1 + j)`` at level ``j``).
+
+Feasibility of the greedy merge is the paper's pigeonhole: by induction
+the group's total real demand is at most ``(1+j)(1+ε)·CP(j)``, every item
+is a grid-feasible set of real demand at most ``(1+ε)·CP(j+1)``, and the
+least-loaded of ``DEG(j)`` bins holds at most ``(1+j)(1+ε)·CP(j+1)``, so
+placing each item there keeps every bin at or below
+``(2+j)(1+ε)·CP(j+1)``.  The final bound is *asserted at runtime* — a
+violation would mean a bug, not bad input.
+
+Merging sets only removes cut requirements between them, so the tree-side
+cost never increases (cut subadditivity); the returned placement's true
+Eq. (1) cost is measured directly by the caller anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.graph.graph import Graph
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.placement import Placement
+from repro.hgpt.quantize import DemandGrid
+from repro.hgpt.solution import LevelSet, TreeSolution
+
+__all__ = ["repair_to_placement", "RepairReport"]
+
+
+@dataclass
+class RepairReport:
+    """Diagnostics of one repair run.
+
+    Attributes
+    ----------
+    merges_per_level:
+        How many set-merges each level required (0 = the relaxed solution
+        already respected the fan-out bound there).
+    violation_per_level:
+        Realised load / ``CP(j)`` per level ``1..h`` after repair.
+    bound_per_level:
+        The guaranteed bound ``(1 + j)(1 + ε)`` per level ``1..h``.
+    """
+
+    merges_per_level: List[int]
+    violation_per_level: List[float]
+    bound_per_level: List[float]
+
+
+def repair_to_placement(
+    graph: Graph,
+    hierarchy: Hierarchy,
+    demands: Sequence[float],
+    solution: TreeSolution,
+    grid: DemandGrid,
+) -> tuple[Placement, RepairReport]:
+    """Repack a relaxed solution and assign it to hierarchy nodes.
+
+    Parameters
+    ----------
+    graph, hierarchy, demands:
+        The HGP instance.
+    solution:
+        RHGPT solution whose level collections partition ``V(G)``.
+    grid:
+        The demand grid the solution was solved on (supplies ``ε``).
+
+    Returns
+    -------
+    (Placement, RepairReport)
+        The placement (every vertex gets a leaf) plus violation
+        diagnostics.
+
+    Raises
+    ------
+    SolverError
+        If the pigeonhole bound would be violated (internal bug) or the
+        solution's collections are structurally inconsistent.
+    """
+    d = np.asarray(demands, dtype=np.float64)
+    n = graph.n
+    h = hierarchy.h
+    if solution.h != h:
+        raise SolverError(
+            f"solution height {solution.h} does not match hierarchy height {h}"
+        )
+    eps = grid.epsilon
+
+    # --- index the laminar structure --------------------------------
+    # children_of[j][set_idx] = indices of level-(j+1) sets inside it.
+    children_of: List[Dict[int, List[int]]] = []
+    for j in range(1, h):
+        owner = np.full(n, -1, dtype=np.int64)
+        for idx, s in enumerate(solution.sets_at(j)):
+            owner[s.vertices] = idx
+        kids: Dict[int, List[int]] = {}
+        for idx, s in enumerate(solution.sets_at(j + 1)):
+            owners = np.unique(owner[s.vertices])
+            if owners.size != 1 or owners[0] < 0:
+                raise SolverError(
+                    f"level-{j + 1} set {idx} is not nested in a level-{j} set"
+                )
+            kids.setdefault(int(owners[0]), []).append(idx)
+        children_of.append(kids)
+
+    set_demand = [
+        np.asarray([float(d[s.vertices].sum()) for s in solution.sets_at(j)])
+        for j in range(1, h + 1)
+    ]
+
+    # --- top-down greedy re-merging ----------------------------------
+    # A "group" at level j is a list of level-j set indices destined for
+    # one level-j H-node.  Level 0 starts with the single implicit root
+    # group holding every level-1 set.
+    leaf_of = np.full(n, -1, dtype=np.int64)
+    merges = [0] * h
+    # Each work item: (level j, H-node index at level j, member level-j set ids).
+    # Start one level down: pack level-1 sets into DEG(0) bins under the root.
+    pending: List[tuple[int, int, List[int]]] = []
+
+    def pack(level_j: int, node_idx: int, items: List[int]) -> List[List[int]]:
+        """Merge level-(j+1) items into <= DEG(j) bins (least-loaded greedy)."""
+        deg = hierarchy.degrees[level_j]
+        demands_j1 = set_demand[level_j]  # level (j+1) demands: index j of list
+        order = sorted(items, key=lambda i: -demands_j1[i])
+        bins: List[List[int]] = [[] for _ in range(deg)]
+        loads = np.zeros(deg)
+        cap_next = hierarchy.capacity(level_j + 1)
+        bound = (2 + level_j) * (1 + eps) * cap_next
+        for item in order:
+            b = int(np.argmin(loads))
+            bins[b].append(item)
+            loads[b] += demands_j1[item]
+            if loads[b] > bound * (1 + 1e-9) + 1e-12:
+                raise SolverError(
+                    f"repair pigeonhole violated at level {level_j + 1}: "
+                    f"load {loads[b]:.6g} > bound {bound:.6g}"
+                )
+        merges[level_j] += sum(max(0, len(b) - 1) for b in bins)
+        return [b for b in bins]
+
+    top_items = list(range(len(solution.sets_at(1))))
+    for b_idx, bin_items in enumerate(pack(0, 0, top_items)):
+        if bin_items:
+            pending.append((1, b_idx, bin_items))
+
+    while pending:
+        level_j, node_idx, members = pending.pop()
+        if level_j == h:
+            for sid in members:
+                leaf_of[solution.sets_at(h)[sid].vertices] = node_idx
+            continue
+        # Pool the children of all merged member sets and re-pack them.
+        items: List[int] = []
+        for sid in members:
+            items.extend(children_of[level_j - 1].get(sid, []))
+        child_nodes = hierarchy.children(level_j, node_idx)
+        for b_idx, bin_items in enumerate(pack(level_j, node_idx, items)):
+            if bin_items:
+                pending.append((level_j + 1, int(child_nodes[b_idx]), bin_items))
+
+    if (leaf_of < 0).any():
+        raise SolverError("repair failed to place every vertex")
+
+    placement = Placement(graph, hierarchy, d, leaf_of, meta={"repaired": True})
+    report = RepairReport(
+        merges_per_level=merges,
+        violation_per_level=[placement.level_violation(j) for j in range(1, h + 1)],
+        bound_per_level=[(1 + j) * (1 + eps) for j in range(1, h + 1)],
+    )
+    for j in range(h):
+        if report.violation_per_level[j] > report.bound_per_level[j] * (1 + 1e-9):
+            raise SolverError(
+                f"level-{j + 1} violation {report.violation_per_level[j]:.6g} "
+                f"exceeds Theorem 1 bound {report.bound_per_level[j]:.6g}"
+            )
+    return placement, report

@@ -1,0 +1,155 @@
+"""Solution objects for (R)HGPT: laminar families of level sets.
+
+Definition 3 / Definition 4 of the paper describe a solution as a family
+of collections ``S^(0), …, S^(h)``: the level-``j`` collection partitions
+the leaves into sets of quantized demand at most ``C'(j)``, and each
+level-``j`` set is a union of level-``(j+1)`` sets (a laminar family).
+``S^(0)`` is always the single all-leaves set and is kept implicit.
+
+:class:`TreeSolution` stores the reconstructed family together with the
+DP's cost; :meth:`TreeSolution.validate` re-checks every Definition-4
+property from scratch (used in tests and after the Theorem-5 repair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+
+__all__ = ["LevelSet", "TreeSolution"]
+
+
+@dataclass
+class LevelSet:
+    """One set of a level collection.
+
+    Attributes
+    ----------
+    vertices:
+        Sorted ``G``-vertex ids in the set.
+    qdemand:
+        Total quantized demand of the set (as accounted by the DP).
+    """
+
+    vertices: np.ndarray
+    qdemand: int
+
+    def __post_init__(self) -> None:
+        self.vertices = np.sort(np.asarray(self.vertices, dtype=np.int64))
+
+    @property
+    def size(self) -> int:
+        """Number of vertices."""
+        return int(self.vertices.size)
+
+
+@dataclass
+class TreeSolution:
+    """A (relaxed) HGPT solution: level collections 1..h plus its DP cost.
+
+    ``levels[i]`` holds the Level-``(i+1)`` collection.  The Level-0
+    collection (the single all-leaves set) is implicit.
+    """
+
+    levels: List[List[LevelSet]]
+    cost: float
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def h(self) -> int:
+        """Hierarchy height this solution was built for."""
+        return len(self.levels)
+
+    def sets_at(self, level: int) -> List[LevelSet]:
+        """Level-``level`` collection (``1 <= level <= h``)."""
+        if not (1 <= level <= self.h):
+            raise SolverError(f"level must be in [1, {self.h}], got {level}")
+        return self.levels[level - 1]
+
+    def validate(
+        self,
+        n: int,
+        caps: Sequence[int],
+        qdemands: np.ndarray,
+        max_sets: Sequence[int] | None = None,
+        cap_factor: Sequence[float] | None = None,
+    ) -> None:
+        """Re-verify the Definition 4 properties from raw data.
+
+        Parameters
+        ----------
+        n:
+            Number of leaves (graph vertices).
+        caps:
+            Quantized capacity per level ``1..h`` (``caps[i]`` for level
+            ``i+1``).
+        qdemands:
+            Quantized demand per vertex.
+        max_sets:
+            Optional per-level bound on how many child sets may refine one
+            parent set (``DEG(j)``; Definition 3's property 4).  ``None``
+            skips the check (RHGPT drops it).
+        cap_factor:
+            Optional per-level multiplicative slack on ``caps`` (the
+            Theorem 5 repair legitimately violates level ``j`` by
+            ``1 + j``).
+
+        Raises
+        ------
+        SolverError
+            On any violated property.
+        """
+        q = np.asarray(qdemands, dtype=np.int64)
+        factors = list(cap_factor) if cap_factor is not None else [1.0] * self.h
+        # Property 2: each level partitions the leaves.
+        for i, collection in enumerate(self.levels):
+            seen = np.zeros(n, dtype=bool)
+            for s in collection:
+                if s.size == 0:
+                    raise SolverError(f"empty set in level-{i + 1} collection")
+                if seen[s.vertices].any():
+                    raise SolverError(f"level-{i + 1} sets are not disjoint")
+                seen[s.vertices] = True
+                true_q = int(q[s.vertices].sum())
+                if true_q != s.qdemand:
+                    raise SolverError(
+                        f"level-{i + 1} set qdemand mismatch: stored {s.qdemand}, "
+                        f"actual {true_q}"
+                    )
+                # Property 3: capacity (with any declared slack).
+                limit = factors[i] * caps[i]
+                if true_q > limit + 1e-9:
+                    raise SolverError(
+                        f"level-{i + 1} set demand {true_q} exceeds cap "
+                        f"{caps[i]} x {factors[i]:.3f}"
+                    )
+            if not seen.all():
+                raise SolverError(f"level-{i + 1} sets do not cover all leaves")
+        # Property 4 (laminarity + optional refinement bound).
+        for i in range(self.h - 1):
+            owner = np.full(n, -1, dtype=np.int64)
+            for idx, s in enumerate(self.levels[i]):
+                owner[s.vertices] = idx
+            counts = np.zeros(len(self.levels[i]), dtype=np.int64)
+            for s in self.levels[i + 1]:
+                owners = np.unique(owner[s.vertices])
+                if owners.size != 1:
+                    raise SolverError(
+                        f"level-{i + 2} set straddles multiple level-{i + 1} sets"
+                    )
+                counts[owners[0]] += 1
+            if max_sets is not None:
+                limit = max_sets[i]
+                if counts.size and counts.max() > limit:
+                    raise SolverError(
+                        f"a level-{i + 1} set refines into {int(counts.max())} "
+                        f"level-{i + 2} sets (> DEG = {limit})"
+                    )
+
+    def n_sets(self) -> List[int]:
+        """Number of sets per level (diagnostic)."""
+        return [len(c) for c in self.levels]

@@ -1,0 +1,29 @@
+"""Problem model: hierarchy trees, placements, costs, mirror functions."""
+
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.placement import Placement
+from repro.hierarchy.mirror import check_laminar, eq3_cost, mirror_sets
+from repro.hierarchy.report import (
+    placement_from_json,
+    placement_to_json,
+    render_placement,
+)
+from repro.hierarchy.pin_script import (
+    leaf_cpu_map,
+    to_cpuset_config,
+    to_taskset_script,
+)
+
+__all__ = [
+    "Hierarchy",
+    "Placement",
+    "check_laminar",
+    "eq3_cost",
+    "mirror_sets",
+    "placement_from_json",
+    "placement_to_json",
+    "render_placement",
+    "leaf_cpu_map",
+    "to_cpuset_config",
+    "to_taskset_script",
+]

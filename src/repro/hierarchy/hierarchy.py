@@ -1,0 +1,228 @@
+"""The hierarchy tree ``H`` of the HGP problem (paper Section 1).
+
+``H`` is a rooted tree of height ``h`` that is *regular at each level*:
+every node at level ``j`` (root = level 0) has exactly ``DEG(j)``
+children.  Its ``k = Π_j DEG(j)`` leaves are processors of capacity 1
+(configurable), and each level ``j`` carries a *cost multiplier*
+``cm(j)``, non-increasing in ``j``: an edge of ``G`` whose endpoints land
+in leaves with lowest common ancestor at level ``j`` costs
+``cm(j) · w(e)``.
+
+Indexing scheme
+---------------
+Nodes at level ``j`` are numbered ``0 .. count(j) − 1`` where
+``count(j) = Π_{j' < j} DEG(j')``.  Node ``(j, i)`` has children
+``(j+1, i·DEG(j) + c)`` for ``c < DEG(j)``.  A leaf id ``l`` therefore
+decomposes into mixed-radix digits — its child-index path from the root —
+and the LCA level of two leaves is the length of their common digit
+prefix.  All per-edge LCA computations are vectorised over numpy arrays
+of leaf ids (the hot path of Eq. (1) evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+
+__all__ = ["Hierarchy"]
+
+
+class Hierarchy:
+    """Immutable regular hierarchy tree with per-level cost multipliers.
+
+    Parameters
+    ----------
+    degrees:
+        ``[DEG(0), …, DEG(h−1)]`` — children per node at each level; the
+        height is ``h = len(degrees)``.
+    cost_multipliers:
+        ``[cm(0), …, cm(h)]`` — ``h + 1`` non-increasing, non-negative
+        values.  ``cm(h)`` is the cost of co-located endpoints (usually
+        0; Lemma 1 reduces the general case to ``cm(h) = 0``).
+    leaf_capacity:
+        Capacity of every leaf (paper normalises to 1).
+
+    Examples
+    --------
+    A 2-socket, 4-cores-per-socket server where cross-socket traffic costs
+    10, cross-core-same-socket traffic costs 3, and co-located traffic is
+    free::
+
+        H = Hierarchy(degrees=[2, 4], cost_multipliers=[10.0, 3.0, 0.0])
+    """
+
+    __slots__ = ("degrees", "cm", "leaf_capacity", "h", "k", "_suffix_prod")
+
+    def __init__(
+        self,
+        degrees: Sequence[int],
+        cost_multipliers: Sequence[float],
+        leaf_capacity: float = 1.0,
+    ):
+        degrees = list(int(d) for d in degrees)
+        cm = [float(c) for c in cost_multipliers]
+        if not degrees:
+            raise InvalidInputError("hierarchy needs height >= 1 (non-empty degrees)")
+        if any(d < 1 for d in degrees):
+            raise InvalidInputError(f"all degrees must be >= 1, got {degrees}")
+        if len(cm) != len(degrees) + 1:
+            raise InvalidInputError(
+                f"need h+1 = {len(degrees) + 1} cost multipliers, got {len(cm)}"
+            )
+        if any(c < 0 for c in cm):
+            raise InvalidInputError(f"cost multipliers must be >= 0, got {cm}")
+        if any(cm[i] < cm[i + 1] for i in range(len(cm) - 1)):
+            raise InvalidInputError(
+                f"cost multipliers must be non-increasing, got {cm}"
+            )
+        if leaf_capacity <= 0:
+            raise InvalidInputError(f"leaf capacity must be > 0, got {leaf_capacity}")
+        self.degrees: Tuple[int, ...] = tuple(degrees)
+        self.cm: Tuple[float, ...] = tuple(cm)
+        self.leaf_capacity = float(leaf_capacity)
+        self.h = len(degrees)
+        k = 1
+        for d in degrees:
+            k *= d
+        self.k = k
+        # _suffix_prod[j] = Π_{j' >= j} DEG(j') = number of leaves under a
+        # level-j node; _suffix_prod[h] = 1.
+        sp = [1] * (self.h + 1)
+        for j in range(self.h - 1, -1, -1):
+            sp[j] = sp[j + 1] * degrees[j]
+        self._suffix_prod = tuple(sp)
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+
+    def count(self, level: int) -> int:
+        """Number of nodes at ``level`` (level 0 = root, level h = leaves)."""
+        self._check_level(level)
+        return self.k // self._suffix_prod[level]
+
+    def capacity(self, level: int) -> float:
+        """``CP(level)``: total leaf capacity under one level-``level`` node."""
+        self._check_level(level)
+        return self._suffix_prod[level] * self.leaf_capacity
+
+    def leaves_under(self, level: int, node: int) -> np.ndarray:
+        """Leaf ids in the subtree of node ``(level, node)``."""
+        self._check_node(level, node)
+        width = self._suffix_prod[level]
+        return np.arange(node * width, (node + 1) * width, dtype=np.int64)
+
+    def ancestor(self, leaf: int | np.ndarray, level: int) -> np.ndarray | int:
+        """Index of the level-``level`` ancestor of ``leaf`` (vectorised)."""
+        self._check_level(level)
+        width = self._suffix_prod[level]
+        result = np.asarray(leaf, dtype=np.int64) // width
+        return result if result.ndim else int(result)
+
+    def children(self, level: int, node: int) -> np.ndarray:
+        """Indices of the children (at ``level + 1``) of node ``(level, node)``."""
+        self._check_node(level, node)
+        if level >= self.h:
+            raise InvalidInputError("leaves have no children")
+        d = self.degrees[level]
+        return np.arange(node * d, (node + 1) * d, dtype=np.int64)
+
+    def parent(self, level: int, node: int) -> int:
+        """Index of the parent (at ``level − 1``) of node ``(level, node)``."""
+        self._check_node(level, node)
+        if level <= 0:
+            raise InvalidInputError("the root has no parent")
+        return node // self.degrees[level - 1]
+
+    def lca_level(self, a: np.ndarray | int, b: np.ndarray | int) -> np.ndarray | int:
+        """Level of the lowest common ancestor of two leaves (vectorised).
+
+        Equal leaves have LCA level ``h`` (they share the leaf itself), so
+        co-located edges cost ``cm(h)``.
+        """
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        out = np.zeros(np.broadcast(a_arr, b_arr).shape, dtype=np.int64)
+        # Deepest level at which the ancestors coincide, scanning bottom-up.
+        for level in range(self.h, 0, -1):
+            width = self._suffix_prod[level]
+            same = (a_arr // width) == (b_arr // width)
+            out = np.where(same & (out == 0), level, out)
+        # Leaves under different root children keep 0 (the root).
+        result = out
+        return result if result.ndim else int(result)
+
+    def pair_cost_multiplier(
+        self, a: np.ndarray | int, b: np.ndarray | int
+    ) -> np.ndarray | float:
+        """``cm(LCA(a, b))`` for leaf arrays (the Eq. (1) kernel)."""
+        levels = np.asarray(self.lca_level(a, b))
+        cm = np.asarray(self.cm)
+        result = cm[levels]
+        return result if result.ndim else float(result)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+
+    def normalized(self) -> Tuple["Hierarchy", float]:
+        """Shift multipliers so ``cm(h) = 0`` (Lemma 1).
+
+        Returns the normalised hierarchy and the offset ``cm(h)``; for any
+        placement, ``cost_general = cost_normalized + offset · W`` where
+        ``W`` is the total edge weight of ``G``.
+        """
+        offset = self.cm[-1]
+        if offset == 0:
+            return self, 0.0
+        cm = tuple(c - offset for c in self.cm)
+        return (
+            Hierarchy(self.degrees, cm, leaf_capacity=self.leaf_capacity),
+            offset,
+        )
+
+    def flat(self) -> "Hierarchy":
+        """The ``h = 1`` flattening with the same leaves and ``cm(0)``.
+
+        This is the hierarchy a *k-BGP* solver sees: all leaves equidistant.
+        """
+        return Hierarchy([self.k], [self.cm[0], self.cm[-1]], self.leaf_capacity)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_capacity(self) -> float:
+        """Aggregate capacity ``k · leaf_capacity``."""
+        return self.k * self.leaf_capacity
+
+    def _check_level(self, level: int) -> None:
+        if not (0 <= level <= self.h):
+            raise InvalidInputError(f"level must be in [0, {self.h}], got {level}")
+
+    def _check_node(self, level: int, node: int) -> None:
+        self._check_level(level)
+        if not (0 <= node < self.count(level)):
+            raise InvalidInputError(
+                f"node {node} out of range at level {level} (count {self.count(level)})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Hierarchy(degrees={list(self.degrees)}, cm={list(self.cm)}, "
+            f"leaf_capacity={self.leaf_capacity})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hierarchy):
+            return NotImplemented
+        return (
+            self.degrees == other.degrees
+            and self.cm == other.cm
+            and self.leaf_capacity == other.leaf_capacity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.degrees, self.cm, self.leaf_capacity))

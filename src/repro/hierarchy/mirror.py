@@ -1,0 +1,106 @@
+"""Mirror functions (paper Section 1.2 / 2) and the Eq. (3) cost rewrite.
+
+For a placement ``p : V(G) → LEAVES(H)``, the *mirror function*
+``P : V(H) → 2^{V(G)}`` maps every H-node ``a`` to the set of task
+vertices placed in ``a``'s subtree (Eq. 2).  Lemma 2 shows the Eq. (1)
+cost equals
+
+    ``Σ_{j=1..h} Σ_{a at level j} w(CUT(P(a))) · (cm(j−1) − cm(j)) / 2``
+
+where ``CUT`` here is the *boundary* edge set in ``G`` (Section 2's
+definition).  This module materialises mirror functions, validates their
+laminarity, and implements the Eq. (3) evaluation — the equality with
+Eq. (1) is exercised by ``tests/hierarchy/test_mirror.py`` (a direct
+check of Lemma 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.placement import Placement
+
+__all__ = ["mirror_sets", "eq3_cost", "check_laminar"]
+
+
+def mirror_sets(placement: Placement) -> Dict[Tuple[int, int], np.ndarray]:
+    """Materialise the mirror function of a placement.
+
+    Returns a dict keyed by ``(level, node_index)`` whose values are
+    sorted arrays of task-vertex ids; empty H-subtrees are omitted.
+    """
+    hier = placement.hierarchy
+    leaf_of = placement.leaf_of
+    out: Dict[Tuple[int, int], np.ndarray] = {}
+    for level in range(hier.h + 1):
+        nodes = np.asarray(hier.ancestor(leaf_of, level))
+        order = np.argsort(nodes, kind="stable")
+        sorted_nodes = nodes[order]
+        boundaries = np.nonzero(np.diff(sorted_nodes))[0] + 1
+        chunks = np.split(order, boundaries)
+        for chunk in chunks:
+            if chunk.size:
+                out[(level, int(nodes[chunk[0]]))] = np.sort(chunk)
+    return out
+
+
+def eq3_cost(placement: Placement) -> float:
+    """Evaluate the Eq. (3) mirror-function cost of a placement.
+
+    Requires normalised multipliers (``cm(h) = 0``) for Lemma 2's equality
+    with Eq. (1); for general multipliers the two differ by exactly
+    ``cm(h) · W`` (see :meth:`repro.hierarchy.Hierarchy.normalized`).
+    """
+    hier = placement.hierarchy
+    g = placement.graph
+    total = 0.0
+    mirrors = mirror_sets(placement)
+    for (level, _node), verts in mirrors.items():
+        if level == 0:
+            continue
+        delta = (hier.cm[level - 1] - hier.cm[level]) / 2.0
+        if delta == 0.0:
+            continue
+        total += g.cut_weight(verts) * delta
+    return total
+
+
+def check_laminar(
+    hier: Hierarchy, mirrors: Dict[Tuple[int, int], np.ndarray], n: int
+) -> None:
+    """Validate the structural properties of a mirror function.
+
+    Checks (raising :class:`InvalidInputError` on failure):
+
+    1. per level, the non-empty sets are pairwise disjoint and their
+       union is ``{0, …, n−1}`` (Definition 3, property 2);
+    2. each level-(j+1) set is contained in its parent's level-j set
+       (the family is laminar).
+    """
+    for level in range(hier.h + 1):
+        seen = np.zeros(n, dtype=bool)
+        for (lv, node), verts in mirrors.items():
+            if lv != level:
+                continue
+            if seen[verts].any():
+                raise InvalidInputError(
+                    f"level-{level} mirror sets are not disjoint (node {node})"
+                )
+            seen[verts] = True
+        if not seen.all():
+            raise InvalidInputError(
+                f"level-{level} mirror sets do not cover all {n} vertices"
+            )
+    for (level, node), verts in mirrors.items():
+        if level == 0:
+            continue
+        parent = node // hier.degrees[level - 1]
+        parent_set = mirrors.get((level - 1, parent))
+        if parent_set is None or not np.isin(verts, parent_set).all():
+            raise InvalidInputError(
+                f"mirror set of ({level}, {node}) is not contained in its parent's"
+            )

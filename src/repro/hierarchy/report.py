@@ -1,0 +1,130 @@
+"""Human-readable placement reports and JSON serialization.
+
+``render_placement`` draws the hierarchy as an ASCII tree with per-node
+loads, capacities and hosted tasks — the operator-facing artifact of a
+pinning decision (what an admin would check before applying taskset
+masks).  ``placement_to_json`` / ``placement_from_json`` round-trip a
+placement (with the hierarchy and demand vector, not the graph, which
+callers keep separately) so pinning decisions can be shipped between
+processes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.placement import Placement
+
+__all__ = ["render_placement", "placement_to_json", "placement_from_json"]
+
+_LEVEL_NAMES = {
+    0: "root",
+    1: "group",
+    2: "subgroup",
+}
+
+
+def render_placement(placement: Placement, max_tasks_shown: int = 12) -> str:
+    """ASCII tree of the hierarchy annotated with loads and tasks.
+
+    Parameters
+    ----------
+    placement:
+        The placement to render.
+    max_tasks_shown:
+        Leaf task lists longer than this are elided.
+
+    Returns
+    -------
+    str
+        Multi-line drawing; overloaded nodes are marked with ``!``.
+    """
+    hier = placement.hierarchy
+    loads = [placement.level_loads(j) for j in range(hier.h + 1)]
+    lines: List[str] = []
+
+    def describe(level: int, node: int) -> str:
+        load = float(loads[level][node])
+        cap = hier.capacity(level)
+        flag = " !OVERLOAD" if load > cap * (1 + 1e-9) else ""
+        label = f"L{level}.{node}"
+        body = f"{label}: load {load:.3f} / cap {cap:.3f}{flag}"
+        if level == hier.h:
+            tasks = np.nonzero(placement.leaf_of == node)[0]
+            shown = tasks[:max_tasks_shown].tolist()
+            ellipsis = "…" if tasks.size > max_tasks_shown else ""
+            body += f"  tasks={shown}{ellipsis}"
+        return body
+
+    def walk(level: int, node: int, prefix: str, is_last: bool) -> None:
+        connector = "" if level == 0 else ("└─ " if is_last else "├─ ")
+        lines.append(prefix + connector + describe(level, node))
+        if level == hier.h:
+            return
+        child_prefix = prefix if level == 0 else prefix + ("   " if is_last else "│  ")
+        kids = hier.children(level, node)
+        for i, child in enumerate(kids):
+            walk(level + 1, int(child), child_prefix, i == len(kids) - 1)
+
+    walk(0, 0, "", True)
+    lines.append(
+        f"total cost {placement.cost():.4f}; worst violation "
+        f"{placement.max_violation():.3f}"
+    )
+    return "\n".join(lines)
+
+
+def placement_to_json(placement: Placement) -> str:
+    """Serialize a placement (hierarchy + demands + assignment + meta).
+
+    The graph is intentionally excluded — it is typically large, owned by
+    the caller, and needed again at load time anyway (see
+    :func:`placement_from_json`).
+    """
+    hier = placement.hierarchy
+    payload = {
+        "format": "repro-placement-v1",
+        "hierarchy": {
+            "degrees": list(hier.degrees),
+            "cost_multipliers": list(hier.cm),
+            "leaf_capacity": hier.leaf_capacity,
+        },
+        "demands": placement.demands.tolist(),
+        "leaf_of": placement.leaf_of.tolist(),
+        "meta": {k: v for k, v in placement.meta.items() if _jsonable(v)},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def placement_from_json(text: str, graph: Graph) -> Placement:
+    """Inverse of :func:`placement_to_json`; the caller supplies the graph."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-placement-v1":
+        raise InvalidInputError(
+            f"unsupported placement format {payload.get('format')!r}"
+        )
+    h = payload["hierarchy"]
+    hier = Hierarchy(
+        h["degrees"], h["cost_multipliers"], leaf_capacity=h["leaf_capacity"]
+    )
+    return Placement(
+        graph,
+        hier,
+        np.asarray(payload["demands"], dtype=np.float64),
+        np.asarray(payload["leaf_of"], dtype=np.int64),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+def _jsonable(value: object) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False

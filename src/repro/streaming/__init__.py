@@ -1,0 +1,36 @@
+"""Streaming-system substrate: operator DAGs, workloads, throughput model."""
+
+from repro.streaming.operators import Operator, StreamDAG
+from repro.streaming.workload import (
+    aggregation_query,
+    diamond_query,
+    pipeline_query,
+    random_workload,
+)
+from repro.streaming.simulator import (
+    CommCostModel,
+    ThroughputReport,
+    evaluate_placement,
+)
+from repro.streaming.pinning import dag_to_instance, place_dag
+from repro.streaming.online import ChurnEvent, OnlinePlacer, simulate_churn
+from repro.streaming.replicate import auto_replicate, replicate_operator
+
+__all__ = [
+    "Operator",
+    "StreamDAG",
+    "aggregation_query",
+    "diamond_query",
+    "pipeline_query",
+    "random_workload",
+    "CommCostModel",
+    "ThroughputReport",
+    "evaluate_placement",
+    "dag_to_instance",
+    "place_dag",
+    "ChurnEvent",
+    "OnlinePlacer",
+    "simulate_churn",
+    "auto_replicate",
+    "replicate_operator",
+]

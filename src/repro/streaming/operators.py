@@ -1,0 +1,184 @@
+"""Streaming operator DAG model (the paper's Section 1 motivation).
+
+A minimal but faithful model of a parallelized data-stream processing
+system in the TidalRace / Infosphere Streams / Storm family: a DAG of
+operators between stream sources and sinks, each with a per-tuple CPU
+service cost and a selectivity (output tuples per input tuple).  Given
+source input rates, rates propagate through the DAG in topological order;
+every edge then carries a *traffic volume* (tuples/s × bytes/tuple) —
+exactly the edge weights the HGP instance will see.
+
+The model is analytic (no event simulation needed to capture the
+placement question): throughput limits come from core utilisation, which
+:mod:`repro.streaming.simulator` evaluates for any placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+
+__all__ = ["Operator", "StreamDAG"]
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One streaming operator.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label.
+    service_cost:
+        CPU-seconds consumed per input tuple (fraction of one core at
+        rate 1 tuple/s).
+    selectivity:
+        Output tuples emitted per input tuple (> 1 for splitters /
+        windows, < 1 for filters/aggregations, 0 for sinks).
+    tuple_bytes:
+        Size of each emitted tuple.
+    source_rate:
+        Exogenous input rate in tuples/s (> 0 marks the operator as a
+        source).
+    """
+
+    name: str
+    service_cost: float = 1e-4
+    selectivity: float = 1.0
+    tuple_bytes: float = 100.0
+    source_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.service_cost < 0:
+            raise InvalidInputError(f"{self.name}: service_cost must be >= 0")
+        if self.selectivity < 0:
+            raise InvalidInputError(f"{self.name}: selectivity must be >= 0")
+        if self.tuple_bytes <= 0:
+            raise InvalidInputError(f"{self.name}: tuple_bytes must be > 0")
+        if self.source_rate < 0:
+            raise InvalidInputError(f"{self.name}: source_rate must be >= 0")
+
+
+class StreamDAG:
+    """A directed acyclic graph of streaming operators.
+
+    Edges carry a ``share``: the fraction of the producer's output stream
+    routed to that consumer (shares out of one producer should sum to
+    ≤ 1 for partitioned fan-out, or each be 1.0 for replicated fan-out).
+    """
+
+    def __init__(self) -> None:
+        self.operators: List[Operator] = []
+        self.edges: List[Tuple[int, int, float]] = []
+        self._succ: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_operator(self, op: Operator) -> int:
+        """Register an operator; returns its integer id."""
+        self.operators.append(op)
+        return len(self.operators) - 1
+
+    def add_edge(self, src: int, dst: int, share: float = 1.0) -> None:
+        """Connect producer ``src`` to consumer ``dst``.
+
+        ``share`` is the fraction of ``src``'s output sent along this
+        edge.
+        """
+        n = len(self.operators)
+        if not (0 <= src < n and 0 <= dst < n) or src == dst:
+            raise InvalidInputError(f"bad stream edge ({src}, {dst})")
+        if not (0 < share <= 1.0):
+            raise InvalidInputError(f"share must be in (0, 1], got {share}")
+        self.edges.append((src, dst, share))
+        self._succ.setdefault(src, []).append(len(self.edges) - 1)
+
+    @property
+    def n_operators(self) -> int:
+        """Number of registered operators."""
+        return len(self.operators)
+
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[int]:
+        """Operators in topological order; raises on cycles."""
+        n = self.n_operators
+        indeg = [0] * n
+        for _, dst, _ in self.edges:
+            indeg[dst] += 1
+        queue = [v for v in range(n) if indeg[v] == 0]
+        order: List[int] = []
+        succ_by_node: Dict[int, List[int]] = {}
+        for src, dst, _ in self.edges:
+            succ_by_node.setdefault(src, []).append(dst)
+        while queue:
+            v = queue.pop()
+            order.append(v)
+            for u in succ_by_node.get(v, []):
+                indeg[u] -= 1
+                if indeg[u] == 0:
+                    queue.append(u)
+        if len(order) != n:
+            raise InvalidInputError("stream graph contains a cycle")
+        return order
+
+    def propagate_rates(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Steady-state rates.
+
+        Returns
+        -------
+        (op_input_rate, edge_traffic):
+            ``op_input_rate[v]`` — total tuples/s entering operator ``v``
+            (including its own ``source_rate``); ``edge_traffic[e]`` —
+            bytes/s on edge ``e`` (aligned with :attr:`edges`).
+        """
+        n = self.n_operators
+        in_rate = np.zeros(n)
+        for v, op in enumerate(self.operators):
+            in_rate[v] += op.source_rate
+        edge_traffic = np.zeros(len(self.edges))
+        for v in self.topological_order():
+            op = self.operators[v]
+            out_rate = in_rate[v] * op.selectivity
+            for eid in self._succ.get(v, []):
+                src, dst, share = self.edges[eid]
+                rate = out_rate * share
+                in_rate[dst] += rate
+                edge_traffic[eid] = rate * op.tuple_bytes
+        return in_rate, edge_traffic
+
+    def cpu_demands(self, relative_to: Optional[float] = None) -> np.ndarray:
+        """Per-operator CPU utilisation at the nominal source rates.
+
+        ``cpu[v] = in_rate[v] · service_cost[v]``; with ``relative_to``
+        set, demands are rescaled so their maximum equals that value
+        (useful to build feasible HGP instances).
+        """
+        in_rate, _ = self.propagate_rates()
+        cpu = np.array(
+            [in_rate[v] * self.operators[v].service_cost for v in range(self.n_operators)]
+        )
+        if relative_to is not None:
+            peak = cpu.max() if cpu.size else 0.0
+            if peak > 0:
+                cpu = cpu * (relative_to / peak)
+        return cpu
+
+    def communication_graph(self) -> Tuple[int, List[Tuple[int, int, float]]]:
+        """Undirected communication view: ``(n, [(u, v, bytes/s), ...])``.
+
+        Parallel/opposite edges merge by traffic summation (handled by
+        :class:`repro.graph.Graph`'s constructor); zero-traffic edges are
+        dropped.
+        """
+        _, traffic = self.propagate_rates()
+        triples = [
+            (src, dst, float(t))
+            for (src, dst, _), t in zip(self.edges, traffic)
+            if t > 0
+        ]
+        return self.n_operators, triples

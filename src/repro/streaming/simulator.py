@@ -1,0 +1,154 @@
+"""Throughput evaluation of operator placements.
+
+The analytic model behind the paper's motivating observation ("pinning
+strongly-communicating tasks on nearby cores improves maximum
+throughput"):
+
+* each operator consumes ``in_rate · service_cost`` of its core;
+* every byte crossing cores costs *both* endpoint cores CPU time, scaled
+  by how far apart they are in the hierarchy — co-located (same core)
+  traffic is free (shared L1/L2), same-socket traffic pays the base tax,
+  cross-socket traffic pays more (the ``comm_tax`` vector mirrors
+  ``cm``);
+* input rates scale uniformly by λ until the busiest core saturates:
+  ``max throughput = 1 / max_core_utilisation`` at nominal rates.
+
+Minimising Eq. (1) with traffic edge weights is exactly minimising the
+aggregate communication tax, so better HGP placements yield higher λ*;
+experiment E9 quantifies the link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.streaming.operators import StreamDAG
+
+__all__ = ["CommCostModel", "ThroughputReport", "evaluate_placement"]
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """CPU tax per byte/s of traffic, by LCA level of the endpoint cores.
+
+    ``tax[j]`` applies to traffic whose endpoint leaves meet at level
+    ``j``; it must be non-increasing in ``j`` and ``tax[h]`` (co-located)
+    is usually 0.  Units: core-fraction per (byte/s), split evenly
+    between sender and receiver.
+    """
+
+    tax: tuple
+
+    @classmethod
+    def for_hierarchy(
+        cls, hierarchy: Hierarchy, base: float = 1e-7, ratio: float = 4.0
+    ) -> "CommCostModel":
+        """Geometric tax profile: level ``h`` free, each level up costs
+        ``ratio×`` more, starting at ``base`` for level ``h − 1``."""
+        h = hierarchy.h
+        tax = [0.0] * (h + 1)
+        for j in range(h - 1, -1, -1):
+            tax[j] = base * (ratio ** (h - 1 - j))
+        return cls(tuple(tax))
+
+    def __post_init__(self) -> None:
+        t = self.tax
+        if any(a < 0 for a in t):
+            raise InvalidInputError("taxes must be >= 0")
+        if any(t[i] < t[i + 1] for i in range(len(t) - 1)):
+            raise InvalidInputError("taxes must be non-increasing by level")
+
+
+@dataclass
+class ThroughputReport:
+    """Result of :func:`evaluate_placement`.
+
+    Attributes
+    ----------
+    max_scale:
+        λ*: the factor by which all source rates can grow before a core
+        saturates (``> 1`` = headroom, ``< 1`` = overload at nominal).
+    core_utilisation:
+        Per-core utilisation at nominal rates.
+    comm_fraction:
+        Fraction of total CPU burned on communication tax.
+    traffic_by_level:
+        Bytes/s of traffic whose endpoints meet at each hierarchy level.
+    """
+
+    max_scale: float
+    core_utilisation: np.ndarray
+    comm_fraction: float
+    traffic_by_level: np.ndarray
+
+
+def evaluate_placement(
+    dag: StreamDAG,
+    hierarchy: Hierarchy,
+    leaf_of: Sequence[int],
+    model: Optional[CommCostModel] = None,
+) -> ThroughputReport:
+    """Evaluate a pin assignment of operators to cores.
+
+    Parameters
+    ----------
+    dag:
+        The streaming workload.
+    hierarchy:
+        Core hierarchy (leaves = cores).
+    leaf_of:
+        Core id per operator.
+    model:
+        Communication tax model (default: geometric
+        :meth:`CommCostModel.for_hierarchy`).
+    """
+    leaf_of = np.asarray(leaf_of, dtype=np.int64)
+    if leaf_of.shape != (dag.n_operators,):
+        raise InvalidInputError(
+            f"leaf_of must have shape ({dag.n_operators},), got {leaf_of.shape}"
+        )
+    if dag.n_operators and (leaf_of.min() < 0 or leaf_of.max() >= hierarchy.k):
+        raise InvalidInputError("operator pinned to a non-existent core")
+    if model is None:
+        model = CommCostModel.for_hierarchy(hierarchy)
+    if len(model.tax) != hierarchy.h + 1:
+        raise InvalidInputError(
+            f"tax model has {len(model.tax)} levels, hierarchy needs "
+            f"{hierarchy.h + 1}"
+        )
+
+    in_rate, traffic = dag.propagate_rates()
+    util = np.zeros(hierarchy.k)
+    compute_total = 0.0
+    for v, op in enumerate(dag.operators):
+        load = float(in_rate[v]) * op.service_cost
+        util[leaf_of[v]] += load
+        compute_total += load
+
+    tax = np.asarray(model.tax)
+    traffic_by_level = np.zeros(hierarchy.h + 1)
+    comm_total = 0.0
+    for (src, dst, _share), t in zip(dag.edges, traffic):
+        if t <= 0:
+            continue
+        level = int(hierarchy.lca_level(int(leaf_of[src]), int(leaf_of[dst])))
+        traffic_by_level[level] += t
+        cost = float(t) * float(tax[level])
+        util[leaf_of[src]] += cost / 2.0
+        util[leaf_of[dst]] += cost / 2.0
+        comm_total += cost
+
+    peak = float(util.max()) if util.size else 0.0
+    max_scale = float("inf") if peak <= 0 else 1.0 / peak
+    total = compute_total + comm_total
+    return ThroughputReport(
+        max_scale=max_scale,
+        core_utilisation=util,
+        comm_fraction=0.0 if total <= 0 else comm_total / total,
+        traffic_by_level=traffic_by_level,
+    )

@@ -1,0 +1,175 @@
+"""Synthetic streaming-query workload generator.
+
+Stand-in for the AT&T TidalRace production traces the paper's authors
+optimised (DESIGN.md substitution note): multi-query workloads whose
+topology mixes the three canonical stream shapes —
+
+* **pipelines** (parse → filter → enrich → project chains),
+* **aggregation trees** (parallel partial aggregation with fan-in), and
+* **diamonds** (split into parallel branches, re-join),
+
+plus shared sources across queries and skewed source rates/selectivities.
+These are exactly the structures that make placement matter: pipelines
+want to be co-located end-to-end, aggregation trees want each subtree on
+one socket, diamonds want both branches near their join.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import InvalidInputError
+from repro.streaming.operators import Operator, StreamDAG
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["pipeline_query", "aggregation_query", "diamond_query", "random_workload"]
+
+
+def pipeline_query(
+    dag: StreamDAG, source: int, length: int, rng: np.random.Generator
+) -> int:
+    """Append a linear operator chain below ``source``; returns the sink id."""
+    prev = source
+    for i in range(length):
+        op = Operator(
+            name=f"pipe{source}_{i}",
+            service_cost=float(rng.uniform(0.5e-4, 2e-4)),
+            selectivity=float(rng.uniform(0.4, 1.0)),
+            tuple_bytes=float(rng.uniform(50, 200)),
+        )
+        nid = dag.add_operator(op)
+        dag.add_edge(prev, nid)
+        prev = nid
+    return prev
+
+
+def aggregation_query(
+    dag: StreamDAG, sources: List[int], rng: np.random.Generator
+) -> int:
+    """Binary fan-in aggregation tree over ``sources``; returns the root id."""
+    layer = list(sources)
+    depth = 0
+    while len(layer) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(layer) - 1, 2):
+            op = Operator(
+                name=f"agg_d{depth}_{i}",
+                service_cost=float(rng.uniform(1e-4, 3e-4)),
+                selectivity=float(rng.uniform(0.05, 0.3)),  # aggregations shrink
+                tuple_bytes=float(rng.uniform(30, 100)),
+            )
+            nid = dag.add_operator(op)
+            dag.add_edge(layer[i], nid)
+            dag.add_edge(layer[i + 1], nid)
+            nxt.append(nid)
+        if len(layer) % 2 == 1:
+            nxt.append(layer[-1])
+        layer = nxt
+        depth += 1
+    return layer[0]
+
+
+def diamond_query(
+    dag: StreamDAG, source: int, branches: int, depth: int, rng: np.random.Generator
+) -> int:
+    """Split → parallel branches → join; returns the join id."""
+    split = dag.add_operator(
+        Operator(
+            name=f"split{source}",
+            service_cost=float(rng.uniform(0.3e-4, 1e-4)),
+            selectivity=1.0,
+        )
+    )
+    dag.add_edge(source, split)
+    heads: List[int] = []
+    for b in range(branches):
+        prev = split
+        for i in range(depth):
+            op = Operator(
+                name=f"dia{source}_b{b}_{i}",
+                service_cost=float(rng.uniform(0.5e-4, 2e-4)),
+                selectivity=float(rng.uniform(0.5, 1.0)),
+                tuple_bytes=float(rng.uniform(50, 200)),
+            )
+            nid = dag.add_operator(op)
+            dag.add_edge(prev, nid, share=1.0 / branches if prev == split else 1.0)
+            prev = nid
+        heads.append(prev)
+    join = dag.add_operator(
+        Operator(
+            name=f"join{source}",
+            service_cost=float(rng.uniform(1e-4, 4e-4)),
+            selectivity=float(rng.uniform(0.3, 0.8)),
+        )
+    )
+    for head in heads:
+        dag.add_edge(head, join)
+    return join
+
+
+def random_workload(
+    n_queries: int = 4,
+    n_sources: int = 3,
+    seed: SeedLike = None,
+) -> StreamDAG:
+    """Generate a mixed multi-query workload over shared sources.
+
+    Parameters
+    ----------
+    n_queries:
+        Number of queries appended (shape drawn uniformly from pipeline /
+        aggregation / diamond).
+    n_sources:
+        Shared source operators with lognormal-skewed input rates.
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    StreamDAG
+        A connected DAG whose communication graph typically has
+        ``15–40 · n_queries`` operators.
+    """
+    if n_queries < 1 or n_sources < 1:
+        raise InvalidInputError("need n_queries >= 1 and n_sources >= 1")
+    rng = ensure_rng(seed)
+    dag = StreamDAG()
+    sources = [
+        dag.add_operator(
+            Operator(
+                name=f"src{i}",
+                service_cost=float(rng.uniform(0.2e-4, 0.5e-4)),
+                selectivity=1.0,
+                tuple_bytes=float(rng.uniform(100, 400)),
+                source_rate=float(rng.lognormal(mean=8.0, sigma=0.6)),
+            )
+        )
+        for i in range(n_sources)
+    ]
+    for _q in range(n_queries):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            src = int(sources[rng.integers(0, n_sources)])
+            pipeline_query(dag, src, int(rng.integers(3, 8)), rng)
+        elif kind == 1:
+            # Aggregate over per-source pre-filters.
+            heads = []
+            for s in sources:
+                pre = dag.add_operator(
+                    Operator(
+                        name=f"pre{s}_{_q}",
+                        service_cost=float(rng.uniform(0.5e-4, 1.5e-4)),
+                        selectivity=float(rng.uniform(0.3, 0.9)),
+                    )
+                )
+                dag.add_edge(int(s), pre)
+                heads.append(pre)
+            aggregation_query(dag, heads, rng)
+        else:
+            src = int(sources[rng.integers(0, n_sources)])
+            diamond_query(
+                dag, src, int(rng.integers(2, 4)), int(rng.integers(2, 4)), rng
+            )
+    return dag

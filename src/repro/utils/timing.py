@@ -1,0 +1,70 @@
+"""Lightweight wall-clock instrumentation for the benchmark harness.
+
+The HPC guides' first rule is *measure before optimising*; the experiment
+drivers use :class:`Stopwatch` to report per-phase timings (tree building
+vs. DP vs. repair) so regressions in any stage are visible in the tables.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock intervals.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw.section("dp"):
+    ...     _ = sum(range(1000))
+    >>> sw.total("dp") >= 0.0
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Context manager accumulating elapsed time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if never entered)."""
+        return self.totals.get(name, 0.0)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-section report, longest first."""
+        rows = sorted(self.totals.items(), key=lambda kv: -kv[1])
+        return "\n".join(
+            f"{name:<24s} {secs * 1e3:10.2f} ms  ({self.counts[name]}x)"
+            for name, secs in rows
+        )
+
+
+@contextmanager
+def timed() -> Iterator[list[float]]:
+    """Yield a one-element list that holds the elapsed seconds on exit.
+
+    >>> with timed() as t:
+    ...     _ = sum(range(10))
+    >>> t[0] >= 0.0
+    True
+    """
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

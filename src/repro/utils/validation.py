@@ -1,0 +1,46 @@
+"""Small argument-validation helpers with consistent error messages.
+
+Raising early with a named-argument message is worth far more in a numeric
+library than the few nanoseconds the checks cost: silent NaNs or negative
+weights deep inside a DP are otherwise brutal to track down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number ``> 0``, else raise."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number ``>= 0``, else raise."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Return ``value`` if it lies in ``[0, 1]``, else raise."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Return ``value`` if ``lo <= value <= hi``, else raise."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_all_finite(name: str, values: Iterable[float]) -> None:
+    """Raise if any element of ``values`` is NaN or infinite."""
+    for i, v in enumerate(values):
+        if not math.isfinite(v):
+            raise ValueError(f"{name}[{i}] is not finite: {v!r}")

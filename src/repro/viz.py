@@ -1,0 +1,101 @@
+"""Graphviz (DOT) exporters for graphs, decomposition trees and placements.
+
+Pure text generation — no graphviz dependency is required to *write* the
+files; render them offline with ``dot -Tsvg``.  Three exporters:
+
+* :func:`graph_to_dot` — the task graph, optionally coloured by a
+  placement's leaf assignment (tasks on the same core share a colour).
+* :func:`decomposition_tree_to_dot` — a decomposition tree with edge
+  weights (the ``w_T`` values the DP sees).
+* :func:`hierarchy_to_dot` — the hierarchy tree annotated with a
+  placement's per-node loads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.decomposition.tree import DecompositionTree
+from repro.hierarchy.placement import Placement
+
+__all__ = ["graph_to_dot", "decomposition_tree_to_dot", "hierarchy_to_dot"]
+
+# A colour-blind-safe cycle for leaf colouring.
+_PALETTE = (
+    "#4477AA", "#EE6677", "#228833", "#CCBB44",
+    "#66CCEE", "#AA3377", "#BBBBBB", "#222255",
+    "#999933", "#882255", "#44AA99", "#117733",
+)
+
+
+def _col(i: int) -> str:
+    return _PALETTE[i % len(_PALETTE)]
+
+
+def graph_to_dot(g: Graph, placement: Optional[Placement] = None) -> str:
+    """DOT rendering of a task graph.
+
+    With a placement, vertices are filled by their leaf's colour and
+    labelled ``v (leaf)``; edge pen width scales with weight.
+    """
+    lines = ["graph G {", "  node [style=filled, fontsize=10];"]
+    wmax = float(g.edges_w.max()) if g.m else 1.0
+    for v in range(g.n):
+        if placement is not None:
+            leaf = int(placement.leaf_of[v])
+            lines.append(
+                f'  {v} [label="{v}\\nleaf {leaf}", fillcolor="{_col(leaf)}"];'
+            )
+        else:
+            lines.append(f'  {v} [fillcolor="#DDDDDD"];')
+    for u, v, w in g.iter_edges():
+        pen = 0.5 + 2.5 * w / wmax
+        lines.append(f'  {u} -- {v} [penwidth={pen:.2f}, label="{w:.3g}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def decomposition_tree_to_dot(tree: DecompositionTree) -> str:
+    """DOT rendering of a decomposition tree (leaves show graph vertices)."""
+    lines = ["graph T {", "  node [fontsize=10];"]
+    for node in range(tree.n_nodes):
+        if tree.is_leaf(node):
+            lines.append(
+                f'  t{node} [shape=box, label="v{int(tree.leaf_vertex[node])}"];'
+            )
+        else:
+            lines.append(f'  t{node} [shape=point];')
+    for node in range(tree.n_nodes):
+        p = int(tree.parent[node])
+        if p >= 0:
+            w = float(tree.edge_weight[node])
+            lines.append(f'  t{p} -- t{node} [label="{w:.3g}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hierarchy_to_dot(placement: Placement) -> str:
+    """DOT rendering of the hierarchy with per-node loads and capacities."""
+    hier = placement.hierarchy
+    lines = ["graph H {", "  node [style=filled, fontsize=10];"]
+    loads = [placement.level_loads(j) for j in range(hier.h + 1)]
+    for level in range(hier.h + 1):
+        cap = hier.capacity(level)
+        for node in range(hier.count(level)):
+            load = float(loads[level][node])
+            over = load > cap * (1 + 1e-9)
+            color = "#EE6677" if over else ("#CCDDEE" if level < hier.h else _col(node))
+            shape = "box" if level == hier.h else "ellipse"
+            lines.append(
+                f'  h{level}_{node} [shape={shape}, fillcolor="{color}", '
+                f'label="L{level}.{node}\\n{load:.2f}/{cap:.2f}"];'
+            )
+    for level in range(hier.h):
+        for node in range(hier.count(level)):
+            for child in hier.children(level, node):
+                lines.append(f"  h{level}_{node} -- h{level + 1}_{int(child)};")
+    lines.append("}")
+    return "\n".join(lines)

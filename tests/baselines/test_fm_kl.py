@@ -1,0 +1,93 @@
+"""Tests for FM and KL two-way refinement."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.baselines.fm import fm_refine
+from repro.baselines.kl import kl_refine
+from repro.errors import InvalidInputError
+from repro.graph.generators import grid_2d, planted_partition, random_regular
+
+
+def scrambled_blocks(seed, swap=4):
+    """Two cliques + bridge, with `swap` vertices exchanged across sides."""
+    g = planted_partition(2, 8, 0.95, 0.05, weight_in=3.0, weight_out=1.0, seed=seed)
+    side = np.arange(16) < 8
+    rng = np.random.default_rng(seed)
+    a = rng.choice(8, size=swap, replace=False)
+    b = 8 + rng.choice(8, size=swap, replace=False)
+    side[a] = False
+    side[b] = True
+    return g, side
+
+
+class TestFM:
+    def test_never_worse(self):
+        for seed in range(4):
+            g, side = scrambled_blocks(seed)
+            refined = fm_refine(g, side)
+            assert g.cut_weight(refined) <= g.cut_weight(side) + 1e-9
+
+    def test_recovers_planted_cut(self):
+        g, side = scrambled_blocks(1)
+        refined = fm_refine(g, side, tol=0.05)
+        # Perfect recovery: only the sparse inter-block edges remain.
+        planted = g.cut_weight(np.arange(16) < 8)
+        assert g.cut_weight(refined) <= planted + 1e-9
+
+    def test_balance_respected(self):
+        g, side = scrambled_blocks(2)
+        w = np.ones(16)
+        refined = fm_refine(g, side, vertex_weights=w, target_fraction=0.5, tol=0.125)
+        frac = refined.sum() / 16
+        assert 0.375 - 1e-9 <= frac <= 0.625 + 1e-9
+
+    def test_weighted_balance(self):
+        g = grid_2d(4, 4)
+        w = np.ones(16)
+        w[0] = 8.0  # heavy vertex
+        side = np.zeros(16, dtype=bool)
+        side[:8] = True
+        refined = fm_refine(g, side, vertex_weights=w, target_fraction=0.5, tol=0.2)
+        wa = w[refined].sum()
+        assert 0.3 * w.sum() <= wa <= 0.7 * w.sum()
+
+    def test_input_not_mutated(self):
+        g, side = scrambled_blocks(3)
+        original = side.copy()
+        fm_refine(g, side)
+        assert np.array_equal(side, original)
+
+    def test_bad_shapes(self, grid44):
+        with pytest.raises(InvalidInputError):
+            fm_refine(grid44, np.zeros(5, dtype=bool))
+        with pytest.raises(InvalidInputError):
+            fm_refine(grid44, np.zeros(16, dtype=bool), vertex_weights=np.ones(3))
+
+
+class TestKL:
+    def test_never_worse(self):
+        for seed in range(4):
+            g, side = scrambled_blocks(seed)
+            refined = kl_refine(g, side)
+            assert g.cut_weight(refined) <= g.cut_weight(side) + 1e-9
+
+    def test_preserves_side_sizes_exactly(self):
+        g, side = scrambled_blocks(0)
+        refined = kl_refine(g, side)
+        assert refined.sum() == side.sum()
+
+    def test_improves_scrambled_blocks(self):
+        g, side = scrambled_blocks(5, swap=3)
+        refined = kl_refine(g, side, max_passes=8)
+        assert g.cut_weight(refined) < g.cut_weight(side)
+
+    def test_fixed_point_on_optimal(self, two_blocks):
+        side = np.arange(12) < 6
+        refined = kl_refine(two_blocks, side)
+        assert two_blocks.cut_weight(refined) == pytest.approx(0.5)
+
+    def test_bad_shape(self, grid44):
+        with pytest.raises(InvalidInputError):
+            kl_refine(grid44, np.zeros(4, dtype=bool))

@@ -1,0 +1,90 @@
+"""Tests for local-search refinement and capacity enforcement."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy, Placement
+from repro.baselines.local_search import enforce_capacity, refine_placement
+from repro.baselines.random_placement import random_placement
+from repro.graph.generators import planted_partition, random_demands
+
+
+@pytest.fixture
+def noisy_placement(hier_2x4):
+    g = planted_partition(4, 6, 0.85, 0.05, seed=2)
+    d = random_demands(g.n, hier_2x4.total_capacity, fill=0.6, seed=3)
+    return random_placement(g, hier_2x4, d, seed=4)
+
+
+class TestRefine:
+    def test_cost_never_increases(self, noisy_placement):
+        refined = refine_placement(noisy_placement, max_passes=4)
+        assert refined.cost() <= noisy_placement.cost() + 1e-9
+
+    def test_improves_random(self, noisy_placement):
+        refined = refine_placement(noisy_placement, max_passes=4)
+        assert refined.cost() < noisy_placement.cost()
+
+    def test_respects_violation_budget(self, noisy_placement):
+        refined = refine_placement(noisy_placement, max_passes=4, max_violation=1.0)
+        assert refined.max_violation() <= max(
+            1.0, noisy_placement.max_violation()
+        ) + 1e-9
+
+    def test_zero_passes_identity(self, noisy_placement):
+        refined = refine_placement(noisy_placement, max_passes=0)
+        assert refined is noisy_placement
+
+    def test_fixed_point_returns_same_object(self, hier_2x4):
+        """A placement with no improving move comes back unchanged."""
+        g = Graph(2, [(0, 1, 1.0)])
+        p = Placement(g, hier_2x4, np.array([0.4, 0.4]), np.array([0, 0]))
+        assert refine_placement(p, max_passes=2) is p
+
+    def test_meta_marks_refined(self, noisy_placement):
+        refined = refine_placement(noisy_placement, max_passes=4)
+        if refined is not noisy_placement:
+            assert refined.meta.get("refined") is True
+
+
+class TestEnforceCapacity:
+    def test_restores_feasibility(self, hier_2x4):
+        g = planted_partition(2, 8, 0.8, 0.1, seed=5)
+        d = np.full(16, 0.3)  # total 4.8 on capacity 8
+        # Cram everything onto two leaves (violation 2.4).
+        leaf_of = np.array([0] * 8 + [1] * 8)
+        p = Placement(g, hier_2x4, d, leaf_of)
+        assert p.max_violation() > 2.0
+        fixed = enforce_capacity(p, target_violation=1.0)
+        assert fixed.max_violation() <= 1.0 + 1e-9
+
+    def test_noop_when_feasible(self, hier_2x4):
+        g = Graph(4, [])
+        p = Placement(g, hier_2x4, np.full(4, 0.2), np.array([0, 1, 2, 3]))
+        assert enforce_capacity(p, 1.0) is p
+
+    def test_prefers_cheap_moves(self, hier_2x4):
+        """The evicted vertex should be one with little cost impact."""
+        # Vertices 0-2 on leaf 0 (over capacity); vertex 2 has no edges,
+        # 0-1 are strongly tied. Eviction should move vertex 2.
+        g = Graph(3, [(0, 1, 100.0)])
+        d = np.array([0.5, 0.5, 0.5])
+        p = Placement(g, hier_2x4, d, np.array([0, 0, 0]))
+        fixed = enforce_capacity(p, target_violation=1.0)
+        assert fixed.leaf_of[0] == fixed.leaf_of[1]  # tie preserved
+        assert fixed.cost() == 0.0
+
+    def test_single_oversized_vertex_stays(self, hier_2x4):
+        g = Graph(1, [])
+        p = Placement(g, hier_2x4, np.array([1.0]), np.array([0]))
+        # Already at exactly capacity: feasible, nothing to do.
+        out = enforce_capacity(p, target_violation=0.5)
+        # A lone vertex can never be fixed by eviction; best effort returns.
+        assert out.leaf_of[0] == 0
+
+    def test_meta_marks_enforcement(self, hier_2x4):
+        g = planted_partition(2, 8, 0.8, 0.1, seed=5)
+        d = np.full(16, 0.3)
+        p = Placement(g, hier_2x4, d, np.array([0] * 8 + [1] * 8))
+        fixed = enforce_capacity(p, target_violation=1.0)
+        assert fixed.meta.get("capacity_enforced") == 1.0

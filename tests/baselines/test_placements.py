@@ -1,0 +1,62 @@
+"""Uniform contract tests over every baseline placement method."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import placement_baselines
+from repro.graph.generators import planted_partition, power_law, random_demands
+
+REGISTRY = placement_baselines()
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+class TestBaselineContract:
+    def test_valid_assignment(self, name, clustered_instance):
+        g, hier, d = clustered_instance
+        p = REGISTRY[name](g, hier, d, seed=0)
+        assert p.leaf_of.shape == (g.n,)
+        assert (p.leaf_of >= 0).all() and (p.leaf_of < hier.k).all()
+
+    def test_deterministic(self, name, clustered_instance):
+        g, hier, d = clustered_instance
+        a = REGISTRY[name](g, hier, d, seed=7)
+        b = REGISTRY[name](g, hier, d, seed=7)
+        assert np.array_equal(a.leaf_of, b.leaf_of)
+
+    def test_meta_names_solver(self, name, clustered_instance):
+        g, hier, d = clustered_instance
+        p = REGISTRY[name](g, hier, d, seed=0)
+        assert "solver" in p.meta
+
+    def test_near_feasible(self, name, clustered_instance):
+        """Baselines are capacity-aware; modest fill must stay near-feasible."""
+        g, hier, d = clustered_instance  # fill = 0.6
+        p = REGISTRY[name](g, hier, d, seed=0)
+        assert p.max_violation() <= 1.3
+
+
+class TestOrderingOfQuality:
+    """Structured methods must beat random on clusterable inputs."""
+
+    def test_hierarchy_aware_beats_random(self, hier_2x4):
+        g = planted_partition(4, 8, 0.8, 0.03, seed=3)
+        d = random_demands(g.n, hier_2x4.total_capacity, fill=0.6, seed=4)
+        costs = {
+            name: REGISTRY[name](g, hier_2x4, d, seed=0).cost()
+            for name in ("random", "flat_quotient", "recursive_bisection")
+        }
+        assert costs["flat_quotient"] < costs["random"]
+        assert costs["recursive_bisection"] < costs["random"]
+
+    def test_quotient_mapping_no_worse_than_identity_on_average(self, hier_2x4):
+        """Dual recursive bipartitioning should help when cm spread is large."""
+        wins = 0
+        trials = 5
+        for seed in range(trials):
+            g = power_law(40, seed=seed)
+            d = random_demands(g.n, hier_2x4.total_capacity, fill=0.6, seed=seed)
+            ident = REGISTRY["flat_identity"](g, hier_2x4, d, seed=seed).cost()
+            quot = REGISTRY["flat_quotient"](g, hier_2x4, d, seed=seed).cost()
+            if quot <= ident + 1e-9:
+                wins += 1
+        assert wins >= 3

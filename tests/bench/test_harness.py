@@ -1,0 +1,97 @@
+"""Tests for the benchmark harness itself (tables, instances, oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    FAMILIES,
+    METHODS,
+    Table,
+    brute_force_optimum,
+    format_series,
+    make_instance,
+    path_binary_tree,
+    run_method,
+    save_result,
+    standard_hierarchy,
+)
+from repro.core.config import SolverConfig
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "long_column"], title="demo")
+        t.add_row(["x", 1.23456])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "# demo"
+        assert "1.235" in text  # 4 significant digits
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_show_returns_render(self, capsys):
+        t = Table(["a"])
+        t.add_row([3])
+        out = t.show()
+        assert "3" in out
+        assert "3" in capsys.readouterr().out
+
+    def test_save_result(self, tmp_path):
+        path = save_result("demo", "hello", tmp_path)
+        assert path.read_text() == "hello\n"
+
+    def test_format_series(self):
+        text = format_series([1, 2], [3.0, 4.0], "s")
+        assert "# series: s" in text
+        assert "1\t3" in text
+
+
+class TestInstances:
+    def test_all_families_build(self):
+        hier = standard_hierarchy("2x4")
+        for family in FAMILIES:
+            inst = make_instance(family, 16, hier, seed=1)
+            assert inst.graph.n >= 8
+            assert inst.demands.shape == (inst.graph.n,)
+            assert inst.demands.sum() <= hier.total_capacity
+
+    def test_standard_hierarchies(self):
+        assert standard_hierarchy("2x4").k == 8
+        assert standard_hierarchy("2x2x2").h == 3
+        assert standard_hierarchy("flat16").h == 1
+        with pytest.raises(KeyError):
+            standard_hierarchy("weird")
+
+    def test_run_method_names(self):
+        hier = standard_hierarchy("2x4")
+        inst = make_instance("blocks", 16, hier, seed=2)
+        cfg = SolverConfig(seed=0, n_trees=2, refine=False)
+        for method in METHODS:
+            p = run_method(method, inst, seed=0, config=cfg)
+            assert p.leaf_of.shape == (inst.graph.n,)
+
+    def test_instances_deterministic(self):
+        hier = standard_hierarchy("2x4")
+        a = make_instance("grid", 16, hier, seed=3)
+        b = make_instance("grid", 16, hier, seed=3)
+        assert a.graph == b.graph
+        assert np.allclose(a.demands, b.demands)
+
+
+class TestOracles:
+    def test_path_binary_tree_structure(self):
+        bt = path_binary_tree([1.0, 2.0, 3.0], [1, 2, 3, 4])
+        bt.validate()
+        leaves = [v for v in range(bt.n_nodes) if bt.is_leaf(v)]
+        assert len(leaves) == 4
+
+    def test_oracle_zero_when_everything_fits(self):
+        bt = path_binary_tree([1.0], [1, 1])
+        assert brute_force_optimum(bt, [2], [0.0, 1.0]) == 0.0
+
+    def test_oracle_infeasible_is_inf(self):
+        bt = path_binary_tree([1.0], [3, 3])
+        assert brute_force_optimum(bt, [2], [0.0, 1.0]) == float("inf")

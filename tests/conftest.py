@@ -1,0 +1,72 @@
+"""Shared fixtures: canonical small instances reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy
+from repro.graph import grid_2d, planted_partition, random_demands
+
+
+@pytest.fixture
+def path3() -> Graph:
+    """Path a–b–c with weights 2 and 3."""
+    return Graph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """Unit triangle."""
+    return Graph(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+
+
+@pytest.fixture
+def k4() -> Graph:
+    """Complete graph on 4 vertices, unit weights."""
+    edges = [(i, j, 1.0) for i in range(4) for j in range(i + 1, 4)]
+    return Graph(4, edges)
+
+
+@pytest.fixture
+def grid44() -> Graph:
+    """4x4 unit mesh."""
+    return grid_2d(4, 4)
+
+
+@pytest.fixture
+def two_blocks() -> Graph:
+    """Two dense 6-cliques joined by a single light edge."""
+    edges = []
+    for base in (0, 6):
+        for i in range(6):
+            for j in range(i + 1, 6):
+                edges.append((base + i, base + j, 5.0))
+    edges.append((0, 6, 0.5))
+    return Graph(12, edges)
+
+
+@pytest.fixture
+def hier_2x4() -> Hierarchy:
+    """2 sockets x 4 cores, multipliers 10 / 3 / 0."""
+    return Hierarchy([2, 4], [10.0, 3.0, 0.0])
+
+
+@pytest.fixture
+def hier_flat8() -> Hierarchy:
+    """Flat hierarchy of 8 leaves (k-BGP form)."""
+    return Hierarchy([8], [1.0, 0.0])
+
+
+@pytest.fixture
+def hier_deep() -> Hierarchy:
+    """Height-3 hierarchy 2x2x2 with strictly decreasing multipliers."""
+    return Hierarchy([2, 2, 2], [8.0, 4.0, 1.0, 0.0])
+
+
+@pytest.fixture
+def clustered_instance(hier_2x4):
+    """A clusterable HGP instance: 4 planted blocks on a 2x4 hierarchy."""
+    g = planted_partition(4, 6, 0.9, 0.05, seed=11)
+    d = random_demands(g.n, hier_2x4.total_capacity, fill=0.6, skew=0.3, seed=12)
+    return g, hier_2x4, d

@@ -1,0 +1,236 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.io import read_edgelist, write_edgelist
+from repro.graph.generators import planted_partition
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = planted_partition(2, 6, 0.8, 0.1, seed=1)
+    path = tmp_path / "g.edges"
+    write_edgelist(path, g)
+    return path, g
+
+
+class TestGenerate:
+    def test_writes_graph(self, tmp_path, capsys):
+        out = tmp_path / "gen.edges"
+        rc = main(["generate", "--family", "grid", "--n", "16", "--out", str(out)])
+        assert rc == 0
+        g = read_edgelist(out)
+        assert g.n == 16
+        assert "wrote grid graph" in capsys.readouterr().out
+
+    def test_unknown_family(self, tmp_path, capsys):
+        rc = main(
+            ["generate", "--family", "nope", "--n", "9", "--out", str(tmp_path / "x")]
+        )
+        assert rc == 2
+        assert "unknown family" in capsys.readouterr().err
+
+
+class TestSolve:
+    def test_baseline_method(self, graph_file, capsys):
+        path, g = graph_file
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                str(path),
+                "--degrees",
+                "2,2",
+                "--cm",
+                "5,1,0",
+                "--method",
+                "greedy",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert "cost=" in capsys.readouterr().out
+
+    def test_hgp_with_json_output(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        out = tmp_path / "pin.json"
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                str(path),
+                "--degrees",
+                "2,2",
+                "--cm",
+                "5,1,0",
+                "--method",
+                "hgp",
+                "--n-trees",
+                "2",
+                "--seed",
+                "0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro-placement-v1"
+        assert len(payload["leaf_of"]) == g.n
+        report = capsys.readouterr().out
+        assert "L0.0" in report  # ASCII tree printed
+
+    def test_demands_file(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        dfile = tmp_path / "d.txt"
+        dfile.write_text("\n".join(["0.2"] * g.n))
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                str(path),
+                "--degrees",
+                "4",
+                "--cm",
+                "1,0",
+                "--demands",
+                str(dfile),
+                "--method",
+                "round_robin",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+
+    def test_demands_mismatch(self, graph_file, tmp_path, capsys):
+        path, _g = graph_file
+        dfile = tmp_path / "d.txt"
+        dfile.write_text("0.2\n0.2\n")
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                str(path),
+                "--degrees",
+                "4",
+                "--cm",
+                "1,0",
+                "--demands",
+                str(dfile),
+                "--quiet",
+            ]
+        )
+        assert rc == 2
+        assert "demands file" in capsys.readouterr().err
+
+    def test_missing_graph(self, capsys):
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                "/does/not/exist",
+                "--degrees",
+                "2",
+                "--cm",
+                "1,0",
+            ]
+        )
+        assert rc == 2
+
+    def test_unknown_method(self, graph_file, capsys):
+        path, _g = graph_file
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                str(path),
+                "--degrees",
+                "2,2",
+                "--cm",
+                "5,1,0",
+                "--method",
+                "sorcery",
+            ]
+        )
+        assert rc == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_metis_input(self, tmp_path, capsys):
+        from repro.graph.io import write_metis
+
+        g = planted_partition(2, 4, 0.9, 0.2, seed=2)
+        path = tmp_path / "g.graph"
+        write_metis(path, g, weight_scale=1.0)
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                str(path),
+                "--degrees",
+                "2,2",
+                "--cm",
+                "5,1,0",
+                "--method",
+                "greedy",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+
+    def test_hgp_feasible_method(self, graph_file, capsys):
+        path, _g = graph_file
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                str(path),
+                "--degrees",
+                "2,2",
+                "--cm",
+                "5,1,0",
+                "--method",
+                "hgp_feasible",
+                "--n-trees",
+                "2",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cost=" in out
+
+
+class TestSolveArtifacts:
+    def test_dot_and_taskset_outputs(self, graph_file, tmp_path, capsys):
+        path, g = graph_file
+        dot = tmp_path / "h.dot"
+        pin = tmp_path / "pin.sh"
+        rc = main(
+            [
+                "solve",
+                "--graph",
+                str(path),
+                "--degrees",
+                "2,2",
+                "--cm",
+                "5,1,0",
+                "--method",
+                "greedy",
+                "--dot",
+                str(dot),
+                "--taskset",
+                str(pin),
+                "--cpus-per-leaf",
+                "2",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert dot.read_text().startswith("graph H {")
+        script = pin.read_text()
+        assert script.startswith("#!/bin/sh")
+        assert script.count("taskset -a -cp") == g.n

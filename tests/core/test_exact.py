@@ -1,0 +1,95 @@
+"""Tests for the exact branch-and-bound solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy, exact_hgp
+from repro.errors import InfeasibleError, InvalidInputError
+from repro.graph.generators import grid_2d
+
+
+def enumerate_optimum(g, hier, d, violation=1.0):
+    """Plain exhaustive enumeration (no pruning) as an oracle."""
+    best = float("inf")
+    budgets = [violation * hier.capacity(j) + 1e-12 for j in range(hier.h + 1)]
+    for combo in itertools.product(range(hier.k), repeat=g.n):
+        leaf_of = np.asarray(combo, dtype=np.int64)
+        ok = True
+        for j in range(1, hier.h + 1):
+            loads = np.zeros(hier.count(j))
+            np.add.at(loads, np.asarray(hier.ancestor(leaf_of, j)), d)
+            if loads.size and loads.max() > budgets[j]:
+                ok = False
+                break
+        if not ok:
+            continue
+        mult = hier.pair_cost_multiplier(leaf_of[g.edges_u], leaf_of[g.edges_v])
+        cost = float(np.dot(np.asarray(mult), g.edges_w))
+        best = min(best, cost)
+    return best
+
+
+class TestExact:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_enumeration_h1(self, seed):
+        g = grid_2d(2, 3, weight_range=(0.5, 2.0), seed=seed)
+        hier = Hierarchy([3], [1.0, 0.0])
+        d = np.full(6, 0.5)
+        p = exact_hgp(g, hier, d)
+        assert p.cost() == pytest.approx(enumerate_optimum(g, hier, d))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_enumeration_h2(self, seed):
+        g = grid_2d(2, 3, weight_range=(0.5, 2.0), seed=10 + seed)
+        hier = Hierarchy([2, 2], [5.0, 1.0, 0.0])
+        d = np.full(6, 0.5)
+        p = exact_hgp(g, hier, d)
+        assert p.cost() == pytest.approx(enumerate_optimum(g, hier, d))
+
+    def test_respects_capacity(self):
+        g = grid_2d(2, 2, seed=0)
+        hier = Hierarchy([2, 2], [5.0, 1.0, 0.0])
+        d = np.full(4, 0.6)  # only one per leaf
+        p = exact_hgp(g, hier, d)
+        assert p.max_violation() <= 1.0 + 1e-9
+        assert np.unique(p.leaf_of).size == 4
+
+    def test_violation_budget_changes_optimum(self):
+        """Relaxing balance can only lower the optimal cost."""
+        g = Graph(4, [(0, 1, 5.0), (1, 2, 5.0), (2, 3, 5.0)])
+        hier = Hierarchy([2], [1.0, 0.0], leaf_capacity=1.0)
+        d = np.full(4, 0.5)
+        strict = exact_hgp(g, hier, d, violation=1.0)
+        loose = exact_hgp(g, hier, d, violation=2.0)
+        assert loose.cost() <= strict.cost()
+        assert loose.cost() == 0.0  # everything fits one leaf at 2x
+
+    def test_infeasible_raises(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        hier = Hierarchy([2], [1.0, 0.0])
+        d = np.full(3, 0.9)  # three 0.9s cannot fit two unit leaves
+        with pytest.raises(InfeasibleError):
+            exact_hgp(g, hier, d)
+
+    def test_size_limit_enforced(self):
+        g = grid_2d(4, 4, seed=0)
+        hier = Hierarchy([2], [1.0, 0.0])
+        with pytest.raises(InvalidInputError):
+            exact_hgp(g, hier, np.full(16, 0.1), size_limit=10)
+
+    def test_symmetry_pruning_correctness(self):
+        """Canonicalisation must not lose the optimum: compare against the
+        unpruned enumeration on an asymmetric instance."""
+        g = Graph(5, [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0), (3, 4, 4.0), (0, 4, 0.5)])
+        hier = Hierarchy([2, 2], [4.0, 1.0, 0.0])
+        d = np.array([0.9, 0.4, 0.4, 0.9, 0.2])
+        p = exact_hgp(g, hier, d)
+        assert p.cost() == pytest.approx(enumerate_optimum(g, hier, d))
+
+    def test_meta_has_node_count(self):
+        g = grid_2d(2, 2, seed=0)
+        hier = Hierarchy([2], [1.0, 0.0])
+        p = exact_hgp(g, hier, np.full(4, 0.4))
+        assert p.meta["nodes_visited"] > 0

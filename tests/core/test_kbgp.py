@@ -1,0 +1,57 @@
+"""Tests for the k-BGP reduction (h = 1 special case)."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, SolverConfig, solve_kbgp
+from repro.core.kbgp import kbgp_hierarchy, minimum_bisection
+from repro.errors import InvalidInputError
+from repro.graph.generators import grid_2d, planted_partition
+
+
+class TestKbgpHierarchy:
+    def test_shape(self):
+        h = kbgp_hierarchy(6)
+        assert h.h == 1
+        assert h.k == 6
+        assert h.cm == (1.0, 0.0)
+
+    def test_bad_k(self):
+        with pytest.raises(InvalidInputError):
+            kbgp_hierarchy(0)
+
+
+class TestSolveKbgp:
+    def test_cost_is_cut_weight(self):
+        g = planted_partition(4, 4, 1.0, 0.05, seed=2)
+        p = solve_kbgp(g, 4, config=SolverConfig(seed=0, n_trees=4))
+        assert p.cost() == pytest.approx(g.partition_cut_weight(p.leaf_of))
+
+    def test_recovers_planted_blocks(self):
+        g = planted_partition(4, 5, 1.0, 0.0, seed=3)  # 4 disconnected cliques
+        p = solve_kbgp(g, 4, config=SolverConfig(seed=0, n_trees=4))
+        assert p.cost() == 0.0
+
+    def test_custom_demands(self):
+        g = grid_2d(2, 4, seed=0)
+        d = np.full(8, 0.25)
+        p = solve_kbgp(g, 4, demands=d, config=SolverConfig(seed=0, n_trees=2))
+        assert p.max_violation() <= 2 * (1 + 0.25) + 1e-9  # (1+h)(1+slack), h=1
+
+
+class TestMinimumBisection:
+    def test_two_blocks(self, two_blocks):
+        cut, mask = minimum_bisection(two_blocks, seed=0)
+        assert cut == pytest.approx(0.5)
+        assert mask.sum() == 6
+
+    def test_grid_bisection_quality(self):
+        g = grid_2d(6, 6)
+        cut, mask = minimum_bisection(g, seed=0)
+        # Optimal balanced bisection of a 6x6 grid cuts 6 edges.
+        assert cut <= 8.0
+        assert 14 <= mask.sum() <= 22
+
+    def test_cut_value_matches_mask(self, grid44):
+        cut, mask = minimum_bisection(grid44, seed=1)
+        assert cut == pytest.approx(grid44.cut_weight(mask))

@@ -1,0 +1,47 @@
+"""Tests for portfolio solving."""
+
+import numpy as np
+import pytest
+
+from repro import SolverConfig
+from repro.core.portfolio import seed_portfolio, solve_hgp_portfolio
+from repro.core.solver import solve_hgp
+from repro.errors import InvalidInputError
+
+
+class TestSeedPortfolio:
+    def test_distinct_seeds(self):
+        members = seed_portfolio(SolverConfig(seed=5), 4)
+        seeds = [m.seed for m in members]
+        assert len(set(seeds)) == 4
+        assert seeds[0] == 5
+
+    def test_other_knobs_preserved(self):
+        base = SolverConfig(seed=0, n_trees=3, slack=0.1)
+        for m in seed_portfolio(base, 2):
+            assert m.n_trees == 3
+            assert m.slack == 0.1
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            seed_portfolio(SolverConfig(), 0)
+
+
+class TestSolvePortfolio:
+    def test_never_worse_than_first_member(self, clustered_instance):
+        g, hier, d = clustered_instance
+        configs = seed_portfolio(SolverConfig(seed=0, n_trees=2, refine=False), 3)
+        single = solve_hgp(g, hier, d, configs[0])
+        port = solve_hgp_portfolio(g, hier, d, configs)
+        assert port.cost <= single.cost + 1e-9
+
+    def test_winner_recorded(self, clustered_instance):
+        g, hier, d = clustered_instance
+        configs = seed_portfolio(SolverConfig(seed=0, n_trees=2, refine=False), 2)
+        port = solve_hgp_portfolio(g, hier, d, configs)
+        assert port.placement.meta["portfolio_member"] in (0, 1)
+
+    def test_empty_configs_rejected(self, clustered_instance):
+        g, hier, d = clustered_instance
+        with pytest.raises(InvalidInputError):
+            solve_hgp_portfolio(g, hier, d, configs=[])

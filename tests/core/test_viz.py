@@ -1,0 +1,59 @@
+"""Tests for the DOT exporters."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy, Placement
+from repro.decomposition.spectral_tree import spectral_decomposition_tree
+from repro.graph.generators import grid_2d
+from repro.viz import decomposition_tree_to_dot, graph_to_dot, hierarchy_to_dot
+
+
+@pytest.fixture
+def placed(hier_2x4):
+    g = grid_2d(2, 3, weight_range=(0.5, 2.0), seed=0)
+    d = np.full(6, 0.3)
+    return Placement(g, hier_2x4, d, np.array([0, 0, 1, 1, 4, 4]))
+
+
+class TestGraphDot:
+    def test_structure(self, placed):
+        dot = graph_to_dot(placed.graph)
+        assert dot.startswith("graph G {")
+        assert dot.endswith("}")
+        # One node line per vertex, one edge line per edge.
+        assert dot.count(" -- ") == placed.graph.m
+
+    def test_placement_colouring(self, placed):
+        dot = graph_to_dot(placed.graph, placed)
+        assert "leaf 4" in dot
+        assert "fillcolor=" in dot
+
+    def test_empty_graph(self):
+        dot = graph_to_dot(Graph(2, []))
+        assert " -- " not in dot
+
+
+class TestTreeDot:
+    def test_all_nodes_and_edges(self, placed):
+        tree = spectral_decomposition_tree(placed.graph, seed=0)
+        dot = decomposition_tree_to_dot(tree)
+        assert dot.count(" -- ") == tree.n_nodes - 1
+        for v in range(placed.graph.n):
+            assert f'"v{v}"' in dot
+
+
+class TestHierarchyDot:
+    def test_nodes_and_edges(self, placed):
+        dot = hierarchy_to_dot(placed)
+        hier = placed.hierarchy
+        n_nodes = sum(hier.count(j) for j in range(hier.h + 1))
+        n_edges = n_nodes - 1
+        assert dot.count("label=\"L") == n_nodes
+        assert dot.count(" -- ") == n_edges
+
+    def test_overload_highlight(self, hier_2x4):
+        g = Graph(3, [])
+        p = Placement(g, hier_2x4, np.array([0.8, 0.8, 0.1]), np.array([0, 0, 1]))
+        dot = hierarchy_to_dot(p)
+        assert "#EE6677" in dot  # overloaded leaf colour

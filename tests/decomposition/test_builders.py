@@ -1,0 +1,92 @@
+"""Tests applied uniformly to every decomposition-tree builder."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.decomposition import (
+    BUILDERS,
+    contraction_decomposition_tree,
+    frt_decomposition_tree,
+    min_leaf_cut,
+)
+from repro.errors import InvalidInputError
+from repro.graph.generators import grid_2d, planted_partition, power_law
+
+ALL_BUILDERS = sorted(BUILDERS)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return grid_2d(4, 4, weight_range=(0.5, 2.0), seed=1)
+
+
+@pytest.mark.parametrize("name", ALL_BUILDERS)
+class TestBuilderContract:
+    """Every builder must produce a valid decomposition tree."""
+
+    def test_structure_valid(self, name, mesh):
+        tree = BUILDERS[name](mesh, seed=0)
+        tree.validate()
+
+    def test_leaf_bijection(self, name, mesh):
+        tree = BUILDERS[name](mesh, seed=0)
+        verts = tree.leaf_vertex[tree.leaf_vertex >= 0]
+        assert sorted(verts.tolist()) == list(range(mesh.n))
+
+    def test_deterministic_given_seed(self, name, mesh):
+        a = BUILDERS[name](mesh, seed=42)
+        b = BUILDERS[name](mesh, seed=42)
+        assert a.n_nodes == b.n_nodes
+        assert np.array_equal(a.parent, b.parent)
+        assert np.allclose(a.edge_weight, b.edge_weight)
+
+    def test_proposition1(self, name, mesh):
+        tree = BUILDERS[name](mesh, seed=3)
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            subset = rng.choice(
+                mesh.n, size=int(rng.integers(1, mesh.n)), replace=False
+            )
+            assert min_leaf_cut(tree, subset) >= mesh.cut_weight(subset) - 1e-9
+
+    def test_singleton_graph(self, name):
+        g = Graph(1, [])
+        tree = BUILDERS[name](g, seed=0)
+        tree.validate()
+        assert tree.leaf_vertex[tree.leaf_node_of_vertex[0]] == 0
+
+
+@pytest.mark.parametrize(
+    "name", [b for b in ALL_BUILDERS if b != "frt"]
+)
+def test_disconnected_graphs_supported(name):
+    g = Graph(6, [(0, 1, 1.0), (2, 3, 1.0)])
+    tree = BUILDERS[name](g, seed=0)
+    tree.validate()
+
+
+def test_frt_rejects_disconnected():
+    g = Graph(4, [(0, 1, 1.0)])
+    with pytest.raises(InvalidInputError):
+        frt_decomposition_tree(g, seed=0)
+
+
+def test_contraction_groups_heavy_edges():
+    """Heavy-edge contraction should put the two cliques in separate subtrees."""
+    g = planted_partition(2, 8, 1.0, 0.3, weight_in=10.0, weight_out=0.1, seed=0)
+    tree = contraction_decomposition_tree(g, seed=1)
+    # The root split should align with the blocks: check the cut weight of
+    # the root's first child's leaf set against the planted cut.
+    sets = tree.leaf_sets()
+    kids = tree.children[tree.root]
+    best = min(g.cut_weight(sets[c]) for c in kids)
+    blocks_cut = g.cut_weight(np.arange(8))
+    assert best <= 2.0 * blocks_cut  # near-planted separation
+
+
+def test_builders_scale_to_power_law():
+    g = power_law(80, seed=2)
+    for name in ("spectral", "contraction"):
+        tree = BUILDERS[name](g, seed=0)
+        assert tree.leaf_sets()[tree.root].size == 80

@@ -1,0 +1,94 @@
+"""Tests for placement-guided trees and the iterated pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy, Placement, SolverConfig
+from repro.decomposition.guided import placement_guided_tree, solve_hgp_iterated
+from repro.decomposition.tree import min_leaf_cut
+from repro.core.solver import solve_hgp
+from repro.errors import InvalidInputError
+from repro.graph.generators import planted_partition, random_demands
+
+
+@pytest.fixture
+def placed(hier_2x4):
+    g = planted_partition(4, 6, 0.8, 0.05, seed=2)
+    d = random_demands(g.n, hier_2x4.total_capacity, fill=0.6, seed=3)
+    res = solve_hgp(g, hier_2x4, d, SolverConfig(seed=0, n_trees=2, refine=False))
+    return res.placement
+
+
+class TestGuidedTree:
+    def test_valid_decomposition_tree(self, placed):
+        tree = placement_guided_tree(placed, seed=0)
+        tree.validate()
+        assert tree.leaf_sets()[tree.root].size == placed.graph.n
+
+    def test_proposition1_holds(self, placed):
+        tree = placement_guided_tree(placed, seed=0)
+        rng = np.random.default_rng(5)
+        g = placed.graph
+        for _ in range(10):
+            subset = rng.choice(g.n, size=int(rng.integers(1, g.n)), replace=False)
+            assert min_leaf_cut(tree, subset) >= g.cut_weight(subset) - 1e-9
+
+    def test_structure_mirrors_placement(self, placed):
+        """Tasks sharing a leaf must share a subtree below the root split."""
+        tree = placement_guided_tree(placed, seed=0)
+        sets = tree.leaf_sets()
+        # For every hierarchy leaf's task group there exists a tree node
+        # whose leaf set is exactly that group.
+        node_sets = {tuple(sets[v].tolist()) for v in range(tree.n_nodes)}
+        for leaf in range(placed.hierarchy.k):
+            group = np.nonzero(placed.leaf_of == leaf)[0]
+            if group.size:
+                assert tuple(group.tolist()) in node_sets
+
+    def test_empty_placement_rejected(self, hier_2x4):
+        g = Graph(0, [])
+        with pytest.raises(Exception):
+            p = Placement(g, hier_2x4, np.array([]), np.array([], dtype=np.int64))
+            placement_guided_tree(p)
+
+    def test_singleton(self, hier_2x4):
+        g = Graph(1, [])
+        p = Placement(g, hier_2x4, np.array([0.2]), np.array([3]))
+        tree = placement_guided_tree(p, seed=0)
+        tree.validate()
+
+
+class TestIteratedSolve:
+    def test_never_worse_than_plain(self, hier_2x4):
+        g = planted_partition(4, 8, 0.7, 0.05, seed=3)
+        d = random_demands(g.n, hier_2x4.total_capacity, fill=0.65, skew=0.4, seed=3)
+        cfg = SolverConfig(seed=0, n_trees=2, refine=False)
+        base = solve_hgp(g, hier_2x4, d, cfg)
+        it = solve_hgp_iterated(g, hier_2x4, d, cfg, rounds=2)
+        assert it.cost <= base.cost + 1e-9
+
+    def test_meta_records_rounds(self, hier_2x4):
+        g = planted_partition(2, 6, 0.8, 0.05, seed=4)
+        d = random_demands(g.n, hier_2x4.total_capacity, fill=0.5, seed=4)
+        it = solve_hgp_iterated(
+            g, hier_2x4, d, SolverConfig(seed=0, n_trees=2), rounds=1
+        )
+        assert "guided_rounds" in it.placement.meta
+
+    def test_zero_rounds_is_plain(self, hier_2x4):
+        g = planted_partition(2, 6, 0.8, 0.05, seed=5)
+        d = random_demands(g.n, hier_2x4.total_capacity, fill=0.5, seed=5)
+        cfg = SolverConfig(seed=0, n_trees=2, refine=False)
+        base = solve_hgp(g, hier_2x4, d, cfg)
+        it = solve_hgp_iterated(g, hier_2x4, d, cfg, rounds=0)
+        assert it.cost == base.cost
+
+    def test_violation_bound_preserved(self, hier_2x4):
+        g = planted_partition(4, 8, 0.7, 0.05, seed=6)
+        d = random_demands(g.n, hier_2x4.total_capacity, fill=0.7, skew=0.5, seed=6)
+        it = solve_hgp_iterated(
+            g, hier_2x4, d, SolverConfig(seed=0, n_trees=2), rounds=2
+        )
+        assert it.placement.max_violation() <= (
+            (1 + it.grid.epsilon) * (1 + hier_2x4.h) + 1e-9
+        )

@@ -1,0 +1,55 @@
+"""Tests for the tree-ensemble (Räcke substitution) layer."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.decomposition.racke import DEFAULT_METHODS, build_tree, racke_ensemble
+from repro.errors import InvalidInputError
+from repro.graph.generators import grid_2d
+
+
+class TestEnsemble:
+    def test_size(self, grid44):
+        trees = racke_ensemble(grid44, n_trees=5, seed=0)
+        assert len(trees) == 5
+
+    def test_all_valid(self, grid44):
+        for tree in racke_ensemble(grid44, n_trees=4, seed=1):
+            tree.validate()
+
+    def test_round_robin_methods(self, grid44):
+        trees = racke_ensemble(
+            grid44, n_trees=4, methods=("spectral", "contraction"), seed=2
+        )
+        assert len(trees) == 4
+
+    def test_seeds_give_diversity(self, grid44):
+        trees = racke_ensemble(grid44, n_trees=4, methods=("spectral",), seed=3)
+        # Same builder, different streams: at least two distinct shapes.
+        shapes = {tuple(t.parent.tolist()) for t in trees}
+        assert len(shapes) >= 2
+
+    def test_reproducible(self, grid44):
+        a = racke_ensemble(grid44, n_trees=3, seed=11)
+        b = racke_ensemble(grid44, n_trees=3, seed=11)
+        for ta, tb in zip(a, b):
+            assert np.array_equal(ta.parent, tb.parent)
+
+    def test_disconnected_drops_frt(self):
+        g = Graph(4, [(0, 1, 1.0)])
+        trees = racke_ensemble(g, n_trees=4, seed=0)  # must not crash
+        assert len(trees) == 4
+
+    def test_bad_inputs(self, grid44):
+        with pytest.raises(InvalidInputError):
+            racke_ensemble(grid44, n_trees=0)
+        with pytest.raises(InvalidInputError):
+            racke_ensemble(grid44, n_trees=2, methods=("nope",))
+        with pytest.raises(InvalidInputError):
+            build_tree(grid44, "nope")
+
+    def test_default_methods_registered(self):
+        from repro.decomposition.racke import BUILDERS
+
+        assert set(DEFAULT_METHODS) <= set(BUILDERS)

@@ -1,0 +1,110 @@
+"""Tests for decomposition trees: structure, w_T definition, min leaf cuts."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import InvalidInputError
+from repro.decomposition.tree import DecompositionTree, TreeAssembler, min_leaf_cut
+from repro.graph.generators import grid_2d
+
+
+@pytest.fixture
+def path_tree(path3):
+    """Decomposition tree ((0,1),2) over the path a-b-c."""
+    asm = TreeAssembler(path3)
+    l0 = asm.add_leaf(0)
+    l1 = asm.add_leaf(1)
+    l2 = asm.add_leaf(2)
+    inner = asm.add_internal([l0, l1])
+    root = asm.add_internal([inner, l2])
+    return asm.finish(root)
+
+
+class TestAssembler:
+    def test_leaf_bijection_enforced(self, path3):
+        asm = TreeAssembler(path3)
+        l0 = asm.add_leaf(0)
+        l1 = asm.add_leaf(1)
+        root = asm.add_internal([l0, l1])
+        with pytest.raises(InvalidInputError):
+            asm.finish(root)  # vertex 2 missing
+
+    def test_duplicate_parent_rejected(self, path3):
+        asm = TreeAssembler(path3)
+        l0 = asm.add_leaf(0)
+        asm.add_internal([l0])
+        with pytest.raises(InvalidInputError):
+            asm.add_internal([l0])
+
+    def test_vertex_range_checked(self, path3):
+        asm = TreeAssembler(path3)
+        with pytest.raises(InvalidInputError):
+            asm.add_leaf(5)
+
+    def test_edge_weights_are_cut_weights(self, path_tree, path3):
+        # Node over {0,1}: cut weight = w(1,2) = 3. Leaves: boundary of
+        # singletons.
+        sets = path_tree.leaf_sets()
+        for v in range(path_tree.n_nodes):
+            if path_tree.parent[v] >= 0:
+                assert path_tree.edge_weight[v] == pytest.approx(
+                    path3.cut_weight(sets[v])
+                )
+
+    def test_validate_passes(self, path_tree):
+        path_tree.validate()
+
+    def test_validate_catches_corruption(self, path_tree):
+        path_tree.edge_weight[0] += 17.0
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            path_tree.validate()
+
+
+class TestStructure:
+    def test_postorder_children_first(self, path_tree):
+        order = path_tree.postorder().tolist()
+        pos = {v: i for i, v in enumerate(order)}
+        for v in range(path_tree.n_nodes):
+            for c in path_tree.children[v]:
+                assert pos[c] < pos[v]
+
+    def test_depth(self, path_tree):
+        assert path_tree.depth() == 2
+
+    def test_leaf_sets_nested(self, path_tree):
+        sets = path_tree.leaf_sets()
+        assert sets[path_tree.root].tolist() == [0, 1, 2]
+
+
+class TestMinLeafCut:
+    def test_singleton(self, path_tree, path3):
+        # Separating {0}: cheapest tree cut is its leaf edge, weight = 2.
+        assert min_leaf_cut(path_tree, np.array([0])) == pytest.approx(2.0)
+
+    def test_contiguous_pair(self, path_tree):
+        # Separating {0,1}: cut the internal edge of weight 3.
+        assert min_leaf_cut(path_tree, np.array([0, 1])) == pytest.approx(3.0)
+
+    def test_noncontiguous_set(self, path_tree):
+        # Separating {0,2} from {1}: must isolate leaf 1 (weight = w(0,1)+w(1,2) = 5).
+        val = min_leaf_cut(path_tree, np.array([0, 2]))
+        assert val == pytest.approx(5.0)
+
+    def test_trivial_sets(self, path_tree):
+        assert min_leaf_cut(path_tree, np.array([], dtype=np.int64)) == 0.0
+        assert min_leaf_cut(path_tree, np.array([0, 1, 2])) == 0.0
+
+    def test_proposition1_random_sets(self):
+        """w_T(CUT_T(P)) >= w(CUT(m(P))) for arbitrary leaf sets (Prop. 1)."""
+        from repro.decomposition.spectral_tree import spectral_decomposition_tree
+
+        g = grid_2d(4, 4, weight_range=(0.5, 2.0), seed=3)
+        tree = spectral_decomposition_tree(g, seed=0)
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            size = int(rng.integers(1, g.n))
+            subset = rng.choice(g.n, size=size, replace=False)
+            assert min_leaf_cut(tree, subset) >= g.cut_weight(subset) - 1e-9

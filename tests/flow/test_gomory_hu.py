@@ -1,0 +1,71 @@
+"""Tests for Gomory–Hu trees: every pairwise min-cut in n−1 flows."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import InvalidInputError
+from repro.flow.gomory_hu import gomory_hu_tree, min_cut_from_tree
+from repro.flow.maxflow import max_flow
+from repro.graph.generators import grid_2d, random_regular
+
+
+class TestGomoryHu:
+    def test_tree_shape(self):
+        g = grid_2d(3, 3)
+        parent, flow = gomory_hu_tree(g)
+        assert parent[0] == -1
+        assert (parent[1:] >= 0).all()
+        # A tree: following parents always reaches the root.
+        for v in range(9):
+            seen = set()
+            while v != 0:
+                assert v not in seen
+                seen.add(v)
+                v = int(parent[v])
+
+    def test_all_pairs_grid(self):
+        g = grid_2d(3, 3, weight_range=(0.5, 2.0), seed=1)
+        parent, flow = gomory_hu_tree(g)
+        for u, v in itertools.combinations(range(9), 2):
+            direct, _ = max_flow(g, u, v)
+            assert min_cut_from_tree(parent, flow, u, v) == pytest.approx(
+                direct, abs=1e-9
+            ), (u, v)
+
+    def test_all_pairs_expander(self):
+        g = random_regular(12, 3, seed=5)
+        parent, flow = gomory_hu_tree(g)
+        for u, v in itertools.combinations(range(12), 2):
+            direct, _ = max_flow(g, u, v)
+            assert min_cut_from_tree(parent, flow, u, v) == pytest.approx(direct)
+
+    def test_same_vertex_inf(self):
+        g = grid_2d(2, 2)
+        parent, flow = gomory_hu_tree(g)
+        assert min_cut_from_tree(parent, flow, 1, 1) == float("inf")
+
+    def test_disconnected_rejected(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(InvalidInputError):
+            gomory_hu_tree(g)
+
+    def test_single_vertex(self):
+        parent, flow = gomory_hu_tree(Graph(1, []))
+        assert parent.tolist() == [-1]
+
+    def test_bad_pair(self):
+        g = grid_2d(2, 2)
+        parent, flow = gomory_hu_tree(g)
+        with pytest.raises(InvalidInputError):
+            min_cut_from_tree(parent, flow, 0, 99)
+
+    def test_tree_edge_weights_are_cuts(self):
+        """Each tree edge's flow equals the min cut between its endpoints."""
+        g = grid_2d(3, 3, weight_range=(1.0, 3.0), seed=2)
+        parent, flow = gomory_hu_tree(g)
+        for v in range(1, 9):
+            direct, _ = max_flow(g, v, int(parent[v]))
+            assert flow[v] == pytest.approx(direct)

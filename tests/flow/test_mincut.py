@@ -1,0 +1,75 @@
+"""Tests for Stoer–Wagner global min cut and s-t cuts."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import InvalidInputError
+from repro.flow.maxflow import max_flow
+from repro.flow.mincut import isolating_cut_weight, st_min_cut, stoer_wagner
+from repro.graph.generators import grid_2d, random_regular
+
+
+class TestStoerWagner:
+    def test_two_cliques_bridge(self, two_blocks):
+        value, mask = stoer_wagner(two_blocks)
+        assert value == pytest.approx(0.5)
+        assert mask.sum() in (6, 6)
+
+    def test_cycle(self):
+        g = Graph(5, [(i, (i + 1) % 5, 1.0) for i in range(5)])
+        value, mask = stoer_wagner(g)
+        assert value == pytest.approx(2.0)  # any two cycle edges
+
+    def test_star_cuts_lightest_leaf(self):
+        g = Graph(4, [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)])
+        value, mask = stoer_wagner(g)
+        assert value == pytest.approx(1.0)
+        assert mask.sum() in (1, 3)
+
+    def test_disconnected_zero(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        value, mask = stoer_wagner(g)
+        assert value == 0.0
+        assert 0 < mask.sum() < 4
+        assert g.cut_weight(mask) == 0.0
+
+    def test_matches_gomory_hu_minimum(self):
+        from repro.flow.gomory_hu import gomory_hu_tree
+
+        g = random_regular(14, 3, seed=3)
+        value, mask = stoer_wagner(g)
+        parent, flow = gomory_hu_tree(g)
+        # Global min cut = lightest Gomory-Hu tree edge.
+        assert value == pytest.approx(float(flow[1:].min()))
+        assert g.cut_weight(mask) == pytest.approx(value)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_certificate_and_lower_bound(self, seed):
+        g = grid_2d(4, 4, weight_range=(0.5, 2.0), seed=seed)
+        value, mask = stoer_wagner(g)
+        assert g.cut_weight(mask) == pytest.approx(value)
+        # Global min cut lower-bounds every s-t cut.
+        v01, _ = max_flow(g, 0, 15)
+        assert value <= v01 + 1e-9
+
+    def test_too_small(self):
+        with pytest.raises(InvalidInputError):
+            stoer_wagner(Graph(1, []))
+
+
+class TestStMinCut:
+    def test_basic(self, two_blocks):
+        value, side = st_min_cut(two_blocks, 0, 6)
+        assert value == pytest.approx(0.5)
+        assert side[:6].all() and not side[6:].any()
+
+    def test_bad_terminals(self, two_blocks):
+        with pytest.raises(InvalidInputError):
+            st_min_cut(two_blocks, 3, 3)
+
+
+class TestIsolatingCut:
+    def test_equals_boundary(self, grid44):
+        s = np.array([0, 1, 4, 5])
+        assert isolating_cut_weight(grid44, s) == grid44.cut_weight(s)

@@ -1,0 +1,222 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.graph.generators import (
+    grid_2d,
+    layered_dag,
+    planted_partition,
+    power_law,
+    random_demands,
+    random_geometric,
+    random_regular,
+    random_tree,
+    random_weights,
+    torus_2d,
+)
+
+
+class TestGrid:
+    def test_counts(self):
+        g = grid_2d(3, 5)
+        assert g.n == 15
+        assert g.m == 3 * 4 + 2 * 5  # horizontal + vertical
+
+    def test_unit_weights_by_default(self):
+        g = grid_2d(2, 2)
+        assert np.allclose(g.edges_w, 1.0)
+
+    def test_weight_range(self):
+        g = grid_2d(3, 3, weight_range=(2.0, 4.0), seed=0)
+        assert g.edges_w.min() >= 2.0
+        assert g.edges_w.max() <= 4.0
+
+    def test_determinism(self):
+        a = grid_2d(3, 3, weight_range=(1, 2), seed=5)
+        b = grid_2d(3, 3, weight_range=(1, 2), seed=5)
+        assert a == b
+
+    def test_bad_dims(self):
+        with pytest.raises(InvalidInputError):
+            grid_2d(0, 3)
+
+
+class TestTorus:
+    def test_regular_degree(self):
+        g = torus_2d(4, 5)
+        assert all(g.degree(v) == 4 for v in range(g.n))
+
+    def test_small_dims_rejected(self):
+        with pytest.raises(InvalidInputError):
+            torus_2d(2, 5)
+
+
+class TestRandomRegular:
+    def test_degrees(self):
+        g = random_regular(20, 3, seed=1)
+        assert all(g.degree(v) == 3 for v in range(20))
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(InvalidInputError):
+            random_regular(5, 3)
+
+    def test_d_too_large(self):
+        with pytest.raises(InvalidInputError):
+            random_regular(4, 4)
+
+    def test_determinism(self):
+        assert random_regular(12, 3, seed=9) == random_regular(12, 3, seed=9)
+
+
+class TestPowerLaw:
+    def test_size_and_connectivity(self):
+        g = power_law(60, m_per_node=2, seed=3)
+        assert g.n == 60
+        assert g.is_connected()
+
+    def test_heavy_tail(self):
+        g = power_law(200, m_per_node=2, seed=4)
+        degs = np.array([g.degree(v) for v in range(g.n)])
+        # Hubs exist: max degree far above the median.
+        assert degs.max() >= 4 * np.median(degs)
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidInputError):
+            power_law(3, m_per_node=3)
+
+
+class TestPlantedPartition:
+    def test_block_structure(self):
+        g = planted_partition(3, 10, 1.0, 0.0, seed=0)
+        # p_out = 0: three disconnected cliques.
+        ncomp, _ = g.connected_components()
+        assert ncomp == 3
+
+    def test_weights_assigned_by_block(self):
+        g = planted_partition(2, 4, 1.0, 1.0, weight_in=5.0, weight_out=0.5, seed=0)
+        block = np.arange(8) // 4
+        for u, v, w in g.iter_edges():
+            expected = 5.0 if block[u] == block[v] else 0.5
+            assert w == expected
+
+    def test_bad_probs(self):
+        with pytest.raises(InvalidInputError):
+            planted_partition(2, 3, 0.1, 0.9)
+
+
+class TestGeometric:
+    def test_radius_effect(self):
+        sparse = random_geometric(50, 0.1, seed=2)
+        dense = random_geometric(50, 0.5, seed=2)
+        assert dense.m > sparse.m
+
+    def test_bad_radius(self):
+        with pytest.raises(InvalidInputError):
+            random_geometric(10, 0.0)
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        g = random_tree(30, seed=7)
+        assert g.m == 29
+        assert g.is_connected()
+
+    def test_singleton(self):
+        g = random_tree(1)
+        assert g.n == 1 and g.m == 0
+
+
+class TestLayeredDag:
+    def test_shape(self):
+        g = layered_dag(4, 5, fan_out=2, seed=0)
+        assert g.n == 20
+        # Edges only between adjacent layers.
+        for u, v, _ in g.iter_edges():
+            assert abs(u // 5 - v // 5) == 1
+
+    def test_bad_fanout(self):
+        with pytest.raises(InvalidInputError):
+            layered_dag(3, 2, fan_out=3)
+
+
+class TestRandomWeights:
+    def test_reweights_in_range(self, grid44):
+        g = random_weights(grid44, 3.0, 5.0, seed=0)
+        assert g.n == grid44.n and g.m == grid44.m
+        assert g.edges_w.min() >= 3.0 and g.edges_w.max() <= 5.0
+
+    def test_bad_range(self, grid44):
+        with pytest.raises(InvalidInputError):
+            random_weights(grid44, 2.0, 1.0)
+
+
+class TestRandomDemands:
+    def test_total_fill(self):
+        d = random_demands(20, 8.0, fill=0.5, seed=1)
+        assert d.sum() == pytest.approx(4.0)
+
+    def test_entries_within_unit(self):
+        d = random_demands(10, 8.0, fill=1.0, skew=2.0, seed=2)
+        assert d.min() > 0
+        assert d.max() <= 1.0
+
+    def test_zero_skew_uniform(self):
+        d = random_demands(8, 4.0, fill=0.5, skew=0.0)
+        assert np.allclose(d, d[0])
+
+    def test_bad_fill(self):
+        with pytest.raises(InvalidInputError):
+            random_demands(5, 4.0, fill=0.0)
+
+
+class TestHypercube:
+    def test_structure(self):
+        from repro.graph.generators import hypercube
+
+        g = hypercube(3)
+        assert g.n == 8
+        assert g.m == 12  # dim * 2^(dim-1)
+        assert all(g.degree(v) == 3 for v in range(8))
+        assert g.is_connected()
+
+    def test_hamming_neighbours(self):
+        from repro.graph.generators import hypercube
+
+        g = hypercube(4)
+        for u, v, _ in g.iter_edges():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_bad_dim(self):
+        from repro.graph.generators import hypercube
+
+        with pytest.raises(InvalidInputError):
+            hypercube(0)
+        with pytest.raises(InvalidInputError):
+            hypercube(20)
+
+
+class TestRmat:
+    def test_size_and_tail(self):
+        from repro.graph.generators import rmat
+
+        g = rmat(8, edge_factor=4, seed=1)
+        assert g.n == 256
+        degs = np.array([g.degree(v) for v in range(g.n)])
+        # Heavy tail: hubs far above the median of connected vertices.
+        pos = degs[degs > 0]
+        assert degs.max() >= 5 * np.median(pos)
+
+    def test_deterministic(self):
+        from repro.graph.generators import rmat
+
+        assert rmat(6, seed=3) == rmat(6, seed=3)
+
+    def test_probs_validated(self):
+        from repro.graph.generators import rmat
+
+        with pytest.raises(InvalidInputError):
+            rmat(5, probs=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(InvalidInputError):
+            rmat(1)

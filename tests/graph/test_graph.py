@@ -1,0 +1,208 @@
+"""Unit tests for the CSR graph kernel."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import InvalidInputError
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.n == 0 and g.m == 0
+        assert g.total_weight == 0.0
+
+    def test_isolated_vertices(self):
+        g = Graph(5, [])
+        assert g.n == 5 and g.m == 0
+        assert g.degree(3) == 0
+
+    def test_basic_edges(self, path3):
+        assert path3.n == 3
+        assert path3.m == 2
+        assert path3.total_weight == 5.0
+
+    def test_canonical_orientation(self):
+        g = Graph(3, [(2, 0, 1.0), (1, 0, 1.0)])
+        assert (g.edges_u < g.edges_v).all()
+
+    def test_parallel_edges_merge(self):
+        g = Graph(2, [(0, 1, 1.0), (1, 0, 2.5)])
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == pytest.approx(3.5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidInputError):
+            Graph(2, [(0, 0, 1.0)])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(InvalidInputError):
+            Graph(2, [(0, 2, 1.0)])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(InvalidInputError):
+            Graph(2, [(0, 1, 0.0)])
+        with pytest.raises(InvalidInputError):
+            Graph(2, [(0, 1, -1.0)])
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(InvalidInputError):
+            Graph(2, [(0, 1, float("nan"))])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(InvalidInputError):
+            Graph(-1, [])
+
+    def test_from_edge_arrays_matches_constructor(self):
+        eu = np.array([0, 1, 2])
+        ev = np.array([1, 2, 0])
+        ew = np.array([1.0, 2.0, 3.0])
+        a = Graph.from_edge_arrays(3, eu, ev, ew)
+        b = Graph(3, list(zip(eu, ev, ew)))
+        assert a == b
+
+
+class TestQueries:
+    def test_neighbors_sorted_by_construction(self, triangle):
+        assert set(triangle.neighbors(0).tolist()) == {1, 2}
+
+    def test_degree(self, k4):
+        assert all(k4.degree(v) == 3 for v in range(4))
+
+    def test_weighted_degrees(self, path3):
+        assert np.allclose(path3.weighted_degrees, [2.0, 5.0, 3.0])
+
+    def test_edge_weight_present_absent(self, path3):
+        assert path3.edge_weight(0, 1) == 2.0
+        assert path3.edge_weight(1, 0) == 2.0
+        assert path3.edge_weight(0, 2) == 0.0
+
+    def test_has_edge(self, path3):
+        assert path3.has_edge(1, 2)
+        assert not path3.has_edge(0, 2)
+
+    def test_iter_edges_canonical(self, path3):
+        edges = list(path3.iter_edges())
+        assert edges == [(0, 1, 2.0), (1, 2, 3.0)]
+
+
+class TestCuts:
+    def test_cut_weight_mask(self, path3):
+        mask = np.array([True, False, False])
+        assert path3.cut_weight(mask) == 2.0
+
+    def test_cut_weight_vertex_list(self, path3):
+        assert path3.cut_weight([0, 1]) == 3.0
+
+    def test_cut_weight_trivial_sides(self, k4):
+        assert k4.cut_weight(np.zeros(4, dtype=bool)) == 0.0
+        assert k4.cut_weight(np.ones(4, dtype=bool)) == 0.0
+
+    def test_cut_complement_symmetry(self, grid44):
+        rng = np.random.default_rng(0)
+        mask = rng.random(16) < 0.5
+        assert grid44.cut_weight(mask) == pytest.approx(grid44.cut_weight(~mask))
+
+    def test_partition_cut_matches_pairwise_masks(self, grid44):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 3, size=16)
+        total = grid44.partition_cut_weight(labels)
+        # Sum of per-class boundary weights counts each cut edge twice.
+        per_class = sum(grid44.cut_weight(labels == c) for c in range(3))
+        assert total == pytest.approx(per_class / 2.0)
+
+    def test_boundary_edges(self, path3):
+        ids = path3.boundary_edges([0])
+        assert ids.tolist() == [0]
+
+    def test_volume_and_conductance(self, k4):
+        assert k4.volume([0]) == 3.0
+        # Isolating one K4 vertex: cut 3, min volume 3 -> conductance 1.
+        assert k4.conductance([0]) == pytest.approx(1.0)
+
+    def test_conductance_trivial_is_inf(self, k4):
+        assert k4.conductance([]) == float("inf")
+
+    def test_bad_mask_shape_rejected(self, path3):
+        with pytest.raises(InvalidInputError):
+            path3.cut_weight(np.zeros(5, dtype=bool))
+
+    def test_bad_labels_shape_rejected(self, path3):
+        with pytest.raises(InvalidInputError):
+            path3.partition_cut_weight(np.zeros(4, dtype=np.int64))
+
+
+class TestTransforms:
+    def test_subgraph_basic(self, grid44):
+        sub, back = grid44.subgraph([0, 1, 2, 3])
+        assert sub.n == 4
+        assert sub.m == 3  # top row is a path
+        assert back.tolist() == [0, 1, 2, 3]
+
+    def test_subgraph_relabels(self, path3):
+        sub, back = path3.subgraph([2, 1])
+        assert sub.n == 2
+        assert sub.edge_weight(0, 1) == 3.0
+        assert back.tolist() == [2, 1]
+
+    def test_subgraph_duplicate_rejected(self, path3):
+        with pytest.raises(InvalidInputError):
+            path3.subgraph([0, 0])
+
+    def test_contract_merges_and_sums(self, k4):
+        labels = np.array([0, 0, 1, 1])
+        q = k4.contract(labels)
+        assert q.n == 2
+        assert q.m == 1
+        assert q.edge_weight(0, 1) == 4.0  # 4 crossing unit edges
+
+    def test_contract_preserves_cut(self, grid44):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 4, size=16)
+        q = grid44.contract(labels)
+        # Quotient total weight == weight of edges crossing labels.
+        assert q.total_weight == pytest.approx(
+            grid44.partition_cut_weight(labels)
+        )
+
+    def test_connected_components(self):
+        g = Graph(5, [(0, 1, 1.0), (2, 3, 1.0)])
+        ncomp, labels = g.connected_components()
+        assert ncomp == 3
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_is_connected(self, grid44):
+        assert grid44.is_connected()
+        assert not Graph(3, [(0, 1, 1.0)]).is_connected()
+        assert Graph(1, []).is_connected()
+        assert Graph(0, []).is_connected()
+
+
+class TestInterop:
+    def test_networkx_round_trip(self, grid44):
+        nxg = grid44.to_networkx()
+        back = Graph.from_networkx(nxg)
+        assert back == grid44
+
+    def test_from_networkx_default_weights(self):
+        import networkx as nx
+
+        nxg = nx.path_graph(3)
+        g = Graph.from_networkx(nxg)
+        assert g.total_weight == 2.0
+
+    def test_from_networkx_bad_labels(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        with pytest.raises(InvalidInputError):
+            Graph.from_networkx(nxg)
+
+    def test_scipy_sparse_symmetric(self, grid44):
+        a = grid44.to_scipy_sparse()
+        assert (abs(a - a.T)).nnz == 0
+        assert a.sum() == pytest.approx(2 * grid44.total_weight)

@@ -1,0 +1,83 @@
+"""Round-trip and format tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import InvalidInputError
+from repro.graph.io import read_edgelist, read_metis, write_edgelist, write_metis
+
+
+class TestEdgelist:
+    def test_round_trip_exact(self, tmp_path, grid44):
+        p = tmp_path / "g.edges"
+        write_edgelist(p, grid44)
+        back = read_edgelist(p)
+        assert back == grid44
+
+    def test_float_weights_exact(self, tmp_path):
+        g = Graph(2, [(0, 1, 0.1234567890123)])
+        p = tmp_path / "w.edges"
+        write_edgelist(p, g)
+        assert read_edgelist(p).edges_w[0] == g.edges_w[0]
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.edges"
+        p.write_text("")
+        with pytest.raises(InvalidInputError):
+            read_edgelist(p)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        p = tmp_path / "bad.edges"
+        p.write_text("2 2\n0 1 1.0\n")
+        with pytest.raises(InvalidInputError):
+            read_edgelist(p)
+
+
+class TestMetis:
+    def test_round_trip_topology(self, tmp_path, grid44):
+        p = tmp_path / "g.graph"
+        write_metis(p, grid44, weight_scale=1.0)
+        back, vw = read_metis(p)
+        assert vw is None
+        assert back.n == grid44.n
+        assert back.m == grid44.m
+        assert back == grid44  # unit weights survive scale 1
+
+    def test_vertex_weights(self, tmp_path, path3):
+        demands = np.array([0.5, 0.25, 1.0])
+        p = tmp_path / "d.graph"
+        write_metis(p, path3, demands=demands, weight_scale=100.0)
+        back, vw = read_metis(p)
+        assert vw is not None
+        assert np.allclose(vw / 100.0, demands)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        p = tmp_path / "c.graph"
+        p.write_text("% a comment\n2 1 1\n2 3\n1 3\n")
+        g, _ = read_metis(p)
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_header_vertex_mismatch(self, tmp_path):
+        p = tmp_path / "bad.graph"
+        p.write_text("3 1 1\n2 3\n1 3\n")
+        with pytest.raises(InvalidInputError):
+            read_metis(p)
+
+    def test_header_edge_mismatch(self, tmp_path):
+        p = tmp_path / "bad2.graph"
+        p.write_text("2 5 1\n2 3\n1 3\n")
+        with pytest.raises(InvalidInputError):
+            read_metis(p)
+
+    def test_bad_demands_shape(self, tmp_path, path3):
+        with pytest.raises(InvalidInputError):
+            write_metis(tmp_path / "x.graph", path3, demands=np.ones(5))
+
+    def test_unweighted_format(self, tmp_path):
+        p = tmp_path / "u.graph"
+        p.write_text("3 2 0\n2\n1 3\n2\n")
+        g, vw = read_metis(p)
+        assert g.m == 2
+        assert np.allclose(g.edges_w, 1.0)

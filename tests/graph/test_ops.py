@@ -1,0 +1,132 @@
+"""Tests for traversal, shortest paths, MST, union-find."""
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import InvalidInputError
+from repro.graph.ops import (
+    UnionFind,
+    all_pairs_dijkstra,
+    bfs_order,
+    dijkstra,
+    largest_component,
+    minimum_spanning_tree,
+)
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert uf.n_sets == 4
+        assert not uf.same(0, 1)
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.same(0, 1)
+        assert uf.n_sets == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.n_sets == 2
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.same(0, 2)
+        assert not uf.same(2, 3)
+
+
+class TestBFS:
+    def test_order_starts_at_source(self, grid44):
+        order = bfs_order(grid44, 5)
+        assert order[0] == 5
+        assert sorted(order.tolist()) == list(range(16))
+
+    def test_partial_component(self):
+        g = Graph(4, [(0, 1, 1.0)])
+        order = bfs_order(g, 0)
+        assert sorted(order.tolist()) == [0, 1]
+
+    def test_bad_source(self, grid44):
+        with pytest.raises(InvalidInputError):
+            bfs_order(grid44, 99)
+
+
+class TestDijkstra:
+    def test_unit_lengths_grid(self, grid44):
+        # Explicit unit lengths: distance = hop count.
+        dist = dijkstra(grid44, 0, lengths=np.ones(grid44.m))
+        assert dist[0] == 0.0
+        assert dist[3] == 3.0
+        assert dist[15] == 6.0
+
+    def test_default_inverse_weight_metric(self):
+        g = Graph(3, [(0, 1, 2.0), (1, 2, 4.0)])
+        dist = dijkstra(g, 0)
+        assert dist[1] == pytest.approx(0.5)
+        assert dist[2] == pytest.approx(0.75)
+
+    def test_unreachable_inf(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        dist = dijkstra(g, 0, lengths=np.ones(1))
+        assert dist[2] == float("inf")
+
+    def test_all_pairs_symmetric(self, grid44):
+        dist = all_pairs_dijkstra(grid44, lengths=np.ones(grid44.m))
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+
+    def test_triangle_inequality(self, grid44):
+        dist = all_pairs_dijkstra(grid44, lengths=np.ones(grid44.m))
+        n = grid44.n
+        for i in range(0, n, 3):
+            for j in range(0, n, 3):
+                for k in range(0, n, 3):
+                    assert dist[i, j] <= dist[i, k] + dist[k, j] + 1e-9
+
+    def test_bad_lengths_shape(self, grid44):
+        with pytest.raises(InvalidInputError):
+            dijkstra(grid44, 0, lengths=np.ones(3))
+
+
+class TestMST:
+    def test_spanning_tree_size(self, grid44):
+        edges = minimum_spanning_tree(grid44)
+        assert edges.size == grid44.n - 1
+
+    def test_min_tree_weight(self):
+        # Square with one heavy diagonal-ish edge: MST avoids the heavy one.
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 10.0)])
+        edges = minimum_spanning_tree(g)
+        total = g.edges_w[edges].sum()
+        assert total == pytest.approx(3.0)
+
+    def test_max_tree_weight(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 10.0)])
+        edges = minimum_spanning_tree(g, maximize=True)
+        total = g.edges_w[edges].sum()
+        assert total == pytest.approx(12.0)
+
+    def test_forest_on_disconnected(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        edges = minimum_spanning_tree(g)
+        assert edges.size == 2
+
+
+class TestLargestComponent:
+    def test_connected_identity(self, grid44):
+        sub, verts = largest_component(grid44)
+        assert sub is grid44
+        assert verts.size == 16
+
+    def test_picks_biggest(self):
+        g = Graph(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        sub, verts = largest_component(g)
+        assert sub.n == 3
+        assert sorted(verts.tolist()) == [0, 1, 2]

@@ -1,0 +1,106 @@
+"""Tests for decomposition-tree binarization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.decomposition.tree import TreeAssembler
+from repro.errors import InvalidInputError
+from repro.graph.generators import grid_2d, power_law
+from repro.decomposition.spectral_tree import spectral_decomposition_tree
+from repro.decomposition.contraction import contraction_decomposition_tree
+from repro.hgpt.binarize import INF_WEIGHT, binarize
+
+
+def star_tree(g):
+    """A root with every vertex as a direct child (max fan-out)."""
+    asm = TreeAssembler(g)
+    leaves = [asm.add_leaf(v) for v in range(g.n)]
+    return asm.finish(asm.add_internal(leaves))
+
+
+class TestBinarize:
+    def test_binary_everywhere(self, grid44):
+        tree = star_tree(grid44)
+        bt = binarize(tree, np.ones(grid44.n, dtype=np.int64))
+        bt.validate()
+        for v in range(bt.n_nodes):
+            leaf = bt.left[v] < 0
+            assert leaf == (bt.right[v] < 0)
+
+    def test_leaf_count_preserved(self, grid44):
+        tree = spectral_decomposition_tree(grid44, seed=0)
+        bt = binarize(tree, np.full(grid44.n, 2, dtype=np.int64))
+        leaves = [v for v in range(bt.n_nodes) if bt.is_leaf(v)]
+        assert sorted(int(bt.vertex[v]) for v in leaves) == list(range(grid44.n))
+
+    def test_demands_attached(self, grid44):
+        tree = spectral_decomposition_tree(grid44, seed=0)
+        q = np.arange(1, grid44.n + 1, dtype=np.int64)
+        bt = binarize(tree, q)
+        for v in range(bt.n_nodes):
+            if bt.is_leaf(v):
+                assert bt.demand[v] == q[bt.vertex[v]]
+
+    def test_dummy_edges_infinite_real_edges_kept(self, grid44):
+        tree = star_tree(grid44)
+        bt = binarize(tree, np.ones(grid44.n, dtype=np.int64))
+        # Leaves keep their original (finite) cut weights; the added dummy
+        # internal nodes carry INF except the gadget root (tree root, 0).
+        n_inf = 0
+        for v in range(bt.n_nodes):
+            if bt.is_leaf(v):
+                assert math.isfinite(bt.up_weight[v])
+            elif v != bt.root:
+                assert bt.up_weight[v] == INF_WEIGHT
+                n_inf += 1
+        assert n_inf == grid44.n - 2  # f-1 dummies, one is the root
+
+    def test_leaf_weights_match_tree(self, grid44):
+        tree = spectral_decomposition_tree(grid44, seed=1)
+        bt = binarize(tree, np.ones(grid44.n, dtype=np.int64))
+        # Each binary leaf's up-weight equals the decomposition tree's
+        # leaf edge weight (the boundary of the singleton).
+        for v in range(bt.n_nodes):
+            if bt.is_leaf(v) and v != bt.root:
+                vert = int(bt.vertex[v])
+                t_leaf = int(tree.leaf_node_of_vertex[vert])
+                assert bt.up_weight[v] == pytest.approx(
+                    float(tree.edge_weight[t_leaf])
+                )
+
+    def test_root_weight_zero(self, grid44):
+        tree = spectral_decomposition_tree(grid44, seed=0)
+        bt = binarize(tree, np.ones(grid44.n, dtype=np.int64))
+        assert bt.up_weight[bt.root] == 0.0
+
+    def test_postorder_children_first(self, grid44):
+        tree = contraction_decomposition_tree(grid44, seed=0)
+        bt = binarize(tree, np.ones(grid44.n, dtype=np.int64))
+        pos = {v: i for i, v in enumerate(bt.postorder().tolist())}
+        for v in range(bt.n_nodes):
+            if not bt.is_leaf(v):
+                assert pos[int(bt.left[v])] < pos[v]
+                assert pos[int(bt.right[v])] < pos[v]
+
+    def test_zero_demand_rejected(self, grid44):
+        tree = spectral_decomposition_tree(grid44, seed=0)
+        q = np.ones(grid44.n, dtype=np.int64)
+        q[3] = 0
+        with pytest.raises(InvalidInputError):
+            binarize(tree, q)
+
+    def test_shape_mismatch_rejected(self, grid44):
+        tree = spectral_decomposition_tree(grid44, seed=0)
+        with pytest.raises(InvalidInputError):
+            binarize(tree, np.ones(3, dtype=np.int64))
+
+    def test_single_vertex(self):
+        g = Graph(1, [])
+        tree = star_tree(g)
+        bt = binarize(tree, np.array([4], dtype=np.int64))
+        # Unary root collapses onto the single leaf.
+        assert bt.is_leaf(bt.root)
+        assert bt.demand[bt.root] == 4

@@ -1,0 +1,154 @@
+"""Tests for the RHGPT signature DP, including a brute-force oracle.
+
+The oracle enumerates every *edge cut-level assignment* — each tree edge
+``e`` gets a deepest-kept level ``j_e`` and is cut at levels ``k > j_e``
+(this is exactly the shape of nice solutions, by Corollary 1) — derives
+the induced leaf components per level, checks capacities, and charges
+``w(e) · (cm(k−1) − cm(k))`` for every cut level whose child-side
+component is non-empty.  The minimum over all assignments must equal the
+DP's optimum on small trees.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro import Graph
+from repro.errors import SolverError
+from repro.graph.generators import grid_2d, random_tree
+from repro.decomposition.spectral_tree import spectral_decomposition_tree
+from repro.decomposition.contraction import contraction_decomposition_tree
+from repro.decomposition.tree import TreeAssembler
+from repro.hgpt.binarize import binarize
+from repro.hgpt.dp import DPStats, solve_rhgpt
+from repro.bench.oracles import brute_force_optimum, path_binary_tree
+
+simple_btree = path_binary_tree
+
+
+class TestHandCases:
+    def test_two_leaves_fit_together(self):
+        bt = simple_btree([5.0], [1, 1])
+        sol = solve_rhgpt(bt, caps=[2], deltas=[0.0, 1.0])
+        assert sol.cost == 0.0
+        assert len(sol.levels[0]) == 1
+
+    def test_two_leaves_must_split(self):
+        bt = simple_btree([5.0], [2, 2])
+        sol = solve_rhgpt(bt, caps=[3], deltas=[0.0, 1.0])
+        # One of the two leaf edges must be cut; both carry the path-cut
+        # weight 5 (w_T of a singleton = its boundary).
+        assert sol.cost == pytest.approx(5.0)
+        assert len(sol.levels[0]) == 2
+
+    def test_three_leaves_pick_cheapest_split(self):
+        # Path weights 1 and 9: separating {0} is cheap, {2} expensive.
+        bt = simple_btree([1.0, 9.0], [2, 2, 2])
+        sol = solve_rhgpt(bt, caps=[4], deltas=[0.0, 1.0])
+        # Must split into {0} + {1,2} (boundary of {0} is 1).
+        assert sol.cost == pytest.approx(1.0)
+        sizes = sorted(s.size for s in sol.levels[0])
+        assert sizes == [1, 2]
+
+    def test_h2_two_level_costs(self):
+        # Two leaves, h=2, caps force level-2 split but allow level-1 union.
+        bt = simple_btree([4.0], [2, 2])
+        sol = solve_rhgpt(bt, caps=[4, 2], deltas=[0.0, 7.0, 3.0])
+        # Split only at level 2: pay w * delta(2) = 4 * 3.
+        assert sol.cost == pytest.approx(12.0)
+        assert len(sol.levels[0]) == 1
+        assert len(sol.levels[1]) == 2
+
+    def test_h2_forced_full_split(self):
+        bt = simple_btree([4.0], [2, 2])
+        sol = solve_rhgpt(bt, caps=[2, 2], deltas=[0.0, 7.0, 3.0])
+        # Both levels split: pay 4 * (7 + 3).
+        assert sol.cost == pytest.approx(40.0)
+
+    def test_infeasible_leaf_raises(self):
+        bt = simple_btree([1.0], [5, 1])
+        with pytest.raises(SolverError):
+            solve_rhgpt(bt, caps=[4], deltas=[0.0, 1.0])
+
+
+class TestOracle:
+    """DP == exhaustive enumeration on random small trees."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_h1_random(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 5
+        weights = rng.uniform(0.5, 3.0, size=n - 1).round(2)
+        demands = rng.integers(1, 4, size=n)
+        bt = simple_btree(list(weights), list(demands))
+        caps = [int(demands.sum()) // 2 + 2]
+        deltas = [0.0, 1.0]
+        sol = solve_rhgpt(bt, caps, deltas)
+        assert sol.cost == pytest.approx(brute_force_optimum(bt, caps, deltas))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_h2_random(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 4
+        weights = rng.uniform(0.5, 3.0, size=n - 1).round(2)
+        demands = rng.integers(1, 3, size=n)
+        bt = simple_btree(list(weights), list(demands))
+        total = int(demands.sum())
+        caps = [total, max(2, total // 2)]
+        deltas = [0.0, float(rng.uniform(1, 5)), float(rng.uniform(0.1, 1))]
+        sol = solve_rhgpt(bt, caps, deltas)
+        assert sol.cost == pytest.approx(brute_force_optimum(bt, caps, deltas))
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_h2_on_real_decomposition_tree(self, seed):
+        g = grid_2d(2, 3, weight_range=(0.5, 2.0), seed=seed)
+        tree = spectral_decomposition_tree(g, seed=seed)
+        q = np.ones(g.n, dtype=np.int64)
+        bt = binarize(tree, q)
+        caps = [6, 3]
+        deltas = [0.0, 2.0, 1.0]
+        sol = solve_rhgpt(bt, caps, deltas)
+        assert sol.cost == pytest.approx(brute_force_optimum(bt, caps, deltas))
+
+
+class TestSolutionStructure:
+    def test_validates_as_rhgpt_solution(self):
+        g = grid_2d(3, 4, weight_range=(0.5, 2.0), seed=5)
+        tree = contraction_decomposition_tree(g, seed=5)
+        q = np.full(g.n, 2, dtype=np.int64)
+        bt = binarize(tree, q)
+        caps = [16, 6]
+        sol = solve_rhgpt(bt, caps, [0.0, 2.0, 1.0])
+        sol.validate(g.n, caps, q)
+
+    def test_beam_is_sound(self):
+        g = grid_2d(3, 4, weight_range=(0.5, 2.0), seed=6)
+        tree = spectral_decomposition_tree(g, seed=6)
+        q = np.full(g.n, 2, dtype=np.int64)
+        bt = binarize(tree, q)
+        caps = [16, 6]
+        exact = solve_rhgpt(bt, caps, [0.0, 2.0, 1.0])
+        beamed = solve_rhgpt(bt, caps, [0.0, 2.0, 1.0], beam_width=3)
+        beamed.validate(g.n, caps, q)
+        assert beamed.cost >= exact.cost - 1e-9
+
+    def test_stats_populated(self):
+        bt = simple_btree([1.0, 2.0, 3.0], [1, 1, 1, 1])
+        stats = DPStats()
+        solve_rhgpt(bt, caps=[4], deltas=[0.0, 1.0], stats=stats)
+        assert stats.nodes == bt.n_nodes
+        assert stats.states_max >= 1
+
+    def test_monotone_capacity_requirement(self):
+        bt = simple_btree([1.0], [1, 1])
+        with pytest.raises(SolverError):
+            solve_rhgpt(bt, caps=[1, 2], deltas=[0.0, 1.0, 1.0])
+
+    def test_delta_validation(self):
+        bt = simple_btree([1.0], [1, 1])
+        with pytest.raises(SolverError):
+            solve_rhgpt(bt, caps=[2], deltas=[0.0])
+        with pytest.raises(SolverError):
+            solve_rhgpt(bt, caps=[2], deltas=[0.0, -1.0])

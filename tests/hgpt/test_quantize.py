@@ -1,0 +1,105 @@
+"""Tests for demand grids (the Hochbaum–Shmoys rounding)."""
+
+import numpy as np
+import pytest
+
+from repro import Hierarchy
+from repro.errors import InfeasibleError, InvalidInputError
+from repro.hgpt.quantize import DemandGrid
+
+
+class TestEpsilonGrid:
+    def test_unit_definition(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=10, epsilon=0.5)
+        assert grid.unit == pytest.approx(0.5 * 1.0 / 10)
+        assert grid.epsilon == 0.5
+
+    def test_caps_monotone(self, hier_deep):
+        grid = DemandGrid.from_epsilon(hier_deep, n=8, epsilon=0.3)
+        caps = list(grid.caps)
+        assert caps == sorted(caps, reverse=True)
+
+    def test_caps_embed_slack(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=4, epsilon=1.0)
+        # unit = 1/4; C'(h) = floor(2.0 / 0.25) = 8.
+        assert grid.caps[2] == 8
+
+    def test_rounding_epsilon_matches(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=12, epsilon=0.4)
+        assert grid.rounding_epsilon(12) == pytest.approx(0.4)
+
+    def test_bad_params(self, hier_2x4):
+        with pytest.raises(InvalidInputError):
+            DemandGrid.from_epsilon(hier_2x4, n=0, epsilon=0.5)
+        with pytest.raises(InvalidInputError):
+            DemandGrid.from_epsilon(hier_2x4, n=4, epsilon=0.0)
+
+
+class TestBudgetGrid:
+    def test_total_near_budget(self, hier_2x4):
+        d = np.full(16, 0.3)
+        grid = DemandGrid.from_budget(hier_2x4, d, budget=64)
+        q = grid.quantize(d)
+        assert 64 <= q.sum() <= 64 + 16  # ceil rounding adds < 1 per vertex
+
+    def test_slack_decoupled(self, hier_2x4):
+        d = np.full(16, 0.3)
+        grid = DemandGrid.from_budget(hier_2x4, d, budget=64, slack=0.1)
+        assert grid.epsilon == 0.1
+
+    def test_budget_below_n_rejected(self, hier_2x4):
+        with pytest.raises(InvalidInputError):
+            DemandGrid.from_budget(hier_2x4, np.full(16, 0.3), budget=8)
+
+    def test_bad_demands(self, hier_2x4):
+        with pytest.raises(InvalidInputError):
+            DemandGrid.from_budget(hier_2x4, np.array([0.5, -0.1]), budget=4)
+
+
+class TestQuantize:
+    def test_positive_cells(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=5, epsilon=0.5)
+        q = grid.quantize(np.array([1e-9, 0.5, 1.0, 0.2, 0.7]))
+        assert (q >= 1).all()
+
+    def test_ceil_rounding(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=4, epsilon=1.0)  # unit 0.25
+        q = grid.quantize(np.array([0.25, 0.26, 0.74, 1.0]))
+        assert q.tolist() == [1, 2, 3, 4]
+
+    def test_feasible_real_stays_grid_feasible(self, hier_2x4):
+        """Lower-bound direction: a full feasible leaf still fits its cap."""
+        for n, eps in [(8, 0.5), (16, 0.25), (12, 1.0)]:
+            grid = DemandGrid.from_epsilon(hier_2x4, n=n, epsilon=eps)
+            rng = np.random.default_rng(n)
+            # n vertices summing exactly to leaf capacity 1.
+            d = rng.random(n)
+            d = d / d.sum()
+            q = grid.quantize(d)
+            assert q.sum() <= grid.caps[hier_2x4.h], (n, eps)
+
+    def test_grid_feasible_bounds_real_load(self, hier_2x4):
+        """Upper-bound direction: C'(j) cells dequantize to <= (1+eps) CP(j)."""
+        grid = DemandGrid.from_epsilon(hier_2x4, n=10, epsilon=0.3)
+        for j in range(hier_2x4.h + 1):
+            assert grid.dequantize_load(grid.caps[j]) <= (1.3) * hier_2x4.capacity(
+                j
+            ) + 1e-9
+
+    def test_oversized_vertex_rejected(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=4, epsilon=0.1)
+        with pytest.raises(InfeasibleError):
+            grid.quantize(np.array([0.5, 0.5, 0.5, 1.5]))
+
+    def test_total_overflow_rejected(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=10, epsilon=0.1)
+        with pytest.raises(InfeasibleError):
+            grid.quantize(np.full(10, 1.0))  # total 10 > 8 (+slack)
+
+    def test_violation_bound(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=4, epsilon=0.2)
+        assert grid.violation_bound(1) == pytest.approx(1.2)
+
+    def test_total_cells(self, hier_2x4):
+        grid = DemandGrid.from_epsilon(hier_2x4, n=4, epsilon=1.0)
+        assert grid.total_cells == grid.caps[0]

@@ -1,0 +1,97 @@
+"""Tests for TreeSolution validation logic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.hgpt.solution import LevelSet, TreeSolution
+
+
+def make_solution():
+    """Valid h=2 family over 4 leaves with qdemands [1, 2, 1, 2]."""
+    return TreeSolution(
+        levels=[
+            [LevelSet(np.array([0, 1]), 3), LevelSet(np.array([2, 3]), 3)],
+            [
+                LevelSet(np.array([0]), 1),
+                LevelSet(np.array([1]), 2),
+                LevelSet(np.array([2, 3]), 3),
+            ],
+        ],
+        cost=0.0,
+    )
+
+
+Q = np.array([1, 2, 1, 2], dtype=np.int64)
+
+
+class TestValidate:
+    def test_valid_family_passes(self):
+        make_solution().validate(4, caps=[4, 3], qdemands=Q)
+
+    def test_levels_accessor(self):
+        sol = make_solution()
+        assert len(sol.sets_at(1)) == 2
+        assert len(sol.sets_at(2)) == 3
+        with pytest.raises(SolverError):
+            sol.sets_at(0)
+        with pytest.raises(SolverError):
+            sol.sets_at(3)
+
+    def test_n_sets(self):
+        assert make_solution().n_sets() == [2, 3]
+
+    def test_overlap_detected(self):
+        sol = make_solution()
+        sol.levels[0][1] = LevelSet(np.array([1, 2, 3]), 5)
+        with pytest.raises(SolverError):
+            sol.validate(4, caps=[8, 8], qdemands=Q)
+
+    def test_missing_cover_detected(self):
+        sol = make_solution()
+        sol.levels[0] = [LevelSet(np.array([0, 1]), 3)]
+        with pytest.raises(SolverError):
+            sol.validate(4, caps=[4, 3], qdemands=Q)
+
+    def test_capacity_violation_detected(self):
+        sol = make_solution()
+        with pytest.raises(SolverError):
+            sol.validate(4, caps=[2, 3], qdemands=Q)
+
+    def test_cap_factor_slack_allows(self):
+        sol = make_solution()
+        sol.validate(4, caps=[2, 3], qdemands=Q, cap_factor=[2.0, 1.0])
+
+    def test_qdemand_mismatch_detected(self):
+        sol = make_solution()
+        sol.levels[0][0] = LevelSet(np.array([0, 1]), 99)
+        with pytest.raises(SolverError):
+            sol.validate(4, caps=[99, 3], qdemands=Q)
+
+    def test_laminarity_violation_detected(self):
+        sol = make_solution()
+        sol.levels[1] = [
+            LevelSet(np.array([0, 2]), 2),  # straddles the level-1 sets
+            LevelSet(np.array([1]), 2),
+            LevelSet(np.array([3]), 2),
+        ]
+        with pytest.raises(SolverError):
+            sol.validate(4, caps=[4, 3], qdemands=Q)
+
+    def test_refinement_bound(self):
+        sol = make_solution()
+        # Level-1 set {0,1} refines into 2 sets; DEG = 1 should fail.
+        with pytest.raises(SolverError):
+            sol.validate(4, caps=[4, 3], qdemands=Q, max_sets=[1, 1])
+        sol.validate(4, caps=[4, 3], qdemands=Q, max_sets=[2, 1])
+
+    def test_empty_set_detected(self):
+        sol = make_solution()
+        sol.levels[0].append(LevelSet(np.array([], dtype=np.int64), 0))
+        with pytest.raises(SolverError):
+            sol.validate(4, caps=[4, 3], qdemands=Q)
+
+    def test_levelset_sorts_vertices(self):
+        s = LevelSet(np.array([3, 1, 2]), 5)
+        assert s.vertices.tolist() == [1, 2, 3]
+        assert s.size == 3

@@ -1,0 +1,87 @@
+"""Tests for mirror functions: Lemma 2 (Eq. 1 = Eq. 3) and laminarity."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy, Placement
+from repro.errors import InvalidInputError
+from repro.graph.generators import grid_2d, power_law, random_demands
+from repro.hierarchy.mirror import check_laminar, eq3_cost, mirror_sets
+
+
+def _random_placement(g, hier, seed):
+    rng = np.random.default_rng(seed)
+    d = random_demands(g.n, hier.total_capacity, fill=0.8, seed=seed)
+    leaf_of = rng.integers(0, hier.k, size=g.n)
+    return Placement(g, hier, d, leaf_of)
+
+
+class TestMirrorSets:
+    def test_root_covers_everything(self, clustered_instance):
+        g, h, d = clustered_instance
+        p = _random_placement(g, h, 0)
+        m = mirror_sets(p)
+        assert m[(0, 0)].size == g.n
+
+    def test_leaf_level_matches_assignment(self, hier_2x4):
+        g = Graph(4, [])
+        p = Placement(g, hier_2x4, np.full(4, 0.1), np.array([0, 0, 5, 7]))
+        m = mirror_sets(p)
+        assert m[(2, 0)].tolist() == [0, 1]
+        assert m[(2, 5)].tolist() == [2]
+        assert (2, 1) not in m  # empty subtrees omitted
+
+    def test_laminar_always(self, hier_deep):
+        g = power_law(30, seed=3)
+        for seed in range(3):
+            p = _random_placement(g, hier_deep, seed)
+            check_laminar(hier_deep, mirror_sets(p), g.n)
+
+    def test_check_laminar_catches_overlap(self, hier_2x4):
+        bad = {
+            (0, 0): np.array([0, 1]),
+            (1, 0): np.array([0, 1]),
+            (1, 1): np.array([1]),  # overlaps (1, 0)
+            (2, 0): np.array([0, 1]),
+        }
+        with pytest.raises(InvalidInputError):
+            check_laminar(hier_2x4, bad, 2)
+
+    def test_check_laminar_catches_missing_cover(self, hier_2x4):
+        bad = {
+            (0, 0): np.array([0, 1]),
+            (1, 0): np.array([0]),  # vertex 1 missing at level 1
+            (2, 0): np.array([0]),
+        }
+        with pytest.raises(InvalidInputError):
+            check_laminar(hier_2x4, bad, 2)
+
+
+class TestLemma2:
+    """Eq. (1) == Eq. (3) for normalised multipliers — the paper's Lemma 2."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_equality_random_placements(self, hier_2x4, seed):
+        g = grid_2d(4, 5, weight_range=(0.5, 3.0), seed=seed)
+        p = _random_placement(g, hier_2x4, seed)
+        assert eq3_cost(p) == pytest.approx(p.cost())
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equality_height_three(self, hier_deep, seed):
+        g = power_law(25, seed=seed)
+        p = _random_placement(g, hier_deep, seed)
+        assert eq3_cost(p) == pytest.approx(p.cost())
+
+    def test_general_cm_offset(self):
+        """With cm(h) = c > 0, Eq. (1) = Eq. (3) + c * W (Lemma 1's offset)."""
+        g = grid_2d(3, 3, weight_range=(1.0, 2.0), seed=7)
+        h = Hierarchy([2, 2], [6.0, 3.0, 1.0])
+        p = _random_placement(g, h, 1)
+        offset = 1.0 * g.total_weight
+        assert p.cost() == pytest.approx(eq3_cost(p) + offset)
+
+    def test_flat_hierarchy_is_cut(self, hier_flat8):
+        """For h = 1 with cm = (1, 0), Eq. (1) is the partition edge cut."""
+        g = grid_2d(4, 4, weight_range=(0.5, 2.0), seed=2)
+        p = _random_placement(g, hier_flat8, 3)
+        assert p.cost() == pytest.approx(g.partition_cut_weight(p.leaf_of))

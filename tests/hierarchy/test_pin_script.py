@@ -1,0 +1,78 @@
+"""Tests for taskset / cpuset pinning artifact generation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Graph, Placement
+from repro.errors import InvalidInputError
+from repro.hierarchy.pin_script import leaf_cpu_map, to_cpuset_config, to_taskset_script
+
+
+@pytest.fixture
+def placement(hier_2x4):
+    g = Graph(3, [(0, 1, 1.0)])
+    d = np.array([0.3, 0.3, 0.3])
+    return Placement(g, hier_2x4, d, np.array([0, 0, 5]))
+
+
+class TestLeafCpuMap:
+    def test_single_cpu(self):
+        m = leaf_cpu_map(4)
+        assert m == {0: [0], 1: [1], 2: [2], 3: [3]}
+
+    def test_hyperthread_pairs(self):
+        m = leaf_cpu_map(2, cpus_per_leaf=2)
+        assert m == {0: [0, 1], 1: [2, 3]}
+
+    def test_first_cpu_offset(self):
+        m = leaf_cpu_map(2, cpus_per_leaf=1, first_cpu=8)
+        assert m == {0: [8], 1: [9]}
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            leaf_cpu_map(0)
+        with pytest.raises(InvalidInputError):
+            leaf_cpu_map(2, cpus_per_leaf=0)
+
+
+class TestTasksetScript:
+    def test_one_line_per_task(self, placement):
+        script = to_taskset_script(placement)
+        lines = [ln for ln in script.splitlines() if ln.startswith("taskset")]
+        assert len(lines) == 3
+
+    def test_cpu_assignment_matches_leaf(self, placement):
+        script = to_taskset_script(placement, cpus_per_leaf=2)
+        # task 2 on leaf 5 -> cpus 10,11.
+        assert 'taskset -a -cp 10,11 "${PID[task2]}"' in script
+
+    def test_custom_names(self, placement):
+        script = to_taskset_script(placement, task_names=["parse", "join", "sink"])
+        assert "${PID[join]}" in script
+
+    def test_header_mentions_cost(self, placement):
+        script = to_taskset_script(placement)
+        assert "placement cost" in script
+        assert script.startswith("#!/bin/sh")
+
+    def test_name_count_checked(self, placement):
+        with pytest.raises(InvalidInputError):
+            to_taskset_script(placement, task_names=["a"])
+
+
+class TestCpusetConfig:
+    def test_groups_by_leaf(self, placement):
+        cfg = json.loads(to_cpuset_config(placement))
+        assert set(cfg) == {"leaf0", "leaf5"}
+        assert cfg["leaf0"]["tasks"] == ["task0", "task1"]
+        assert cfg["leaf5"]["cpus"] == [5]
+
+    def test_hyperthread_cpus(self, placement):
+        cfg = json.loads(to_cpuset_config(placement, cpus_per_leaf=2))
+        assert cfg["leaf5"]["cpus"] == [10, 11]
+
+    def test_name_count_checked(self, placement):
+        with pytest.raises(InvalidInputError):
+            to_cpuset_config(placement, task_names=["a", "b"])

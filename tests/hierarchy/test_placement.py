@@ -1,0 +1,127 @@
+"""Tests for placements: Eq. (1) cost, loads, violations."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy, Placement
+from repro.errors import InvalidInputError
+
+
+@pytest.fixture
+def simple_instance(hier_2x4):
+    g = Graph(4, [(0, 1, 2.0), (1, 2, 1.0), (2, 3, 4.0)])
+    d = np.array([0.5, 0.5, 0.5, 0.5])
+    return g, hier_2x4, d
+
+
+class TestCost:
+    def test_colocated_free(self, simple_instance):
+        g, h, d = simple_instance
+        p = Placement(g, h, d, np.zeros(4, dtype=np.int64))
+        assert p.cost() == 0.0
+
+    def test_same_socket(self, simple_instance):
+        g, h, d = simple_instance
+        # 0,1 on leaf 0; 2,3 on leaf 1 (same socket): edge (1,2) pays cm(1)=3.
+        p = Placement(g, h, d, np.array([0, 0, 1, 1]))
+        assert p.cost() == pytest.approx(3.0)
+
+    def test_cross_socket(self, simple_instance):
+        g, h, d = simple_instance
+        # 0,1 on socket 0, 2,3 on socket 1: edge (1,2) pays cm(0)=10.
+        p = Placement(g, h, d, np.array([0, 0, 4, 4]))
+        assert p.cost() == pytest.approx(10.0)
+
+    def test_full_spread(self, simple_instance):
+        g, h, d = simple_instance
+        p = Placement(g, h, d, np.array([0, 1, 4, 5]))
+        # (0,1): same socket -> 3*2; (1,2): cross -> 10*1; (2,3): same -> 3*4
+        assert p.cost() == pytest.approx(6.0 + 10.0 + 12.0)
+
+    def test_level_cut_costs_sum_to_cost(self, clustered_instance):
+        g, h, d = clustered_instance
+        rng = np.random.default_rng(0)
+        p = Placement(g, h, d, rng.integers(0, h.k, size=g.n))
+        assert p.level_cut_costs().sum() == pytest.approx(p.cost())
+
+    def test_nonzero_cm_h(self):
+        """With cm(h) > 0 even co-located edges pay."""
+        g = Graph(2, [(0, 1, 3.0)])
+        h = Hierarchy([2], [5.0, 1.0])
+        p = Placement(g, h, np.array([0.1, 0.1]), np.array([0, 0]))
+        assert p.cost() == pytest.approx(3.0)
+
+    def test_empty_graph_cost(self, hier_2x4):
+        g = Graph(2, [])
+        p = Placement(g, hier_2x4, np.array([0.1, 0.1]), np.array([0, 1]))
+        assert p.cost() == 0.0
+
+
+class TestLoads:
+    def test_leaf_loads(self, simple_instance):
+        g, h, d = simple_instance
+        p = Placement(g, h, d, np.array([0, 0, 7, 7]))
+        loads = p.leaf_loads()
+        assert loads[0] == 1.0 and loads[7] == 1.0
+        assert loads[1:7].sum() == 0.0
+
+    def test_level_loads(self, simple_instance):
+        g, h, d = simple_instance
+        p = Placement(g, h, d, np.array([0, 1, 4, 5]))
+        socket = p.level_loads(1)
+        assert np.allclose(socket, [1.0, 1.0])
+        assert p.level_loads(0)[0] == pytest.approx(2.0)
+
+    def test_max_violation_feasible(self, simple_instance):
+        g, h, d = simple_instance
+        p = Placement(g, h, d, np.array([0, 1, 4, 5]))
+        assert p.max_violation() <= 1.0
+        assert p.is_feasible()
+
+    def test_max_violation_overload(self, simple_instance):
+        g, h, d = simple_instance
+        d = np.array([0.9, 0.9, 0.9, 0.9])
+        p = Placement(g, h, d, np.array([0, 0, 1, 2]))
+        assert p.max_violation() == pytest.approx(1.8)
+        assert not p.is_feasible()
+
+    def test_level_violation_specific(self, hier_2x4):
+        g = Graph(8, [])
+        d = np.full(8, 0.6)
+        # All eight on socket 0 leaves: leaf fine, socket overloaded.
+        p = Placement(g, hier_2x4, d, np.array([0, 0, 1, 1, 2, 2, 3, 3]))
+        assert p.level_violation(2) == pytest.approx(1.2)
+        assert p.level_violation(1) == pytest.approx(4.8 / 4.0)
+        assert p.level_violation(0) == pytest.approx(4.8 / 8.0)
+
+
+class TestValidation:
+    def test_bad_shapes(self, simple_instance):
+        g, h, d = simple_instance
+        with pytest.raises(InvalidInputError):
+            Placement(g, h, d[:2], np.zeros(4, dtype=np.int64))
+        with pytest.raises(InvalidInputError):
+            Placement(g, h, d, np.zeros(2, dtype=np.int64))
+
+    def test_bad_leaf_ids(self, simple_instance):
+        g, h, d = simple_instance
+        with pytest.raises(InvalidInputError):
+            Placement(g, h, d, np.array([0, 0, 0, 99]))
+
+    def test_nonpositive_demands(self, simple_instance):
+        g, h, _ = simple_instance
+        with pytest.raises(InvalidInputError):
+            Placement(g, h, np.array([0.5, 0.0, 0.5, 0.5]), np.zeros(4, dtype=np.int64))
+
+    def test_with_meta(self, simple_instance):
+        g, h, d = simple_instance
+        p = Placement(g, h, d, np.zeros(4, dtype=np.int64), meta={"a": 1})
+        q = p.with_meta(b=2)
+        assert q.meta == {"a": 1, "b": 2}
+        assert p.meta == {"a": 1}
+
+    def test_summary_is_string(self, simple_instance):
+        g, h, d = simple_instance
+        p = Placement(g, h, d, np.zeros(4, dtype=np.int64))
+        s = p.summary()
+        assert "cost=" in s and "max_violation=" in s

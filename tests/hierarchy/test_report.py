@@ -1,0 +1,80 @@
+"""Tests for ASCII reports and placement JSON round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy, Placement
+from repro.errors import InvalidInputError
+from repro.hierarchy.report import (
+    placement_from_json,
+    placement_to_json,
+    render_placement,
+)
+
+
+@pytest.fixture
+def small_placement(hier_2x4):
+    g = Graph(4, [(0, 1, 2.0), (2, 3, 1.0)])
+    d = np.array([0.4, 0.3, 0.6, 0.2])
+    return Placement(g, hier_2x4, d, np.array([0, 0, 4, 5]), meta={"solver": "test"})
+
+
+class TestRender:
+    def test_contains_all_nodes(self, small_placement):
+        text = render_placement(small_placement)
+        for level, count in ((0, 1), (1, 2), (2, 8)):
+            for node in range(count):
+                assert f"L{level}.{node}:" in text
+
+    def test_shows_tasks_on_leaves(self, small_placement):
+        text = render_placement(small_placement)
+        assert "tasks=[0, 1]" in text
+        assert "tasks=[2]" in text
+
+    def test_overload_flag(self, hier_2x4):
+        g = Graph(3, [])
+        d = np.array([0.6, 0.6, 0.1])
+        p = Placement(g, hier_2x4, d, np.array([0, 0, 1]))
+        text = render_placement(p)
+        assert "!OVERLOAD" in text
+
+    def test_no_flag_when_feasible(self, small_placement):
+        assert "!OVERLOAD" not in render_placement(small_placement)
+
+    def test_summary_line(self, small_placement):
+        text = render_placement(small_placement)
+        assert "total cost" in text
+        assert "worst violation" in text
+
+    def test_task_list_elision(self, hier_2x4):
+        g = Graph(20, [])
+        d = np.full(20, 0.04)
+        p = Placement(g, hier_2x4, d, np.zeros(20, dtype=np.int64))
+        text = render_placement(p, max_tasks_shown=5)
+        assert "…" in text
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, small_placement):
+        text = placement_to_json(small_placement)
+        back = placement_from_json(text, small_placement.graph)
+        assert np.array_equal(back.leaf_of, small_placement.leaf_of)
+        assert np.allclose(back.demands, small_placement.demands)
+        assert back.hierarchy == small_placement.hierarchy
+        assert back.cost() == pytest.approx(small_placement.cost())
+
+    def test_meta_preserved_when_jsonable(self, small_placement):
+        text = placement_to_json(small_placement)
+        back = placement_from_json(text, small_placement.graph)
+        assert back.meta["solver"] == "test"
+
+    def test_non_jsonable_meta_dropped(self, small_placement):
+        p = small_placement.with_meta(weird=object())
+        text = placement_to_json(p)
+        back = placement_from_json(text, p.graph)
+        assert "weird" not in back.meta
+        assert back.meta["solver"] == "test"
+
+    def test_bad_format_rejected(self, small_placement):
+        with pytest.raises(InvalidInputError):
+            placement_from_json('{"format": "nope"}', small_placement.graph)

@@ -1,0 +1,17 @@
+"""Run the library's docstring examples as doctests."""
+
+import doctest
+
+import pytest
+
+import repro.bench.tables
+import repro.utils.timing
+
+MODULES = [repro.bench.tables, repro.utils.timing]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0
+    assert results.attempted > 0  # the module actually carries examples

@@ -1,0 +1,108 @@
+"""Failure-injection tests: corrupted inputs must fail loudly, not quietly.
+
+A numeric pipeline that silently absorbs NaNs, negative weights or
+inconsistent intermediate state produces wrong placements that *look*
+fine; these tests pin down the loud-failure contract at each layer.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Graph, Hierarchy, SolverConfig, solve_hgp
+from repro.errors import InvalidInputError, ReproError, SolverError
+from repro.decomposition.spectral_tree import spectral_decomposition_tree
+from repro.graph.generators import grid_2d
+from repro.hgpt.binarize import binarize
+from repro.hgpt.dp import solve_rhgpt
+from repro.hgpt.solution import LevelSet, TreeSolution
+
+
+class TestGraphLayer:
+    def test_nan_weight(self):
+        with pytest.raises(InvalidInputError):
+            Graph(2, [(0, 1, float("nan"))])
+
+    def test_inf_weight(self):
+        with pytest.raises(InvalidInputError):
+            Graph(2, [(0, 1, float("inf"))])
+
+    def test_negative_weight(self):
+        with pytest.raises(InvalidInputError):
+            Graph(3, [(0, 1, 1.0), (1, 2, -2.0)])
+
+
+class TestDemandLayer:
+    def test_nan_demand(self, hier_2x4):
+        g = grid_2d(2, 2)
+        d = np.array([0.5, float("nan"), 0.5, 0.5])
+        with pytest.raises(ReproError):
+            solve_hgp(g, hier_2x4, d, SolverConfig(n_trees=1))
+
+    def test_zero_demand(self, hier_2x4):
+        g = grid_2d(2, 2)
+        d = np.array([0.5, 0.0, 0.5, 0.5])
+        with pytest.raises(ReproError):
+            solve_hgp(g, hier_2x4, d, SolverConfig(n_trees=1))
+
+    def test_negative_demand(self, hier_2x4):
+        g = grid_2d(2, 2)
+        d = np.array([0.5, -0.1, 0.5, 0.5])
+        with pytest.raises(ReproError):
+            solve_hgp(g, hier_2x4, d, SolverConfig(n_trees=1))
+
+
+class TestTreeLayer:
+    def test_corrupted_edge_weight_detected(self):
+        g = grid_2d(3, 3)
+        tree = spectral_decomposition_tree(g, seed=0)
+        tree.edge_weight[1] *= 2.0
+        with pytest.raises(SolverError):
+            tree.validate()
+
+    def test_corrupted_parent_pointer_detected(self):
+        g = grid_2d(3, 3)
+        tree = spectral_decomposition_tree(g, seed=0)
+        # Point some non-root node at a parent that doesn't list it.
+        victim = next(
+            v for v in range(tree.n_nodes)
+            if tree.parent[v] >= 0 and v not in tree.children[0]
+        )
+        tree.parent[victim] = 0
+        with pytest.raises(SolverError):
+            tree.validate()
+
+
+class TestDPLayer:
+    def test_demand_exceeding_cap_rejected(self):
+        g = grid_2d(2, 2)
+        tree = spectral_decomposition_tree(g, seed=0)
+        bt = binarize(tree, np.array([9, 1, 1, 1], dtype=np.int64))
+        with pytest.raises(SolverError):
+            solve_rhgpt(bt, caps=[4], deltas=[0.0, 1.0])
+
+    def test_corrupted_solution_rejected_by_validate(self):
+        bad = TreeSolution(
+            levels=[[LevelSet(np.array([0, 1]), 99)]],  # wrong qdemand
+            cost=0.0,
+        )
+        with pytest.raises(SolverError):
+            bad.validate(2, caps=[100], qdemands=np.array([1, 1]))
+
+
+class TestPipelineContainment:
+    def test_error_messages_name_the_culprit(self, hier_2x4):
+        """Infeasibility errors must identify the offending vertex."""
+        g = grid_2d(2, 2)
+        d = np.array([0.5, 0.5, 0.5, 7.0])
+        with pytest.raises(ReproError, match="vertex 3"):
+            solve_hgp(g, hier_2x4, d, SolverConfig(n_trees=1))
+
+    def test_placement_constructor_rejects_corrupt_assignment(self, hier_2x4):
+        from repro import Placement
+
+        g = grid_2d(2, 2)
+        d = np.full(4, 0.2)
+        with pytest.raises(InvalidInputError):
+            Placement(g, hier_2x4, d, np.array([0, 1, 2, -5]))

@@ -1,0 +1,182 @@
+"""Executable checks of the paper's main claims (theorem-level integration).
+
+These are the library's answer to "did you reproduce the paper": each test
+exercises one theorem's statement end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Graph,
+    Hierarchy,
+    SolverConfig,
+    exact_hgp,
+    solve_hgp,
+    solve_hgpt,
+)
+from repro.graph.generators import (
+    grid_2d,
+    planted_partition,
+    random_demands,
+    random_tree,
+)
+from repro.decomposition import racke_ensemble, spectral_decomposition_tree
+from repro.hierarchy.mirror import eq3_cost
+
+
+class TestLemma1:
+    """Normalisation preserves optimisation (costs shift by cm(h) · W)."""
+
+    def test_argmin_invariant(self):
+        g = grid_2d(2, 3, weight_range=(0.5, 2.0), seed=0)
+        d = np.full(6, 0.5)
+        general = Hierarchy([2, 2], [6.0, 3.0, 1.0])
+        norm, offset = general.normalized()
+        p_gen = exact_hgp(g, general, d)
+        p_norm = exact_hgp(g, norm, d)
+        assert p_gen.cost() == pytest.approx(
+            p_norm.cost() + offset * g.total_weight
+        )
+
+
+class TestLemma2:
+    """Eq. (1) == Eq. (3) — covered extensively in tests/hierarchy, spot
+    check here at pipeline scale."""
+
+    def test_on_solver_output(self, clustered_instance):
+        g, hier, d = clustered_instance
+        res = solve_hgp(g, hier, d, SolverConfig(seed=0, n_trees=2, refine=False))
+        assert eq3_cost(res.placement) == pytest.approx(res.cost)
+
+
+class TestTheorem2:
+    """Tree solver: optimal cost, capacity violated <= (1+eps)(1+h)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tree_cost_optimal_vs_exact(self, seed):
+        """On instances where G *is* a tree, the DP's mapped solution
+        should match the exact optimum (paper: optimal cost on trees)."""
+        g = random_tree(7, weight_range=(0.5, 3.0), seed=seed)
+        hier = Hierarchy([2, 2], [4.0, 1.0, 0.0])
+        d = np.full(7, 0.4)
+        # Exact optimum allowed the same violation budget as the pipeline.
+        cfg = SolverConfig(
+            seed=seed, n_trees=8, grid_mode="epsilon", epsilon=0.2, refine=True
+        )
+        res = solve_hgp(g, hier, d, cfg)
+        bound_violation = (1 + 0.2) * (1 + hier.h)
+        opt = exact_hgp(g, hier, d, violation=1.0)
+        # Bicriteria: our cost must not exceed OPT by much on tiny trees
+        # (the tree embedding is lossless when G is a tree), while our
+        # violation may exceed 1.
+        assert res.cost <= opt.cost() * 1.5 + 1e-9
+        assert res.placement.max_violation() <= bound_violation + 1e-9
+
+    def test_capacity_bound_tight_family(self):
+        """Stress the (1+h) factor: many equal sets force repair merges."""
+        hier = Hierarchy([2, 2], [4.0, 1.0, 0.0])
+        g = Graph(8, [])  # no edges: cost-free, pure packing
+        d = np.full(8, 0.45)
+        cfg = SolverConfig(seed=0, n_trees=2, grid_mode="epsilon", epsilon=0.3)
+        res = solve_hgp(g, hier, d, cfg)
+        assert res.placement.max_violation() <= (1 + 0.3) * (1 + 2) + 1e-9
+
+
+class TestTheorem5:
+    """Repair: fan-out respected, violation per level <= (1+j)(1+eps)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_per_level_bounds(self, seed):
+        hier = Hierarchy([2, 2, 2], [8.0, 4.0, 1.0, 0.0])
+        g = planted_partition(4, 4, 0.8, 0.1, seed=seed)
+        d = random_demands(g.n, hier.total_capacity, fill=0.8, skew=0.4, seed=seed)
+        cfg = SolverConfig(seed=seed, n_trees=3, refine=False)
+        res = solve_hgp(g, hier, d, cfg)
+        for j in range(1, hier.h + 1):
+            assert res.placement.level_violation(j) <= (1 + j) * (
+                1 + res.grid.epsilon
+            ) + 1e-9
+
+
+class TestTheorem7:
+    """Ensemble arg-min: more trees never hurt; mapped <= tree cost."""
+
+    def test_monotone_in_ensemble_prefix(self, clustered_instance):
+        g, hier, d = clustered_instance
+        cfg = SolverConfig(seed=0, n_trees=6, refine=False)
+        res = solve_hgp(g, hier, d, cfg)
+        prefix_best = np.minimum.accumulate(res.tree_costs)
+        assert res.cost == pytest.approx(prefix_best[-1])
+        assert (np.diff(prefix_best) <= 1e-12).all()
+
+    def test_proposition1_every_member(self, clustered_instance):
+        g, hier, d = clustered_instance
+        cfg = SolverConfig(seed=0, n_trees=6, refine=False)
+        res = solve_hgp(g, hier, d, cfg)
+        for mapped, dp in zip(res.tree_costs, res.dp_costs):
+            assert mapped <= dp + 1e-6
+
+
+class TestTheorem1EndToEnd:
+    """The headline bicriteria claim measured against exact ground truth."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cost_ratio_small_instances(self, seed):
+        g = grid_2d(2, 4, weight_range=(0.5, 2.0), seed=seed)
+        hier = Hierarchy([2, 2], [5.0, 1.0, 0.0])
+        d = np.full(8, 0.5)
+        opt = exact_hgp(g, hier, d, violation=1.0)
+        cfg = SolverConfig(seed=seed, n_trees=8, grid_mode="epsilon", epsilon=0.2)
+        res = solve_hgp(g, hier, d, cfg)
+        # O(log n) worst case; on these 8-vertex meshes the realized
+        # ratio should be a small constant.
+        if opt.cost() > 0:
+            assert res.cost / opt.cost() <= 2.5
+        else:
+            assert res.cost == 0.0
+        assert res.placement.max_violation() <= (1 + 0.2) * (1 + 2) + 1e-9
+
+
+class TestTheoremsAcrossShapes:
+    """Widen theorem coverage across hierarchy shapes and graph families."""
+
+    SHAPES = [
+        Hierarchy([4], [3.0, 0.0]),
+        Hierarchy([3, 2], [6.0, 2.0, 0.0]),
+        Hierarchy([2, 2, 2], [8.0, 4.0, 1.0, 0.0]),
+    ]
+
+    @pytest.mark.parametrize("shape_idx", range(3))
+    @pytest.mark.parametrize("family", ["grid", "powerlaw", "hypercube"])
+    def test_violation_bounds_everywhere(self, shape_idx, family):
+        from repro.bench import make_instance
+
+        hier = self.SHAPES[shape_idx]
+        inst = make_instance(family, 24, hier, fill=0.65, skew=0.4, seed=51)
+        cfg = SolverConfig(seed=0, n_trees=2, refine=False)
+        res = solve_hgp(inst.graph, inst.hierarchy, inst.demands, cfg)
+        for j in range(1, hier.h + 1):
+            assert res.placement.level_violation(j) <= (1 + j) * (
+                1 + res.grid.epsilon
+            ) + 1e-9
+        for mapped, dp in zip(res.tree_costs, res.dp_costs):
+            assert mapped <= dp + 1e-6
+
+    @pytest.mark.parametrize("shape_idx", range(3))
+    def test_lemma1_normalisation_across_shapes(self, shape_idx):
+        base = self.SHAPES[shape_idx]
+        shifted = Hierarchy(
+            base.degrees, [c + 2.0 for c in base.cm], base.leaf_capacity
+        )
+        g = grid_2d(2, 3, weight_range=(0.5, 2.0), seed=shape_idx)
+        d = np.full(6, 0.4)
+        rng = np.random.default_rng(shape_idx)
+        leaf_of = rng.integers(0, base.k, size=6)
+        from repro import Placement
+
+        p_base = Placement(g, base, d, leaf_of)
+        p_shift = Placement(g, shifted, d, leaf_of)
+        assert p_shift.cost() == pytest.approx(
+            p_base.cost() + 2.0 * g.total_weight
+        )

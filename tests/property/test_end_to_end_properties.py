@@ -1,0 +1,73 @@
+"""End-to-end property tests: random instances through the full pipeline.
+
+Each generated instance runs ``solve_hgp`` and every invariant the
+library promises is checked on the result — the closest thing to a
+fuzzer for the whole stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, Hierarchy, SolverConfig, solve_hgp
+from repro.hierarchy.mirror import check_laminar, eq3_cost, mirror_sets
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    density = draw(st.floats(min_value=0.2, max_value=0.8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    edges = [
+        (i, j, float(rng.uniform(0.2, 3.0)))
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < density
+    ]
+    g = Graph(n, edges)
+    shape = draw(st.sampled_from([(4,), (2, 2), (2, 4), (2, 2, 2)]))
+    cm = [float(c * 2) for c in range(len(shape), -1, -1)]
+    hier = Hierarchy(list(shape), cm)
+    fill = draw(st.floats(min_value=0.2, max_value=0.85))
+    d = rng.uniform(0.5, 1.5, size=n)
+    d = d / d.sum() * (fill * hier.total_capacity)
+    d = np.clip(d, 1e-6, 1.0)
+    return g, hier, d
+
+
+class TestEndToEnd:
+    @given(instances())
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_invariants(self, instance):
+        g, hier, d = instance
+        cfg = SolverConfig(seed=0, n_trees=2, refine=False)
+        res = solve_hgp(g, hier, d, cfg)
+        p = res.placement
+        # Every vertex placed on a real leaf.
+        assert p.leaf_of.shape == (g.n,)
+        assert (p.leaf_of >= 0).all() and (p.leaf_of < hier.k).all()
+        # Theorem-1 violation bound.
+        assert p.max_violation() <= (1 + res.grid.epsilon) * (1 + hier.h) + 1e-9
+        # Per-level Theorem-5 bounds.
+        for j in range(1, hier.h + 1):
+            assert p.level_violation(j) <= (1 + j) * (1 + res.grid.epsilon) + 1e-9
+        # Proposition 1 on every ensemble member.
+        for mapped, dp in zip(res.tree_costs, res.dp_costs):
+            assert mapped <= dp + 1e-6
+        # Lemma 2 on the output (cm is normalised in these instances).
+        assert eq3_cost(p) == pytest.approx(p.cost())
+        # Mirror laminarity.
+        check_laminar(hier, mirror_sets(p), g.n)
+
+    @given(instances())
+    @settings(max_examples=10, deadline=None)
+    def test_refine_and_swaps_never_hurt(self, instance):
+        g, hier, d = instance
+        base = solve_hgp(g, hier, d, SolverConfig(seed=0, n_trees=2, refine=False))
+        refined = solve_hgp(g, hier, d, SolverConfig(seed=0, n_trees=2, refine=True))
+        assert refined.cost <= base.cost + 1e-9
+        assert refined.placement.max_violation() <= max(
+            1.0, base.placement.max_violation()
+        ) + 1e-9

@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) for the graph kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph
+
+
+@st.composite
+def graphs(draw, max_n=12, max_m=30):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        w = draw(
+            st.floats(
+                min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False
+            )
+        )
+        edges.append((u, v, w))
+    return Graph(n, edges)
+
+
+@st.composite
+def graphs_with_masks(draw):
+    g = draw(graphs())
+    mask = np.asarray(draw(st.lists(st.booleans(), min_size=g.n, max_size=g.n)))
+    return g, mask
+
+
+class TestCutProperties:
+    @given(graphs_with_masks())
+    @settings(max_examples=60, deadline=None)
+    def test_cut_symmetry(self, gm):
+        g, mask = gm
+        assert abs(g.cut_weight(mask) - g.cut_weight(~mask)) < 1e-9
+
+    @given(graphs_with_masks())
+    @settings(max_examples=60, deadline=None)
+    def test_cut_nonnegative_and_bounded(self, gm):
+        g, mask = gm
+        cut = g.cut_weight(mask)
+        assert 0.0 <= cut <= g.total_weight + 1e-9
+
+    @given(graphs_with_masks())
+    @settings(max_examples=60, deadline=None)
+    def test_cut_matches_naive(self, gm):
+        g, mask = gm
+        naive = sum(w for u, v, w in g.iter_edges() if mask[u] != mask[v])
+        assert abs(g.cut_weight(mask) - naive) < 1e-6
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_volume_totals(self, g):
+        full = np.ones(g.n, dtype=bool)
+        assert abs(g.volume(full) - 2 * g.total_weight) < 1e-6
+
+
+class TestStructuralProperties:
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degrees_sum_to_twice_edges(self, g):
+        assert sum(g.degree(v) for v in range(g.n)) == 2 * g.m
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_degrees_sum(self, g):
+        assert abs(g.weighted_degrees.sum() - 2 * g.total_weight) < 1e-6
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_contract_to_singleton_removes_all(self, g):
+        q = g.contract(np.zeros(g.n, dtype=np.int64))
+        assert q.n == 1 and q.m == 0
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_identity_contract_preserves(self, g):
+        q = g.contract(np.arange(g.n))
+        assert q == g
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_components_partition(self, g):
+        ncomp, labels = g.connected_components()
+        assert labels.shape == (g.n,)
+        assert np.unique(labels).size == ncomp
+        # No edge crosses components.
+        assert g.partition_cut_weight(labels) == 0.0
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_of_everything_is_identity(self, g):
+        sub, back = g.subgraph(list(range(g.n)))
+        assert sub == g
+        assert np.array_equal(back, np.arange(g.n))

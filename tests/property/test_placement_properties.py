@@ -1,0 +1,125 @@
+"""Property-based tests on placements, repair and quantization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, Hierarchy, Placement
+from repro.hgpt.quantize import DemandGrid
+
+
+def _random_instance(rng, n, k_shape):
+    edges = [
+        (i, j, float(rng.uniform(0.2, 3.0)))
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < 0.4
+    ]
+    g = Graph(n, edges)
+    hier = Hierarchy(k_shape, [float(c) for c in range(len(k_shape), -1, -1)])
+    d = rng.uniform(0.05, 0.5, size=n)
+    leaf_of = rng.integers(0, hier.k, size=n)
+    return Placement(g, hier, d, leaf_of)
+
+
+class TestPlacementInvariants:
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sibling_permutation_preserves_cost(self, n, seed):
+        """Swapping two sibling subtrees of H leaves Eq. (1) unchanged —
+        the symmetry the exact solver's canonicalisation exploits."""
+        rng = np.random.default_rng(seed)
+        p = _random_instance(rng, n, [2, 2])
+        hier = p.hierarchy
+        # Swap the two children of socket 0: leaves 0 <-> 1.
+        perm = np.arange(hier.k)
+        perm[0], perm[1] = 1, 0
+        q = Placement(p.graph, hier, p.demands, perm[p.leaf_of])
+        assert abs(p.cost() - q.cost()) < 1e-9
+        # Swap the two sockets wholesale: leaves (0,1) <-> (2,3).
+        perm2 = np.array([2, 3, 0, 1])
+        r = Placement(p.graph, hier, p.demands, perm2[p.leaf_of])
+        assert abs(p.cost() - r.cost()) < 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cost_scales_with_cm(self, n, seed, scale):
+        """Scaling all multipliers scales Eq. (1) linearly."""
+        rng = np.random.default_rng(seed)
+        p = _random_instance(rng, n, [2, 2])
+        hier = p.hierarchy
+        scaled = Hierarchy(
+            hier.degrees, [c * scale for c in hier.cm], hier.leaf_capacity
+        )
+        q = Placement(p.graph, scaled, p.demands, p.leaf_of)
+        assert abs(q.cost() - scale * p.cost()) < 1e-6 * max(1.0, p.cost())
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cost_bounds(self, n, seed):
+        """cm(h)·W <= cost <= cm(0)·W for any placement."""
+        rng = np.random.default_rng(seed)
+        p = _random_instance(rng, n, [2, 2])
+        w_total = p.graph.total_weight
+        assert p.hierarchy.cm[-1] * w_total - 1e-9 <= p.cost()
+        assert p.cost() <= p.hierarchy.cm[0] * w_total + 1e-9
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_level_loads_conserve_demand(self, n, seed):
+        rng = np.random.default_rng(seed)
+        p = _random_instance(rng, n, [2, 2])
+        total = p.demands.sum()
+        for j in range(p.hierarchy.h + 1):
+            assert abs(p.level_loads(j).sum() - total) < 1e-9
+
+
+class TestQuantizeProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=16,
+        ),
+        st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_sound_both_directions(self, demands, epsilon):
+        hier = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+        d = np.asarray(demands)
+        if d.sum() > hier.total_capacity:
+            d = d / d.sum() * hier.total_capacity * 0.9
+        grid = DemandGrid.from_epsilon(hier, d.size, epsilon)
+        q = grid.quantize(d)
+        # Upward rounding: quantized demand over-covers real demand ...
+        assert (q * grid.unit >= d - 1e-9).all()
+        # ... by less than one cell each.
+        assert (q * grid.unit <= d + grid.unit + 1e-9).all()
+        # Grid-feasible loads dequantize within the (1+eps) promise.
+        for j in range(hier.h + 1):
+            assert grid.dequantize_load(grid.caps[j]) <= (
+                (1 + epsilon) * hier.capacity(j) + 1e-9
+            )
+
+    @given(st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_budget_grid_total(self, budget_mult):
+        hier = Hierarchy([2, 2], [2.0, 1.0, 0.0])
+        d = np.full(4, 0.3)
+        budget = 4 * budget_mult
+        grid = DemandGrid.from_budget(hier, d, budget)
+        q = grid.quantize(d)
+        assert budget <= q.sum() <= budget + d.size

@@ -1,0 +1,134 @@
+"""Property-based tests on the DP, hierarchy and flow invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, Hierarchy
+from repro.flow.maxflow import max_flow
+from repro.hgpt.dp import solve_rhgpt
+from repro.bench.oracles import brute_force_optimum, path_binary_tree as simple_btree
+
+
+class TestHierarchyProperties:
+    @given(
+        st.lists(st.integers(min_value=2, max_value=3), min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=1 << 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lca_axioms(self, degrees, seed):
+        cm = list(range(len(degrees), -1, -1))
+        h = Hierarchy(degrees, [float(c) for c in cm])
+        rng = np.random.default_rng(seed)
+        a, b, c = rng.integers(0, h.k, size=3)
+        # Symmetry, identity, and the ultrametric triangle property.
+        assert h.lca_level(a, b) == h.lca_level(b, a)
+        assert h.lca_level(a, a) == h.h
+        assert h.lca_level(a, c) >= min(h.lca_level(a, b), h.lca_level(b, c))
+
+    @given(
+        st.lists(st.integers(min_value=2, max_value=3), min_size=1, max_size=3)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_telescopes(self, degrees):
+        cm = [float(c) for c in range(len(degrees), -1, -1)]
+        h = Hierarchy(degrees, cm)
+        for j in range(h.h):
+            assert h.capacity(j) == h.degrees[j] * h.capacity(j + 1)
+
+
+class TestDPProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+            min_size=2,
+            max_size=4,
+        ),
+        st.lists(st.integers(min_value=1, max_value=3), min_size=3, max_size=5),
+        st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dp_equals_bruteforce_h1(self, weights, demands, extra_cap):
+        n = len(demands)
+        weights = (weights * n)[: n - 1]
+        bt = simple_btree(weights, demands)
+        caps = [max(max(demands), sum(demands) // 2 + extra_cap)]
+        deltas = [0.0, 1.0]
+        sol = solve_rhgpt(bt, caps, deltas)
+        oracle = brute_force_optimum(bt, caps, deltas)
+        assert abs(sol.cost - oracle) < 1e-6
+        sol.validate(n, caps, np.asarray(demands))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=3), min_size=3, max_size=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cost_monotone_in_capacity(self, demands, seed):
+        """Loosening capacities can only lower the optimum."""
+        rng = np.random.default_rng(seed)
+        n = len(demands)
+        weights = rng.uniform(0.2, 4.0, size=n - 1).round(2).tolist()
+        bt = simple_btree(weights, demands)
+        total = sum(demands)
+        tight = [max(max(demands), total // 2)]
+        loose = [total]
+        c_tight = solve_rhgpt(bt, tight, [0.0, 1.0]).cost
+        c_loose = solve_rhgpt(bt, loose, [0.0, 1.0]).cost
+        assert c_loose <= c_tight + 1e-9
+        assert c_loose == 0.0  # everything fits one set
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=2), min_size=3, max_size=5),
+        st.floats(min_value=0.1, max_value=3.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cost_scales_linearly_with_deltas(self, demands, scale):
+        n = len(demands)
+        weights = [1.0 + i for i in range(n - 1)]
+        bt = simple_btree(weights, demands)
+        caps = [max(2, sum(demands) // 2)]
+        base = solve_rhgpt(bt, caps, [0.0, 1.0]).cost
+        scaled = solve_rhgpt(bt, caps, [0.0, scale]).cost
+        assert abs(scaled - scale * base) < 1e-6
+
+
+class TestFlowProperties:
+    @given(
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_flow_symmetric_in_terminals(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (i, j, float(rng.uniform(0.5, 2.0)))
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.5
+        ]
+        if not edges:
+            edges = [(0, 1, 1.0)]
+        g = Graph(n, edges)
+        f_ab, _ = max_flow(g, 0, n - 1)
+        f_ba, _ = max_flow(g, n - 1, 0)
+        assert abs(f_ab - f_ba) < 1e-9
+
+    @given(
+        st.integers(min_value=4, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cut_certifies(self, n, seed):
+        rng = np.random.default_rng(seed)
+        edges = [
+            (i, j, float(rng.uniform(0.5, 2.0)))
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.6
+        ]
+        if not edges:
+            edges = [(0, 1, 1.0)]
+        g = Graph(n, edges)
+        value, side = max_flow(g, 0, n - 1)
+        assert abs(g.cut_weight(side) - value) < 1e-9

@@ -1,0 +1,123 @@
+"""Tests for online placement under churn."""
+
+import numpy as np
+import pytest
+
+from repro import Hierarchy, SolverConfig
+from repro.errors import InvalidInputError
+from repro.streaming.online import ChurnEvent, OnlinePlacer, simulate_churn
+
+
+@pytest.fixture
+def placer(hier_2x4):
+    return OnlinePlacer(hier_2x4, config=SolverConfig(n_trees=2, refine=False, seed=0))
+
+
+def clustered_trace(n_clusters=4, per_cluster=5, w_in=5.0, w_out=0.2):
+    """Arrivals only: n_clusters groups with strong intra-cluster edges."""
+    events = []
+    live: list[int] = []
+    tid = 0
+    for round_ in range(per_cluster):
+        for c in range(n_clusters):
+            edges = tuple((u, w_in) for u in live if u % n_clusters == c)
+            edges += tuple((u, w_out) for u in live[:2] if u % n_clusters != c)
+            events.append(ChurnEvent("arrive", tid, 0.15, edges))
+            live.append(tid)
+            tid += 1
+    return events
+
+
+class TestOnlinePlacer:
+    def test_arrival_respects_capacity(self, placer):
+        for t in range(10):
+            placer.arrive(t, demand=0.5)
+        loads = placer._loads
+        assert loads.max() <= placer.hierarchy.leaf_capacity + 1e-9
+
+    def test_arrival_prefers_neighbours(self, placer):
+        placer.arrive(0, 0.2)
+        leaf0 = placer.leaf_of(0)
+        placer.arrive(1, 0.2, edges=((0, 10.0),))
+        # Strong edge: co-located or at least same socket.
+        assert placer.hierarchy.lca_level(leaf0, placer.leaf_of(1)) >= 1
+
+    def test_duplicate_arrival_rejected(self, placer):
+        placer.arrive(0, 0.2)
+        with pytest.raises(InvalidInputError):
+            placer.arrive(0, 0.2)
+
+    def test_bad_demand_rejected(self, placer):
+        with pytest.raises(InvalidInputError):
+            placer.arrive(0, 0.0)
+        with pytest.raises(InvalidInputError):
+            placer.arrive(1, 5.0)
+
+    def test_depart_frees_load(self, placer):
+        placer.arrive(0, 0.4)
+        leaf = placer.leaf_of(0)
+        placer.depart(0)
+        assert placer.n_tasks == 0
+        assert placer._loads[leaf] == pytest.approx(0.0)
+
+    def test_depart_unknown_rejected(self, placer):
+        with pytest.raises(InvalidInputError):
+            placer.depart(99)
+
+    def test_edges_to_departed_tasks_ignored(self, placer):
+        placer.arrive(0, 0.2)
+        placer.depart(0)
+        placer.arrive(1, 0.2, edges=((0, 3.0),))  # 0 is gone: no crash
+        assert placer.cost() == 0.0
+
+    def test_cost_tracks_live_graph(self, placer):
+        placer.arrive(0, 0.2)
+        placer.arrive(1, 0.2, edges=((0, 2.0),))
+        g, d, leaf, tasks = placer.live_graph()
+        assert g.n == 2
+        from repro import Placement
+
+        assert placer.cost() == pytest.approx(
+            Placement(g, placer.hierarchy, d, leaf).cost()
+        )
+
+    def test_reoptimize_never_worsens(self, placer):
+        for ev in clustered_trace():
+            placer.arrive(ev.task, ev.demand, ev.edges)
+        before = placer.cost()
+        placer.reoptimize(migration_budget=None)
+        assert placer.cost() <= before + 1e-9
+
+    def test_reoptimize_budget_respected(self, placer):
+        for ev in clustered_trace():
+            placer.arrive(ev.task, ev.demand, ev.edges)
+        moved = placer.reoptimize(migration_budget=2)
+        assert moved <= 2
+        assert placer.migrations == moved
+
+    def test_reoptimize_trivial_state(self, placer):
+        assert placer.reoptimize() == 0
+        placer.arrive(0, 0.2)
+        assert placer.reoptimize() == 0
+
+
+class TestSimulateChurn:
+    def test_policies_ordered(self, hier_2x4):
+        events = clustered_trace(per_cluster=6)
+        cfg = SolverConfig(n_trees=2, refine=False, seed=0)
+        never, m0 = simulate_churn(hier_2x4, events, reopt_period=0, config=cfg)
+        always, m2 = simulate_churn(
+            hier_2x4, events, reopt_period=8, migration_budget=None, config=cfg
+        )
+        assert m0 == 0
+        assert m2 > 0
+        assert np.mean(always) <= np.mean(never) + 1e-9
+
+    def test_cost_series_length(self, hier_2x4):
+        events = clustered_trace(per_cluster=2)
+        costs, _ = simulate_churn(hier_2x4, events, config=SolverConfig(n_trees=2))
+        assert len(costs) == len(events)
+
+    def test_bad_event_kind(self, hier_2x4):
+        with pytest.raises(InvalidInputError):
+            simulate_churn(hier_2x4, [ChurnEvent("explode", 0)])

@@ -1,0 +1,107 @@
+"""Tests for the streaming operator DAG model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.streaming.operators import Operator, StreamDAG
+
+
+def linear_pipeline(rates=(1000.0,), sel=0.5):
+    dag = StreamDAG()
+    src = dag.add_operator(Operator("src", source_rate=rates[0], tuple_bytes=100.0))
+    a = dag.add_operator(Operator("a", selectivity=sel, tuple_bytes=50.0))
+    b = dag.add_operator(Operator("b", selectivity=1.0, tuple_bytes=10.0))
+    dag.add_edge(src, a)
+    dag.add_edge(a, b)
+    return dag
+
+
+class TestOperator:
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            Operator("x", service_cost=-1.0)
+        with pytest.raises(InvalidInputError):
+            Operator("x", selectivity=-0.1)
+        with pytest.raises(InvalidInputError):
+            Operator("x", tuple_bytes=0.0)
+        with pytest.raises(InvalidInputError):
+            Operator("x", source_rate=-1.0)
+
+
+class TestStreamDAG:
+    def test_topological_order(self):
+        dag = linear_pipeline()
+        order = dag.topological_order()
+        assert order.index(0) < order.index(1) < order.index(2)
+
+    def test_cycle_detected(self):
+        dag = StreamDAG()
+        a = dag.add_operator(Operator("a"))
+        b = dag.add_operator(Operator("b"))
+        dag.add_edge(a, b)
+        dag.add_edge(b, a)
+        with pytest.raises(InvalidInputError):
+            dag.topological_order()
+
+    def test_bad_edge(self):
+        dag = StreamDAG()
+        a = dag.add_operator(Operator("a"))
+        with pytest.raises(InvalidInputError):
+            dag.add_edge(a, a)
+        with pytest.raises(InvalidInputError):
+            dag.add_edge(a, 5)
+        b = dag.add_operator(Operator("b"))
+        with pytest.raises(InvalidInputError):
+            dag.add_edge(a, b, share=0.0)
+
+    def test_rate_propagation_chain(self):
+        dag = linear_pipeline(rates=(1000.0,), sel=0.5)
+        in_rate, traffic = dag.propagate_rates()
+        assert in_rate[0] == 1000.0
+        assert in_rate[1] == 1000.0  # src selectivity 1
+        assert in_rate[2] == 500.0  # a halves
+        # Edge src->a carries 1000 tuples * 100 B.
+        assert traffic[0] == pytest.approx(100_000.0)
+        # Edge a->b carries 500 tuples * 50 B.
+        assert traffic[1] == pytest.approx(25_000.0)
+
+    def test_fan_out_shares(self):
+        dag = StreamDAG()
+        src = dag.add_operator(Operator("src", source_rate=100.0))
+        a = dag.add_operator(Operator("a"))
+        b = dag.add_operator(Operator("b"))
+        dag.add_edge(src, a, share=0.25)
+        dag.add_edge(src, b, share=0.75)
+        in_rate, _ = dag.propagate_rates()
+        assert in_rate[1] == pytest.approx(25.0)
+        assert in_rate[2] == pytest.approx(75.0)
+
+    def test_fan_in_sums(self):
+        dag = StreamDAG()
+        s1 = dag.add_operator(Operator("s1", source_rate=10.0))
+        s2 = dag.add_operator(Operator("s2", source_rate=20.0))
+        j = dag.add_operator(Operator("join"))
+        dag.add_edge(s1, j)
+        dag.add_edge(s2, j)
+        in_rate, _ = dag.propagate_rates()
+        assert in_rate[2] == pytest.approx(30.0)
+
+    def test_cpu_demands_scale(self):
+        dag = linear_pipeline()
+        cpu = dag.cpu_demands(relative_to=0.8)
+        assert cpu.max() == pytest.approx(0.8)
+
+    def test_communication_graph_merges_and_filters(self):
+        dag = StreamDAG()
+        a = dag.add_operator(Operator("a", source_rate=10.0))
+        b = dag.add_operator(Operator("b", selectivity=0.0))
+        dag.add_edge(a, b, share=0.5)
+        dag.add_edge(a, b, share=0.5)
+        n, triples = dag.communication_graph()
+        assert n == 2
+        # Two parallel edges with traffic merge in the Graph constructor.
+        from repro import Graph
+
+        g = Graph(n, triples)
+        assert g.m == 1

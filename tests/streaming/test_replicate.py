@@ -1,0 +1,133 @@
+"""Tests for operator replication."""
+
+import numpy as np
+import pytest
+
+from repro import Hierarchy
+from repro.errors import InvalidInputError
+from repro.streaming.operators import Operator, StreamDAG
+from repro.streaming.replicate import auto_replicate, replicate_operator
+from repro.streaming.simulator import evaluate_placement
+from repro.streaming.workload import random_workload
+
+
+def hot_pipeline():
+    """src -> hot -> sink where `hot` needs 2.4 cores at nominal rate."""
+    dag = StreamDAG()
+    src = dag.add_operator(
+        Operator("src", source_rate=12_000.0, service_cost=1e-5, tuple_bytes=50)
+    )
+    hot = dag.add_operator(Operator("hot", service_cost=2e-4, tuple_bytes=40))
+    sink = dag.add_operator(Operator("sink", service_cost=1e-5, selectivity=0.0))
+    dag.add_edge(src, hot)
+    dag.add_edge(hot, sink)
+    return dag
+
+
+class TestReplicateOperator:
+    def test_rate_conservation(self):
+        dag = hot_pipeline()
+        rep = replicate_operator(dag, 1, 3)
+        in0, traffic0 = dag.propagate_rates()
+        in1, traffic1 = rep.propagate_rates()
+        # Totals are preserved.
+        assert traffic1.sum() == pytest.approx(traffic0.sum())
+        # The sink's rate is unchanged.
+        sink_new = next(
+            v for v, o in enumerate(rep.operators) if o.name == "sink"
+        )
+        assert in1[sink_new] == pytest.approx(in0[2])
+
+    def test_replica_share_split(self):
+        dag = hot_pipeline()
+        rep = replicate_operator(dag, 1, 3)
+        in1, _ = rep.propagate_rates()
+        replicas = [v for v, o in enumerate(rep.operators) if o.name.startswith("hot#")]
+        assert len(replicas) == 3
+        for r in replicas:
+            assert in1[r] == pytest.approx(12_000.0 / 3)
+
+    def test_source_replication_splits_rate(self):
+        dag = hot_pipeline()
+        rep = replicate_operator(dag, 0, 2)
+        in1, _ = rep.propagate_rates()
+        srcs = [v for v, o in enumerate(rep.operators) if o.name.startswith("src#")]
+        assert len(srcs) == 2
+        total = sum(in1[s] for s in srcs)
+        assert total == pytest.approx(12_000.0)
+
+    def test_factor_one_equivalent(self):
+        dag = hot_pipeline()
+        rep = replicate_operator(dag, 1, 1)
+        in0, t0 = dag.propagate_rates()
+        in1, t1 = rep.propagate_rates()
+        assert np.allclose(sorted(in0), sorted(in1))
+        assert t1.sum() == pytest.approx(t0.sum())
+
+    def test_validation(self):
+        dag = hot_pipeline()
+        with pytest.raises(InvalidInputError):
+            replicate_operator(dag, 99, 2)
+        with pytest.raises(InvalidInputError):
+            replicate_operator(dag, 1, 0)
+
+
+class TestAutoReplicate:
+    def test_hot_operator_split(self):
+        dag = hot_pipeline()
+        rep, applied = auto_replicate(dag, max_utilisation=0.8)
+        assert applied == {"hot": 3}  # 2.4 cores / 0.8 = 3
+        in1, _ = rep.propagate_rates()
+        for v, oper in enumerate(rep.operators):
+            assert float(in1[v]) * oper.service_cost <= 0.8 + 1e-9
+
+    def test_cool_dag_untouched(self):
+        dag = random_workload(n_queries=2, seed=1)
+        rep, applied = auto_replicate(dag, max_utilisation=1e9)
+        assert applied == {}
+        assert rep is dag
+
+    def test_max_factor_cap(self):
+        dag = hot_pipeline()
+        rep, applied = auto_replicate(dag, max_utilisation=0.1, max_factor=4)
+        assert applied["hot"] == 4
+
+    def test_bad_budget(self):
+        with pytest.raises(InvalidInputError):
+            auto_replicate(hot_pipeline(), max_utilisation=0.0)
+
+    def test_replication_makes_placement_feasible(self, hier_2x4):
+        """The hot operator cannot fit one core; after replication the
+        workload sustains nominal rates."""
+        dag = hot_pipeline()
+        rep, _ = auto_replicate(dag, max_utilisation=0.8)
+        # Spread replicas round-robin; with a tax-free model the compute
+        # utilisation alone must fit each core's budget.
+        from repro.streaming.simulator import CommCostModel
+
+        leaf_of = np.arange(rep.n_operators) % hier_2x4.k
+        free = CommCostModel((0.0,) * (hier_2x4.h + 1))
+        report = evaluate_placement(rep, hier_2x4, leaf_of, model=free)
+        assert report.core_utilisation.max() <= 0.8 + 1e-9
+
+
+class TestPlaceDagReplication:
+    def test_replicate_hot_flag(self, hier_2x4):
+        from repro import SolverConfig
+        from repro.streaming.pinning import place_dag
+
+        dag = hot_pipeline()
+        placement, report = place_dag(
+            dag,
+            hier_2x4,
+            method="greedy",
+            replicate_hot=True,
+            max_utilisation=0.8,
+            seed=0,
+        )
+        # The transformed workload has 5 operators (3 hot replicas).
+        assert placement.leaf_of.size == 5
+        # Without replication the hot operator alone saturates a core at
+        # nominal rates; with it the workload has headroom at nominal.
+        base_p, base_r = place_dag(dag, hier_2x4, method="greedy", seed=0)
+        assert report.max_scale > base_r.max_scale

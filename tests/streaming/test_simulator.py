@@ -1,0 +1,118 @@
+"""Tests for the throughput model and the placement-quality link."""
+
+import numpy as np
+import pytest
+
+from repro import Hierarchy
+from repro.errors import InvalidInputError
+from repro.streaming.operators import Operator, StreamDAG
+from repro.streaming.simulator import CommCostModel, evaluate_placement
+from repro.streaming.workload import random_workload
+from repro.streaming.pinning import dag_to_instance, place_dag
+
+
+def two_op_dag(rate=1000.0, size=100.0):
+    dag = StreamDAG()
+    a = dag.add_operator(Operator("a", source_rate=rate, service_cost=1e-4,
+                                  tuple_bytes=size))
+    b = dag.add_operator(Operator("b", service_cost=1e-4))
+    dag.add_edge(a, b)
+    return dag
+
+
+class TestCommCostModel:
+    def test_geometric_profile(self, hier_2x4):
+        m = CommCostModel.for_hierarchy(hier_2x4, base=1e-6, ratio=4.0)
+        assert m.tax[2] == 0.0
+        assert m.tax[1] == pytest.approx(1e-6)
+        assert m.tax[0] == pytest.approx(4e-6)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInputError):
+            CommCostModel((1e-6, 2e-6, 0.0))  # increasing by level
+        with pytest.raises(InvalidInputError):
+            CommCostModel((-1.0, 0.0))
+
+
+class TestEvaluatePlacement:
+    def test_colocated_no_tax(self, hier_2x4):
+        dag = two_op_dag()
+        rep = evaluate_placement(dag, hier_2x4, [0, 0])
+        assert rep.comm_fraction == 0.0
+        assert rep.traffic_by_level[2] > 0
+
+    def test_cross_socket_costs_more(self, hier_2x4):
+        dag = two_op_dag()
+        same = evaluate_placement(dag, hier_2x4, [0, 1])
+        cross = evaluate_placement(dag, hier_2x4, [0, 4])
+        assert cross.comm_fraction > same.comm_fraction
+        assert cross.max_scale < same.max_scale
+
+    def test_max_scale_definition(self, hier_2x4):
+        dag = two_op_dag(rate=1000.0)
+        rep = evaluate_placement(dag, hier_2x4, [0, 0])
+        # Each op burns 1000 * 1e-4 = 0.1 of its core; both on core 0 -> 0.2.
+        assert rep.core_utilisation[0] == pytest.approx(0.2)
+        assert rep.max_scale == pytest.approx(5.0)
+
+    def test_traffic_by_level_partition(self, hier_2x4):
+        dag = random_workload(n_queries=3, seed=1)
+        rng = np.random.default_rng(0)
+        leaf_of = rng.integers(0, 8, size=dag.n_operators)
+        rep = evaluate_placement(dag, hier_2x4, leaf_of)
+        _, traffic = dag.propagate_rates()
+        assert rep.traffic_by_level.sum() == pytest.approx(traffic.sum())
+
+    def test_bad_inputs(self, hier_2x4):
+        dag = two_op_dag()
+        with pytest.raises(InvalidInputError):
+            evaluate_placement(dag, hier_2x4, [0])
+        with pytest.raises(InvalidInputError):
+            evaluate_placement(dag, hier_2x4, [0, 99])
+
+
+class TestPinning:
+    def test_instance_conversion(self, hier_2x4):
+        dag = random_workload(n_queries=2, seed=3)
+        g, demands = dag_to_instance(dag, hier_2x4, target_fill=0.5)
+        assert g.n == dag.n_operators
+        assert demands.sum() <= 0.5 * hier_2x4.total_capacity + 1e-6
+        assert demands.min() > 0
+
+    def test_place_dag_methods(self, hier_2x4):
+        dag = random_workload(n_queries=2, seed=4)
+        p_rr, rep_rr = place_dag(dag, hier_2x4, method="round_robin")
+        p_greedy, rep_greedy = place_dag(dag, hier_2x4, method="greedy")
+        assert p_rr.leaf_of.shape == (dag.n_operators,)
+        assert rep_rr.max_scale > 0
+
+    def test_unknown_method(self, hier_2x4):
+        dag = random_workload(n_queries=1, seed=5)
+        with pytest.raises(InvalidInputError):
+            place_dag(dag, hier_2x4, method="wat")
+
+    def test_better_cost_means_less_tax(self, hier_2x4):
+        """Lower Eq.(1) cost (with traffic weights) => lower comm burn."""
+        dag = random_workload(n_queries=4, seed=6)
+        p_rand, rep_rand = place_dag(dag, hier_2x4, method="random", seed=0)
+        p_hgp, rep_hgp = place_dag(dag, hier_2x4, method="hgp")
+        assert p_hgp.cost() <= p_rand.cost()
+        assert rep_hgp.comm_fraction <= rep_rand.comm_fraction + 1e-9
+
+
+class TestWorkloadGenerator:
+    def test_acyclic_and_connected_enough(self):
+        for seed in range(4):
+            dag = random_workload(n_queries=3, n_sources=2, seed=seed)
+            dag.topological_order()  # raises on cycles
+            assert dag.n_operators >= 8
+
+    def test_deterministic(self):
+        a = random_workload(n_queries=3, seed=9)
+        b = random_workload(n_queries=3, seed=9)
+        assert a.n_operators == b.n_operators
+        assert a.edges == b.edges
+
+    def test_bad_params(self):
+        with pytest.raises(InvalidInputError):
+            random_workload(n_queries=0)
