@@ -11,7 +11,6 @@ because every cross-socket edge's penalty scales with it.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import Hierarchy, SolverConfig
 from repro.bench import Table, make_instance, run_method, save_result

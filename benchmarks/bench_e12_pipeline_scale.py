@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro import SolverConfig, solve_hgp
 from repro.baselines import placement_baselines

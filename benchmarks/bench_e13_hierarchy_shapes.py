@@ -15,7 +15,6 @@ quality.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import Hierarchy, SolverConfig
 from repro.bench import Table, make_instance, run_method, save_result

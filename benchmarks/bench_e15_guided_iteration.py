@@ -12,7 +12,6 @@ ensemble.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import SolverConfig
 from repro.bench import Table, make_instance, save_result, standard_hierarchy

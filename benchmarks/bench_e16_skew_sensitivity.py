@@ -13,7 +13,6 @@ tasks pin whole leaves); the solver never fails on feasible instances.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import SolverConfig, solve_hgp
 from repro.bench import Table, save_result, standard_hierarchy

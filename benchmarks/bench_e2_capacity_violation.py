@@ -8,11 +8,10 @@ usually far below it (the worst case needs adversarial demand packings).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import Hierarchy, SolverConfig, solve_hgp
 from repro.bench import Table, save_result
-from repro.graph.generators import planted_partition, power_law, random_demands
+from repro.graph.generators import power_law, random_demands
 
 HIERARCHIES = {
     1: Hierarchy([8], [1.0, 0.0]),

@@ -11,16 +11,22 @@ Three sweeps on the signature DP:
 
 Expected shape: polynomial growth along every axis, steepest in ``D``
 and ``h``, exactly as the paper's bound predicts.
+
+Besides the human-readable table (``E4_runtime_scaling.txt``), the
+experiment persists a machine-readable companion
+(``BENCH_E4_runtime_scaling.json``) built from the engine's structured
+run reports — one report per sweep point, with per-stage spans and a
+member record carrying the DP counters — so the perf trajectory is
+trackable across PRs.
 """
 
 from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro import Hierarchy
-from repro.bench import Table, save_result
+from repro.bench import Table, save_result, save_result_json
+from repro.core.telemetry import MemberRecord, Telemetry
 from repro.decomposition.spectral_tree import spectral_decomposition_tree
 from repro.graph.generators import planted_partition, random_demands
 from repro.hgpt.binarize import binarize
@@ -29,37 +35,76 @@ from repro.hgpt.quantize import DemandGrid
 
 
 def _run_dp(g, hier, d, budget, beam=256):
-    grid = DemandGrid.from_budget(hier, d, budget, slack=0.25)
-    q = grid.quantize(d)
-    tree = spectral_decomposition_tree(g, seed=0)
-    bt = binarize(tree, q)
-    caps = [grid.caps[j] for j in range(1, hier.h + 1)]
-    norm, _ = hier.normalized()
-    deltas = [0.0] + [norm.cm[k - 1] - norm.cm[k] for k in range(1, hier.h + 1)]
+    tel = Telemetry("bench")
+    with tel.span("quantize"):
+        grid = DemandGrid.from_budget(hier, d, budget, slack=0.25)
+        q = grid.quantize(d)
+    with tel.span("trees"):
+        tree = spectral_decomposition_tree(g, seed=0)
     stats = DPStats()
     t0 = time.perf_counter()
-    solve_rhgpt(bt, caps, deltas, beam_width=beam, stats=stats)
-    return time.perf_counter() - t0, stats
+    with tel.span("dp"):
+        bt = binarize(tree, q)
+        caps = [grid.caps[j] for j in range(1, hier.h + 1)]
+        norm, _ = hier.normalized()
+        deltas = [0.0] + [norm.cm[k - 1] - norm.cm[k] for k in range(1, hier.h + 1)]
+        solution = solve_rhgpt(bt, caps, deltas, beam_width=beam, stats=stats)
+    elapsed = time.perf_counter() - t0
+    tel.record_member(
+        MemberRecord(
+            index=0,
+            method="spectral",
+            dp_cost=float(solution.cost),
+            dp_seconds=tel.root.child("dp").seconds,
+            dp_nodes=stats.nodes,
+            dp_states_total=stats.states_total,
+            dp_states_max=stats.states_max,
+            dp_merges=stats.merges,
+        )
+    )
+    return elapsed, stats, tel
 
 
-def _experiment() -> Table:
+def _experiment():
     table = Table(
         ["sweep", "n", "h", "grid_cells", "time_s", "states_max", "merges"],
         title="E4: DP runtime scaling (O(n * D^{3h+2}) axis-by-axis)",
     )
+    points = []
+
+    def add_point(sweep, g, hier, budget, secs, stats, tel):
+        table.add_row(
+            [sweep, g.n, hier.h, budget, secs, stats.states_max, stats.merges]
+        )
+        report = tel.report(
+            config={"sweep": sweep, "n": g.n, "h": hier.h, "grid_cells": budget}
+        )
+        points.append(
+            {
+                "sweep": sweep,
+                "n": g.n,
+                "h": hier.h,
+                "grid_cells": budget,
+                "time_s": secs,
+                "states_max": stats.states_max,
+                "merges": stats.merges,
+                "report": report.to_dict(),
+            }
+        )
+
     hier2 = Hierarchy([2, 4], [10.0, 3.0, 0.0])
     # Sweep n.
     for blocks in (4, 8, 16):
         g = planted_partition(blocks, 6, 0.6, 0.05, seed=blocks)
         d = random_demands(g.n, hier2.total_capacity, fill=0.6, seed=blocks)
-        secs, stats = _run_dp(g, hier2, d, budget=4 * g.n)
-        table.add_row(["n", g.n, 2, 4 * g.n, secs, stats.states_max, stats.merges])
+        secs, stats, tel = _run_dp(g, hier2, d, budget=4 * g.n)
+        add_point("n", g, hier2, 4 * g.n, secs, stats, tel)
     # Sweep grid resolution D.
     g = planted_partition(6, 6, 0.6, 0.05, seed=1)
     d = random_demands(g.n, hier2.total_capacity, fill=0.6, skew=0.5, seed=2)
     for budget in (g.n, 2 * g.n, 4 * g.n, 8 * g.n):
-        secs, stats = _run_dp(g, hier2, d, budget=budget, beam=None)
-        table.add_row(["D", g.n, 2, budget, secs, stats.states_max, stats.merges])
+        secs, stats, tel = _run_dp(g, hier2, d, budget=budget, beam=None)
+        add_point("D", g, hier2, budget, secs, stats, tel)
     # Sweep height h.
     for h, hier in (
         (1, Hierarchy([8], [1.0, 0.0])),
@@ -67,14 +112,23 @@ def _experiment() -> Table:
         (3, Hierarchy([2, 2, 2], [8.0, 4.0, 1.0, 0.0])),
     ):
         d = random_demands(g.n, hier.total_capacity, fill=0.6, skew=0.5, seed=3)
-        secs, stats = _run_dp(g, hier, d, budget=4 * g.n, beam=None)
-        table.add_row(["h", g.n, h, 4 * g.n, secs, stats.states_max, stats.merges])
-    return table
+        secs, stats, tel = _run_dp(g, hier, d, budget=4 * g.n, beam=None)
+        add_point("h", g, hier, 4 * g.n, secs, stats, tel)
+    return table, points
 
 
 def test_e4_runtime_scaling(benchmark, results_dir):
-    table = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    table, points = benchmark.pedantic(_experiment, rounds=1, iterations=1)
     save_result("E4_runtime_scaling", table.show(), results_dir)
+    save_result_json(
+        "BENCH_E4_runtime_scaling",
+        {
+            "experiment": "E4_runtime_scaling",
+            "schema_version": 1,
+            "points": points,
+        },
+        results_dir,
+    )
     # Shape assertions: D-sweep and h-sweep merge counts must be increasing.
     d_rows = [r for r in table.rows if r[0] == "D"]
     assert int(d_rows[-1][6]) > int(d_rows[0][6])

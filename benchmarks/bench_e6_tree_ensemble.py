@@ -9,7 +9,6 @@ least as good as the typical single builder.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import SolverConfig, solve_hgp
 from repro.bench import Table, make_instance, save_result, standard_hierarchy

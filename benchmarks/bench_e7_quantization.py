@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro import SolverConfig, solve_hgp
 from repro.bench import Table, make_instance, save_result, standard_hierarchy

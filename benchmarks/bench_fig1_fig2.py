@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Graph
 from repro.bench import Table, save_result
 from repro.decomposition.spectral_tree import spectral_decomposition_tree
 from repro.graph.generators import grid_2d

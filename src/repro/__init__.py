@@ -34,7 +34,9 @@ from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
 from repro.core.config import SolverConfig
+from repro.core.engine import run_pipeline
 from repro.core.solver import HGPResult, solve_hgp, solve_hgpt
+from repro.core.telemetry import RunReport, Telemetry
 from repro.core.exact import exact_hgp
 from repro.core.kbgp import kbgp_hierarchy, solve_kbgp
 
@@ -52,6 +54,9 @@ __all__ = [
     "HGPResult",
     "solve_hgp",
     "solve_hgpt",
+    "run_pipeline",
+    "RunReport",
+    "Telemetry",
     "exact_hgp",
     "kbgp_hierarchy",
     "solve_kbgp",

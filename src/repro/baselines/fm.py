@@ -15,7 +15,7 @@ not apply; the heap keeps the pass at ``O(m log n)``.
 from __future__ import annotations
 
 import heapq
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -15,7 +15,7 @@ from repro.bench.metrics import (
     load_imbalance,
 )
 from repro.bench.oracles import brute_force_optimum, path_binary_tree
-from repro.bench.tables import Table, format_series, save_result
+from repro.bench.tables import Table, format_series, save_result, save_result_json
 
 __all__ = [
     "FAMILIES",
@@ -27,6 +27,7 @@ __all__ = [
     "Table",
     "format_series",
     "save_result",
+    "save_result_json",
     "brute_force_optimum",
     "path_binary_tree",
     "adjusted_rand_index",

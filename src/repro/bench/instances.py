@@ -8,7 +8,7 @@ profiles, the same seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Sequence
 
 import numpy as np
 

@@ -3,15 +3,18 @@
 Every experiment prints rows through :class:`Table` (aligned columns,
 deterministic formatting) and optionally persists them with
 :func:`save_result`, so EXPERIMENTS.md can quote the literal harness
-output.
+output.  Machine-readable companions (``BENCH_*.json`` payloads built
+from the engine's run reports) go through :func:`save_result_json`, so
+the perf trajectory stays trackable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Iterable, List, Sequence, Union
 
-__all__ = ["Table", "save_result", "format_series"]
+__all__ = ["Table", "save_result", "save_result_json", "format_series"]
 
 Cell = Union[str, int, float]
 
@@ -89,4 +92,23 @@ def save_result(name: str, text: str, directory: Union[str, Path, None] = None) 
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.txt"
     path.write_text(text + "\n")
+    return path
+
+
+def save_result_json(
+    name: str, payload: dict, directory: Union[str, Path, None] = None
+) -> Path:
+    """Persist machine-readable experiment output as ``<name>.json``.
+
+    ``payload`` must be JSON-serialisable (raw row values, run-report
+    dicts from :meth:`repro.core.telemetry.RunReport.to_dict`, …).
+    Written next to the ``.txt`` tables under ``benchmarks/results/``
+    with stable key order so diffs across PRs stay readable.
+    """
+    if directory is None:
+        directory = Path("benchmarks") / "results"
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

@@ -10,7 +10,9 @@ Two subcommands cover the operator workflow end-to-end:
     Read a graph (edge-list or METIS), build the hierarchy from
     ``--degrees/--cm``, solve with the paper's pipeline or any baseline,
     print the ASCII placement report, and optionally save the placement
-    as JSON.
+    as JSON (``--out``) and the engine's structured run report —
+    per-stage spans plus per-tree member records — as JSON
+    (``--report``).
 
 Examples
 --------
@@ -18,7 +20,8 @@ Examples
 
     python -m repro generate --family blocks --n 32 --seed 7 --out tasks.edges
     python -m repro solve --graph tasks.edges --degrees 2,4 \
-        --cm 10,3,0 --fill 0.6 --method hgp --seed 0 --out pin.json
+        --cm 10,3,0 --fill 0.6 --method hgp --seed 0 --out pin.json \
+        --report run.json
 """
 
 from __future__ import annotations
@@ -37,7 +40,7 @@ from repro.graph.io import read_edgelist, read_metis, write_edgelist
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.report import placement_to_json, render_placement
 from repro.core.config import SolverConfig
-from repro.core.solver import solve_hgp
+from repro.core.engine import run_pipeline
 
 __all__ = ["main", "build_parser"]
 
@@ -96,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--slack", type=float, default=0.25)
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--out", default=None, help="write the placement as JSON here")
+    solve.add_argument(
+        "--report",
+        default=None,
+        help="write the engine's JSON run report here (hgp methods only)",
+    )
     solve.add_argument(
         "--dot", default=None, help="write a Graphviz rendering of the loaded hierarchy here"
     )
@@ -157,7 +165,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
     if args.method in ("hgp", "hgp_feasible"):
         cfg = SolverConfig(seed=args.seed, n_trees=args.n_trees, slack=args.slack)
-        placement = solve_hgp(g, hier, d, cfg).placement
+        result = run_pipeline(g, hier, d, cfg, path="batch")
+        placement = result.placement
+        if args.report:
+            report = result.report(graph=str(args.graph), method=args.method)
+            Path(args.report).write_text(report.to_json() + "\n")
+            print(f"run report written to {args.report}")
         if args.method == "hgp_feasible":
             from repro.baselines.local_search import enforce_capacity, refine_placement
 
@@ -166,6 +179,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 placement, max_violation=1.0, seed=args.seed, allow_swaps=True
             )
     else:
+        if args.report:
+            raise InvalidInputError(
+                "--report requires an engine method (hgp or hgp_feasible)"
+            )
         from repro.baselines import placement_baselines
 
         registry = placement_baselines()

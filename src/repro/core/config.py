@@ -7,7 +7,7 @@ placement's ``meta``).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
 from repro.errors import InvalidInputError

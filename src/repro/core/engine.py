@@ -1,0 +1,590 @@
+"""The staged solver engine behind every solve path.
+
+The Theorem-1 pipeline (embed → quantize → DP → repair → refine) used to
+live as one monolithic function in :mod:`repro.core.solver`; this module
+factors it into composable *stages* threaded through a :class:`RunContext`
+that carries the instance, the configuration, a seeded RNG and a
+:class:`repro.core.telemetry.Telemetry` collector.  Everything that
+solves an HGP instance — batch :func:`repro.core.solver.solve_hgp`,
+streaming re-optimisation, the portfolio racer, the k-BGP reduction and
+guided iteration — goes through :func:`run_pipeline`, so all paths emit
+the same structured run report (spans named ``trees``, ``quantize``,
+``dp``, ``repair``, ``refine`` plus one :class:`MemberRecord` per
+ensemble member).
+
+Stages
+------
+:class:`EmbedStage`
+    Build the Räcke-style decomposition-tree ensemble (span ``trees``).
+:class:`QuantizeStage`
+    Build the Hochbaum–Shmoys demand grid (span ``quantize``).
+:class:`DPStage`
+    Per member: binarize the tree and run the RHGPT signature DP with
+    beam escalation (span ``dp``).
+:class:`RepairStage`
+    Per member: repack the relaxed solution into a valid placement and
+    measure its true Eq. (1) cost (span ``repair``).
+:class:`RefineStage`
+    Hierarchy-aware local search on the winning placement (span
+    ``refine``; entered even when refinement is disabled so every run
+    report carries the full stage skeleton).
+
+The per-member work (DP + repair) is fused into :func:`solve_member`,
+which times its own phases with a :class:`repro.utils.timing.Stopwatch`
+and returns a picklable :class:`MemberOutcome`.  The process-pool path
+ships those outcomes back from the workers and the parent folds the
+timings into its telemetry via :meth:`Stopwatch.merge` — parallel runs
+report the same non-empty ``dp``/``repair`` breakdown as serial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InfeasibleError, InvalidInputError, SolverError
+from repro.graph.graph import Graph
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.hierarchy.placement import Placement
+from repro.decomposition.racke import racke_ensemble
+from repro.decomposition.tree import DecompositionTree
+from repro.hgpt.binarize import binarize
+from repro.hgpt.dp import DPStats, solve_rhgpt
+from repro.hgpt.quantize import DemandGrid
+from repro.hgpt.repair import repair_to_placement
+from repro.core.config import SolverConfig
+from repro.core.telemetry import MemberRecord, RunReport, Telemetry
+from repro.utils.rng import ensure_rng
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "STAGE_NAMES",
+    "RunContext",
+    "MemberOutcome",
+    "EngineResult",
+    "Stage",
+    "EmbedStage",
+    "QuantizeStage",
+    "DPStage",
+    "RepairStage",
+    "RefineStage",
+    "Engine",
+    "solve_member",
+    "run_pipeline",
+]
+
+#: Canonical stage-span names, in pipeline order.  Every engine run emits
+#: all five (asserted by the telemetry tests).
+STAGE_NAMES = ("trees", "quantize", "dp", "repair", "refine")
+
+
+# ----------------------------------------------------------------------
+# instance validation + grid construction (shared with repro.core.solver)
+# ----------------------------------------------------------------------
+
+
+def check_instance(g: Graph, hierarchy: Hierarchy, demands: np.ndarray) -> None:
+    """Validate an HGP instance; raise on shape/feasibility violations."""
+    if demands.shape != (g.n,):
+        raise InvalidInputError(
+            f"demands must have shape ({g.n},), got {demands.shape}"
+        )
+    if g.n == 0:
+        raise InvalidInputError("empty graph")
+    if demands.min() <= 0 or not np.all(np.isfinite(demands)):
+        raise InvalidInputError("demands must be finite and > 0")
+    if demands.max() > hierarchy.leaf_capacity * (1 + 1e-9):
+        v = int(np.argmax(demands))
+        raise InfeasibleError(
+            f"vertex {v} demand {demands[v]:.4g} exceeds leaf capacity "
+            f"{hierarchy.leaf_capacity:.4g}"
+        )
+    if demands.sum() > hierarchy.total_capacity * (1 + 1e-9):
+        raise InfeasibleError(
+            f"total demand {demands.sum():.4g} exceeds total capacity "
+            f"{hierarchy.total_capacity:.4g}"
+        )
+
+
+def make_grid(
+    hierarchy: Hierarchy, demands: np.ndarray, config: SolverConfig
+) -> DemandGrid:
+    """Build the demand grid selected by ``config.grid_mode``."""
+    n = demands.size
+    if config.grid_mode == "epsilon":
+        return DemandGrid.from_epsilon(hierarchy, n, config.epsilon)
+    if config.grid_mode == "budget":
+        budget = max(int(config.grid_budget), n)  # type: ignore[arg-type]
+        return DemandGrid.from_budget(hierarchy, demands, budget, slack=config.slack)
+    # "auto": ~4 grid cells per vertex, floor of 64 total.
+    budget = max(64, 4 * n)
+    return DemandGrid.from_budget(hierarchy, demands, budget, slack=config.slack)
+
+
+# ----------------------------------------------------------------------
+# run context + member outcome
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunContext:
+    """Everything one engine run threads through its stages.
+
+    Attributes
+    ----------
+    graph, hierarchy, demands:
+        The HGP instance (demands already validated, float64).
+    config:
+        Pipeline knobs.
+    telemetry:
+        Structured collector; stages open their spans on it.
+    rng:
+        RNG seeded from ``config.seed`` for stages that need extra
+        randomness (the ensemble builder derives its own child streams
+        from ``config.seed`` directly so results stay reproducible).
+    grid:
+        Demand grid (filled by :class:`QuantizeStage`; pre-set to reuse
+        a caller's grid).
+    trees:
+        Decomposition-tree ensemble (filled by :class:`EmbedStage`;
+        pre-set to solve on caller-supplied trees).
+    outcomes:
+        One :class:`MemberOutcome` per ensemble member.
+    placement:
+        The winning placement (set by :class:`RepairStage` selection,
+        polished by :class:`RefineStage`).
+    """
+
+    graph: Graph
+    hierarchy: Hierarchy
+    demands: np.ndarray
+    config: SolverConfig
+    telemetry: Telemetry
+    rng: np.random.Generator = None  # type: ignore[assignment]
+    grid: Optional[DemandGrid] = None
+    trees: Optional[List[DecompositionTree]] = None
+    outcomes: List["MemberOutcome"] = field(default_factory=list)
+    placement: Optional[Placement] = None
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = ensure_rng(self.config.seed)
+
+    @property
+    def tree_costs(self) -> List[float]:
+        """Mapped Eq. (1) cost of each member, in ensemble order."""
+        return [o.mapped_cost for o in self.outcomes]
+
+    @property
+    def dp_costs(self) -> List[float]:
+        """DP (tree-side) cost of each member, in ensemble order."""
+        return [o.dp_cost for o in self.outcomes]
+
+
+@dataclass
+class MemberOutcome:
+    """One ensemble member's full result (picklable; workers return it).
+
+    Attributes
+    ----------
+    index:
+        Member index within the run's telemetry (continues across
+        portfolio members / guided rounds sharing one collector).
+    placement:
+        The repaired placement for this member's tree.
+    dp_cost:
+        Tree-side DP cost (upper-bounds ``mapped_cost``, Proposition 1).
+    mapped_cost:
+        True Eq. (1) cost of ``placement``.
+    record:
+        Telemetry member record (timings + DP counters).
+    timings:
+        Per-phase stopwatch (``dp`` / ``repair`` sections) measured where
+        the member actually ran — in-process or in a pool worker.
+    """
+
+    index: int
+    placement: Placement
+    dp_cost: float
+    mapped_cost: float
+    record: MemberRecord
+    timings: Stopwatch
+
+
+# ----------------------------------------------------------------------
+# stages
+# ----------------------------------------------------------------------
+
+
+class Stage:
+    """Base class: a named pipeline step operating on a :class:`RunContext`."""
+
+    name = "stage"
+
+    def run(self, ctx: RunContext) -> None:
+        """Execute the stage, mutating ``ctx`` under a telemetry span."""
+        raise NotImplementedError
+
+
+class EmbedStage(Stage):
+    """Build the decomposition-tree ensemble (the Räcke step, span ``trees``)."""
+
+    name = "trees"
+
+    def run(self, ctx: RunContext) -> None:
+        """Fill ``ctx.trees`` (skipped when the caller pre-supplied them)."""
+        with ctx.telemetry.span(self.name):
+            if ctx.trees is None:
+                ctx.trees = racke_ensemble(
+                    ctx.graph,
+                    n_trees=ctx.config.n_trees,
+                    methods=ctx.config.tree_methods,
+                    seed=ctx.config.seed,
+                )
+            ctx.telemetry.counter("n_trees", len(ctx.trees))
+
+
+class QuantizeStage(Stage):
+    """Build the Hochbaum–Shmoys demand grid (span ``quantize``)."""
+
+    name = "quantize"
+
+    def run(self, ctx: RunContext) -> None:
+        """Fill ``ctx.grid`` (skipped when the caller pre-supplied one)."""
+        with ctx.telemetry.span(self.name):
+            if ctx.grid is None:
+                ctx.grid = make_grid(ctx.hierarchy, ctx.demands, ctx.config)
+            ctx.telemetry.counter(
+                "grid_cells", float(ctx.grid.quantize(ctx.demands).sum())
+            )
+
+
+class DPStage(Stage):
+    """Per-member signature DP with beam escalation (span ``dp``)."""
+
+    name = "dp"
+
+    def run_member(
+        self,
+        tree: DecompositionTree,
+        hierarchy: Hierarchy,
+        demands: np.ndarray,
+        config: SolverConfig,
+        grid: DemandGrid,
+        stats: Optional[DPStats] = None,
+    ):
+        """Binarize one tree and solve the RHGPT DP on it.
+
+        Beam pruning is a heuristic: on tight instances it can discard
+        every state an ancestor's capacity check needs.  Escalate (4x,
+        then exact) before giving up — the exact DP is always complete
+        once the grid admitted the instance.
+
+        Returns ``(solution, escalations)`` where ``escalations`` counts
+        how many beam widenings were needed before success.
+        """
+        q = grid.quantize(demands)
+        bt = binarize(tree, q)
+        caps = [grid.caps[j] for j in range(1, hierarchy.h + 1)]
+        norm_h, _offset = hierarchy.normalized()
+        deltas = [0.0] + [
+            norm_h.cm[k - 1] - norm_h.cm[k] for k in range(1, hierarchy.h + 1)
+        ]
+        beams: List[Optional[int]] = [config.beam_width]
+        if config.beam_width is not None:
+            beams.extend([config.beam_width * 4, None])
+        last_error: Optional[SolverError] = None
+        for escalations, beam in enumerate(beams):
+            try:
+                solution = solve_rhgpt(bt, caps, deltas, beam_width=beam, stats=stats)
+                return solution, escalations
+            except SolverError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+
+class RepairStage(Stage):
+    """Per-member Theorem-5 repair into a valid placement (span ``repair``)."""
+
+    name = "repair"
+
+    def run_member(
+        self,
+        tree: DecompositionTree,
+        hierarchy: Hierarchy,
+        demands: np.ndarray,
+        solution,
+        grid: DemandGrid,
+    ) -> Placement:
+        """Repack one relaxed tree solution into a hierarchy placement."""
+        placement, _report = repair_to_placement(
+            tree.graph, hierarchy, demands, solution, grid
+        )
+        return placement
+
+
+class RefineStage(Stage):
+    """Local-search polish of the winning placement (span ``refine``).
+
+    The span is entered even when refinement is disabled (with a
+    ``passes`` counter of 0) so every run report carries the complete
+    five-stage skeleton.
+    """
+
+    name = "refine"
+
+    def run(self, ctx: RunContext) -> None:
+        """Refine ``ctx.placement`` in place when the config asks for it."""
+        with ctx.telemetry.span(self.name):
+            if not (ctx.config.refine and ctx.config.refine_passes > 0):
+                ctx.telemetry.counter("passes", 0)
+                return
+            from repro.baselines.local_search import refine_placement
+
+            assert ctx.placement is not None
+            # Refinement may shuffle load but never worsen the balance the
+            # repair achieved (and always stays within the Theorem-1 bound).
+            budget = max(1.0, ctx.placement.max_violation())
+            ctx.placement = refine_placement(
+                ctx.placement,
+                max_passes=ctx.config.refine_passes,
+                max_violation=budget,
+                allow_swaps=True,
+            )
+            ctx.telemetry.counter("passes", ctx.config.refine_passes)
+
+
+# ----------------------------------------------------------------------
+# per-member solve (shared by the serial path and the pool workers)
+# ----------------------------------------------------------------------
+
+_DP_STAGE = DPStage()
+_REPAIR_STAGE = RepairStage()
+
+
+def solve_member(
+    tree: DecompositionTree,
+    hierarchy: Hierarchy,
+    demands: np.ndarray,
+    config: SolverConfig,
+    grid: DemandGrid,
+    index: int = 0,
+    stats: Optional[DPStats] = None,
+) -> MemberOutcome:
+    """Solve HGP on one decomposition tree: DP + repair, self-timed.
+
+    This is the unit of work the engine fans out — in-process for
+    ``n_jobs == 1``, in pool workers otherwise.  The returned
+    :class:`MemberOutcome` is picklable and carries its own stopwatch,
+    so the parent can merge worker timings into its telemetry.
+    """
+    own_stats = DPStats()
+    sw = Stopwatch()
+    with sw.section("dp"):
+        solution, escalations = _DP_STAGE.run_member(
+            tree, hierarchy, demands, config, grid, stats=own_stats
+        )
+    with sw.section("repair"):
+        placement = _REPAIR_STAGE.run_member(
+            tree, hierarchy, demands, solution, grid
+        )
+        mapped = placement.cost()
+    if stats is not None:
+        stats.update(own_stats)
+    record = MemberRecord(
+        index=index,
+        method=getattr(tree, "method", None),
+        dp_cost=float(solution.cost),
+        mapped_cost=float(mapped),
+        dp_seconds=sw.total("dp"),
+        repair_seconds=sw.total("repair"),
+        beam_escalations=escalations,
+        dp_nodes=own_stats.nodes,
+        dp_states_total=own_stats.states_total,
+        dp_states_max=own_stats.states_max,
+        dp_merges=own_stats.merges,
+    )
+    return MemberOutcome(
+        index=index,
+        placement=placement,
+        dp_cost=float(solution.cost),
+        mapped_cost=float(mapped),
+        record=record,
+        timings=sw,
+    )
+
+
+def _member_job(args) -> MemberOutcome:
+    """Top-level process-pool worker (must be picklable)."""
+    index, tree, hierarchy, demands, config, grid = args
+    return solve_member(tree, hierarchy, demands, config, grid, index=index)
+
+
+# ----------------------------------------------------------------------
+# engine + result
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EngineResult:
+    """What one engine run produced: placement, diagnostics, telemetry."""
+
+    placement: Placement
+    tree_costs: List[float]
+    dp_costs: List[float]
+    grid: DemandGrid
+    telemetry: Telemetry
+    config: SolverConfig
+
+    @property
+    def cost(self) -> float:
+        """True Eq. (1) cost of the winning placement."""
+        return self.placement.cost()
+
+    def stopwatch(self) -> Stopwatch:
+        """Legacy flat phase-timing view (the telemetry root's children)."""
+        return self.telemetry.to_stopwatch()
+
+    def report(self, **meta: object) -> RunReport:
+        """Freeze the run into a JSON-serialisable :class:`RunReport`."""
+        return self.telemetry.report(
+            config=self.config.describe(), cost=self.cost, **meta
+        )
+
+
+class Engine:
+    """The composable staged pipeline.
+
+    The default stage set reproduces the Theorem-1 pipeline exactly;
+    callers may substitute stages (e.g. a custom embedder) as long as
+    they fill the same :class:`RunContext` fields.
+    """
+
+    def __init__(
+        self,
+        embed: Optional[EmbedStage] = None,
+        quantize: Optional[QuantizeStage] = None,
+        dp: Optional[DPStage] = None,
+        repair: Optional[RepairStage] = None,
+        refine: Optional[RefineStage] = None,
+    ):
+        self.embed = embed or EmbedStage()
+        self.quantize = quantize or QuantizeStage()
+        self.dp = dp or DPStage()
+        self.repair = repair or RepairStage()
+        self.refine = refine or RefineStage()
+
+    def run(self, ctx: RunContext) -> EngineResult:
+        """Execute embed → quantize → (dp + repair per member) → refine.
+
+        The ensemble members are independent; with ``config.n_jobs > 1``
+        their DP+repair work fans out to a process pool.  Results are
+        identical to the serial path (each member solve is deterministic
+        given its tree and grid, and members are compared in ensemble
+        order either way).
+        """
+        tel = ctx.telemetry
+        self.embed.run(ctx)
+        self.quantize.run(ctx)
+        assert ctx.trees is not None and ctx.grid is not None
+
+        base = len(tel.members)
+        jobs = [
+            (base + i, tree, ctx.hierarchy, ctx.demands, ctx.config, ctx.grid)
+            for i, tree in enumerate(ctx.trees)
+        ]
+        if ctx.config.n_jobs > 1 and len(ctx.trees) > 1:
+            import concurrent.futures as cf
+
+            with cf.ProcessPoolExecutor(
+                max_workers=min(ctx.config.n_jobs, len(ctx.trees))
+            ) as pool:
+                outcomes = list(pool.map(_member_job, jobs))
+        else:
+            outcomes = [_member_job(job) for job in jobs]
+
+        # Fold the members' self-measured phase timings (worker-side for
+        # the pool path) into this run's span tree — this is the fix for
+        # the old parallel path reporting empty dp/repair sections.
+        merged = Stopwatch()
+        for outcome in outcomes:
+            merged.merge(outcome.timings)
+            tel.record_member(outcome.record)
+        for name in (self.dp.name, self.repair.name):
+            tel.add_seconds(name, merged.total(name), merged.counts.get(name, 0))
+        ctx.outcomes.extend(outcomes)
+
+        best: Optional[MemberOutcome] = None
+        for outcome in outcomes:
+            if best is None or outcome.mapped_cost < best.mapped_cost:
+                best = outcome
+        assert best is not None
+        ctx.placement = best.placement
+
+        self.refine.run(ctx)
+        assert ctx.placement is not None
+        ctx.placement = ctx.placement.with_meta(
+            solver="hgp", config=ctx.config.describe()
+        )
+        return EngineResult(
+            placement=ctx.placement,
+            tree_costs=[o.mapped_cost for o in outcomes],
+            dp_costs=[o.dp_cost for o in outcomes],
+            grid=ctx.grid,
+            telemetry=tel,
+            config=ctx.config,
+        )
+
+
+def run_pipeline(
+    g: Graph,
+    hierarchy: Hierarchy,
+    demands: Sequence[float],
+    config: SolverConfig = SolverConfig(),
+    *,
+    telemetry: Optional[Telemetry] = None,
+    path: str = "batch",
+    grid: Optional[DemandGrid] = None,
+    trees: Optional[List[DecompositionTree]] = None,
+    engine: Optional[Engine] = None,
+) -> EngineResult:
+    """Run the staged engine on one instance and return its result.
+
+    This is the single entry point every solve path uses.  Callers that
+    want a shared collector (portfolio members, streaming epochs) pass
+    their own ``telemetry``; otherwise a fresh one rooted at ``path`` is
+    created and attached to the result.
+
+    Parameters
+    ----------
+    g, hierarchy, demands:
+        The instance (validated here).
+    config:
+        Pipeline knobs.
+    telemetry:
+        Collector to thread through the stages (``None`` = new
+        ``Telemetry(path)``).
+    path:
+        Root-span label for a fresh collector (``batch``, ``streaming``,
+        ``portfolio``, ``kbgp``, ``guided``, …).
+    grid, trees:
+        Pre-built grid / ensemble to reuse (both are rebuilt from the
+        config when ``None``).
+    engine:
+        Stage set to run (``None`` = the default five stages).
+    """
+    d = np.asarray(demands, dtype=np.float64)
+    check_instance(g, hierarchy, d)
+    ctx = RunContext(
+        graph=g,
+        hierarchy=hierarchy,
+        demands=d,
+        config=config,
+        telemetry=telemetry if telemetry is not None else Telemetry(path),
+        grid=grid,
+        trees=trees,
+    )
+    return (engine or Engine()).run(ctx)

@@ -18,6 +18,7 @@ from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
 from repro.core.config import SolverConfig
+from repro.core.telemetry import Telemetry
 from repro.utils.rng import SeedLike
 
 __all__ = ["kbgp_hierarchy", "solve_kbgp", "minimum_bisection"]
@@ -35,13 +36,16 @@ def solve_kbgp(
     k: int,
     demands: Optional[Sequence[float]] = None,
     config: SolverConfig = SolverConfig(),
+    telemetry: Optional[Telemetry] = None,
 ) -> Placement:
-    """Solve k-BGP through the full HGP pipeline.
+    """Solve k-BGP through the full HGP pipeline (the staged engine).
 
     With default demands (``n/k`` per vertex scaled to unit leaves, the
     paper's reduction), the returned placement's :meth:`cost` is exactly
     the weight of the edges cut by the partition, and its
-    :meth:`max_violation` the balance violation.
+    :meth:`max_violation` the balance violation.  Pass a ``telemetry``
+    collector to capture the run's structured report; a fresh
+    ``Telemetry("kbgp")`` is used otherwise.
     """
     if demands is None:
         d = np.full(g.n, k / max(g.n, 1))
@@ -49,9 +53,11 @@ def solve_kbgp(
     else:
         d = np.asarray(demands, dtype=np.float64)
     hier = kbgp_hierarchy(k)
-    from repro.core.solver import solve_hgp
+    from repro.core.engine import run_pipeline
 
-    return solve_hgp(g, hier, d, config=config).placement
+    tel = telemetry if telemetry is not None else Telemetry("kbgp")
+    tel.counter("k", float(k))
+    return run_pipeline(g, hier, d, config, telemetry=tel).placement
 
 
 def minimum_bisection(

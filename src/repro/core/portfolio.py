@@ -5,6 +5,11 @@ its grid/beam knobs; a *portfolio* run simply executes several
 configurations and keeps the cheapest valid placement — the standard way
 to spend extra compute for quality without touching the algorithm.
 Combine with ``n_jobs`` inside each member for two-level parallelism.
+
+Every member runs through the shared staged engine with one
+``Telemetry("portfolio")`` collector, so a portfolio run emits a single
+run report whose spans accumulate across members and whose member
+records cover every tree solved by every configuration.
 """
 
 from __future__ import annotations
@@ -12,13 +17,13 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.core.config import SolverConfig
-from repro.core.solver import HGPResult, solve_hgp
+from repro.core.engine import EngineResult, run_pipeline
+from repro.core.solver import HGPResult
+from repro.core.telemetry import Telemetry
 
 __all__ = ["solve_hgp_portfolio", "seed_portfolio"]
 
@@ -37,6 +42,7 @@ def solve_hgp_portfolio(
     demands: Sequence[float],
     configs: Optional[Sequence[SolverConfig]] = None,
     n_seeds: int = 3,
+    telemetry: Optional[Telemetry] = None,
 ) -> HGPResult:
     """Run several pipeline configurations; return the cheapest result.
 
@@ -49,25 +55,36 @@ def solve_hgp_portfolio(
         ``n_seeds`` members derived from the default config).
     n_seeds:
         Size of the default seed portfolio.
+    telemetry:
+        Shared collector for all members (``None`` = a fresh
+        ``Telemetry("portfolio")``, attached to the returned result).
 
     Returns
     -------
     HGPResult
         The member result with the lowest true Eq. (1) cost; its
         placement's ``meta['portfolio_member']`` records which member
-        won.
+        won, and ``.telemetry`` covers the whole portfolio.
     """
     if configs is None:
         configs = seed_portfolio(SolverConfig(), n_seeds)
     if not configs:
         raise InvalidInputError("portfolio needs at least one configuration")
-    best: Optional[HGPResult] = None
+    tel = telemetry if telemetry is not None else Telemetry("portfolio")
+    best: Optional[EngineResult] = None
     best_member = -1
     for i, cfg in enumerate(configs):
-        result = solve_hgp(g, hierarchy, demands, cfg)
+        tel.counter("portfolio_members")
+        result = run_pipeline(g, hierarchy, demands, cfg, telemetry=tel)
         if best is None or result.cost < best.cost:
             best = result
             best_member = i
     assert best is not None
-    best.placement = best.placement.with_meta(portfolio_member=best_member)
-    return best
+    return HGPResult(
+        best.placement.with_meta(portfolio_member=best_member),
+        best.tree_costs,
+        best.dp_costs,
+        tel.to_stopwatch(),
+        best.grid,
+        telemetry=tel,
+    )

@@ -1,4 +1,4 @@
-"""The end-to-end Theorem-1 pipeline.
+"""The end-to-end Theorem-1 pipeline (thin wrappers over the engine).
 
 ``solve_hgp`` runs the paper's two steps:
 
@@ -15,6 +15,11 @@ ensemble can only cost optimality, never correctness.  An optional final
 local-search pass (hierarchy-aware greedy moves) polishes the constant
 factors the worst-case analysis ignores.
 
+Since the staged-engine refactor the actual pipeline lives in
+:mod:`repro.core.engine`; these wrappers keep the original public
+signatures and results while every run now also carries structured
+telemetry (``HGPResult.telemetry`` / ``HGPResult.report()``).
+
 ``solve_hgpt`` exposes the tree-only solver for callers who already have
 a tree instance (the HGPT problem per se, Theorem 2).
 """
@@ -25,17 +30,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import InfeasibleError, InvalidInputError, SolverError
-from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
-from repro.decomposition.racke import racke_ensemble
+from repro.graph.graph import Graph
 from repro.decomposition.tree import DecompositionTree
-from repro.hgpt.binarize import binarize
-from repro.hgpt.dp import DPStats, solve_rhgpt
+from repro.hgpt.dp import DPStats
 from repro.hgpt.quantize import DemandGrid
-from repro.hgpt.repair import repair_to_placement
 from repro.core.config import SolverConfig
+from repro.core.engine import check_instance, make_grid, run_pipeline, solve_member
+from repro.core.telemetry import RunReport, Telemetry
 from repro.utils.timing import Stopwatch
 
 __all__ = ["solve_hgp", "solve_hgpt", "HGPResult"]
@@ -56,9 +59,13 @@ class HGPResult:
         on the corresponding mapped cost (Proposition 1), asserted in
         tests.
     stopwatch:
-        Phase timings (``trees``, ``dp``, ``repair``, ``refine``).
+        Phase timings (``trees``, ``quantize``, ``dp``, ``repair``,
+        ``refine``) — a flat view of the telemetry span tree.
     grid:
         The demand grid used.
+    telemetry:
+        The structured collector for this run (``None`` only for results
+        constructed by legacy code that never went through the engine).
     """
 
     def __init__(
@@ -68,52 +75,26 @@ class HGPResult:
         dp_costs: list[float],
         stopwatch: Stopwatch,
         grid: DemandGrid,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.placement = placement
         self.tree_costs = tree_costs
         self.dp_costs = dp_costs
         self.stopwatch = stopwatch
         self.grid = grid
+        self.telemetry = telemetry
 
     @property
     def cost(self) -> float:
         """True Eq. (1) cost of the winning placement."""
         return self.placement.cost()
 
-
-def _make_grid(
-    hierarchy: Hierarchy, demands: np.ndarray, config: SolverConfig
-) -> DemandGrid:
-    n = demands.size
-    if config.grid_mode == "epsilon":
-        return DemandGrid.from_epsilon(hierarchy, n, config.epsilon)
-    if config.grid_mode == "budget":
-        budget = max(int(config.grid_budget), n)  # type: ignore[arg-type]
-        return DemandGrid.from_budget(hierarchy, demands, budget, slack=config.slack)
-    # "auto": ~4 grid cells per vertex, floor of 64 total.
-    budget = max(64, 4 * n)
-    return DemandGrid.from_budget(hierarchy, demands, budget, slack=config.slack)
-
-
-def _check_instance(g: Graph, hierarchy: Hierarchy, demands: np.ndarray) -> None:
-    if demands.shape != (g.n,):
-        raise InvalidInputError(
-            f"demands must have shape ({g.n},), got {demands.shape}"
-        )
-    if g.n == 0:
-        raise InvalidInputError("empty graph")
-    if demands.min() <= 0 or not np.all(np.isfinite(demands)):
-        raise InvalidInputError("demands must be finite and > 0")
-    if demands.max() > hierarchy.leaf_capacity * (1 + 1e-9):
-        v = int(np.argmax(demands))
-        raise InfeasibleError(
-            f"vertex {v} demand {demands[v]:.4g} exceeds leaf capacity "
-            f"{hierarchy.leaf_capacity:.4g}"
-        )
-    if demands.sum() > hierarchy.total_capacity * (1 + 1e-9):
-        raise InfeasibleError(
-            f"total demand {demands.sum():.4g} exceeds total capacity "
-            f"{hierarchy.total_capacity:.4g}"
+    def report(self, **meta: object) -> RunReport:
+        """Structured run report (requires engine-produced telemetry)."""
+        if self.telemetry is None:
+            raise ValueError("this result carries no telemetry")
+        return self.telemetry.report(
+            config=self.placement.meta.get("config"), cost=self.cost, **meta
         )
 
 
@@ -133,36 +114,11 @@ def solve_hgpt(
     """
     g = tree.graph
     d = np.asarray(demands, dtype=np.float64)
-    _check_instance(g, hierarchy, d)
-    norm_h, _offset = hierarchy.normalized()
+    check_instance(g, hierarchy, d)
     if grid is None:
-        grid = _make_grid(hierarchy, d, config)
-    q = grid.quantize(d)
-    bt = binarize(tree, q)
-    caps = [grid.caps[j] for j in range(1, hierarchy.h + 1)]
-    deltas = [0.0] + [
-        norm_h.cm[k - 1] - norm_h.cm[k] for k in range(1, hierarchy.h + 1)
-    ]
-    # Beam pruning is a heuristic: on tight instances it can discard every
-    # state an ancestor's capacity check needs.  Escalate (4x, then exact)
-    # before giving up — the exact DP is always complete once the grid
-    # admitted the instance.
-    beams: list[Optional[int]] = [config.beam_width]
-    if config.beam_width is not None:
-        beams.extend([config.beam_width * 4, None])
-    solution = None
-    last_error: Optional[SolverError] = None
-    for beam in beams:
-        try:
-            solution = solve_rhgpt(bt, caps, deltas, beam_width=beam, stats=stats)
-            break
-        except SolverError as exc:
-            last_error = exc
-    if solution is None:
-        assert last_error is not None
-        raise last_error
-    placement, _report = repair_to_placement(g, hierarchy, d, solution, grid)
-    return placement, solution.cost
+        grid = make_grid(hierarchy, d, config)
+    outcome = solve_member(tree, hierarchy, d, config, grid, stats=stats)
+    return outcome.placement, outcome.dp_cost
 
 
 def solve_hgp(
@@ -188,7 +144,7 @@ def solve_hgp(
     -------
     HGPResult
         Winning placement (guaranteed capacity violation at most
-        ``(1 + ε)(1 + h)``) plus diagnostics.
+        ``(1 + ε)(1 + h)``) plus diagnostics and telemetry.
 
     Raises
     ------
@@ -196,71 +152,12 @@ def solve_hgp(
         If a vertex exceeds leaf capacity or total demand exceeds total
         capacity.
     """
-    d = np.asarray(demands, dtype=np.float64)
-    _check_instance(g, hierarchy, d)
-    sw = Stopwatch()
-    grid = _make_grid(hierarchy, d, config)
-
-    with sw.section("trees"):
-        trees = racke_ensemble(
-            g, n_trees=config.n_trees, methods=config.tree_methods, seed=config.seed
-        )
-
-    best: Optional[Placement] = None
-    best_cost = float("inf")
-    tree_costs: list[float] = []
-    dp_costs: list[float] = []
-    if config.n_jobs > 1 and len(trees) > 1:
-        # The ensemble members are independent: fan the DP solves out to
-        # worker processes.  Results are identical to the serial path
-        # (each solve is deterministic given its tree and grid).
-        import concurrent.futures as cf
-
-        with sw.section("dp"):
-            with cf.ProcessPoolExecutor(
-                max_workers=min(config.n_jobs, len(trees))
-            ) as pool:
-                results = list(
-                    pool.map(
-                        _solve_tree_job,
-                        [(tree, hierarchy, d, config, grid) for tree in trees],
-                    )
-                )
-        solved = results
-    else:
-        solved = []
-        for tree in trees:
-            with sw.section("dp"):
-                solved.append(
-                    solve_hgpt(tree, hierarchy, d, config=config, grid=grid)
-                )
-    for placement, dp_cost in solved:
-        mapped = placement.cost()
-        tree_costs.append(mapped)
-        dp_costs.append(dp_cost)
-        if mapped < best_cost:
-            best_cost = mapped
-            best = placement
-
-    assert best is not None
-    if config.refine and config.refine_passes > 0:
-        from repro.baselines.local_search import refine_placement
-
-        # Refinement may shuffle load but never worsen the balance the
-        # repair achieved (and always stays within the Theorem-1 bound).
-        budget = max(1.0, best.max_violation())
-        with sw.section("refine"):
-            best = refine_placement(
-                best,
-                max_passes=config.refine_passes,
-                max_violation=budget,
-                allow_swaps=True,
-            )
-    best = best.with_meta(solver="hgp", config=config.describe())
-    return HGPResult(best, tree_costs, dp_costs, sw, grid)
-
-
-def _solve_tree_job(args):
-    """Top-level worker for the process pool (must be picklable)."""
-    tree, hierarchy, demands, config, grid = args
-    return solve_hgpt(tree, hierarchy, demands, config=config, grid=grid)
+    result = run_pipeline(g, hierarchy, demands, config, path="batch")
+    return HGPResult(
+        result.placement,
+        result.tree_costs,
+        result.dp_costs,
+        result.stopwatch(),
+        result.grid,
+        telemetry=result.telemetry,
+    )

@@ -1,0 +1,290 @@
+"""Structured run telemetry for the staged solver engine.
+
+Every engine run (batch, streaming re-optimisation, portfolio member,
+k-BGP reduction, guided iteration) threads one :class:`Telemetry` object
+through its stages.  It records three kinds of data:
+
+* **Spans** — a tree of named wall-clock intervals.  A stage entered
+  twice under the same parent *accumulates* into one span (duration sums,
+  count increments), so ensembles and portfolios stay readable.
+* **Counters** — named numeric facts attached to the span they were
+  observed in (ensemble size, grid cells, beam escalations, …).
+* **Member records** — one :class:`MemberRecord` per decomposition-tree
+  ensemble member: DP cost, mapped cost, per-phase seconds and the DP
+  state counters that :class:`repro.hgpt.dp.DPStats` used to hold.
+
+Everything here is a plain picklable dataclass: process-pool workers
+return their span/record data with their results and the parent merges
+it, so parallel runs report the same phase breakdown as serial ones.
+A whole run serialises to a JSON *run report* (:class:`RunReport`) that
+the CLI (``repro solve --report out.json``) and the benchmark harness
+persist; reports round-trip losslessly through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.utils.timing import Stopwatch
+
+__all__ = ["Span", "MemberRecord", "Telemetry", "RunReport"]
+
+
+@dataclass
+class Span:
+    """One node of the span tree.
+
+    Attributes
+    ----------
+    name:
+        Span label (stage spans use the canonical names ``trees``,
+        ``quantize``, ``dp``, ``repair``, ``refine``).
+    seconds:
+        Accumulated wall-clock time across all entries.
+    count:
+        Number of times the span was entered.
+    counters:
+        Named numeric facts recorded while this span was current.
+    children:
+        Nested spans, in first-entry order.
+    """
+
+    name: str
+    seconds: float = 0.0
+    count: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def child(self, name: str) -> "Span":
+        """Find-or-create the child span called ``name``."""
+        for c in self.children:
+            if c.name == name:
+                return c
+        c = Span(name)
+        self.children.append(c)
+        return c
+
+    def lookup(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant called ``name``."""
+        for c in self.children:
+            if c.name == name:
+                return c
+            found = c.lookup(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        """All descendants called ``name`` (depth-first order)."""
+        hits: List[Span] = []
+        for c in self.children:
+            if c.name == name:
+                hits.append(c)
+            hits.extend(c.find_all(name))
+        return hits
+
+    def add(self, name: str, seconds: float, count: int = 1) -> "Span":
+        """Accumulate externally measured time under child ``name``.
+
+        Used by the engine to fold per-worker phase timings (measured in
+        the worker process) into the parent's span tree.
+        """
+        c = self.child(name)
+        c.seconds += float(seconds)
+        c.count += int(count)
+        return c
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested-dict view of this span subtree."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "count": self.count,
+            "counters": dict(self.counters),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span subtree from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            seconds=float(data["seconds"]),
+            count=int(data["count"]),
+            counters={k: float(v) for k, v in data.get("counters", {}).items()},
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+
+@dataclass
+class MemberRecord:
+    """Per-ensemble-member diagnostics (picklable; workers return these).
+
+    ``dp_nodes`` / ``dp_states_total`` / ``dp_states_max`` / ``dp_merges``
+    mirror :class:`repro.hgpt.dp.DPStats`; ``beam_escalations`` counts how
+    often the beam had to widen before the DP found a feasible state.
+    """
+
+    index: int
+    method: Optional[str] = None
+    dp_cost: float = 0.0
+    mapped_cost: float = 0.0
+    dp_seconds: float = 0.0
+    repair_seconds: float = 0.0
+    beam_escalations: int = 0
+    dp_nodes: int = 0
+    dp_states_total: int = 0
+    dp_states_max: int = 0
+    dp_merges: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready flat-dict view of this record."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemberRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+class Telemetry:
+    """Collector threaded through the engine stages.
+
+    Parameters
+    ----------
+    path:
+        Name of the solve path this telemetry belongs to (``batch``,
+        ``streaming``, ``portfolio``, ``kbgp``, ``guided``); becomes the
+        root span's name and the report's ``path`` field.
+    """
+
+    def __init__(self, path: str = "run"):
+        self.root = Span(path)
+        self._stack: List[Span] = [self.root]
+        self.members: List[MemberRecord] = []
+
+    @property
+    def path(self) -> str:
+        """Solve-path label (the root span's name)."""
+        return self.root.name
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root when none is open)."""
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open (or re-enter) the child span ``name`` and time the block."""
+        sp = self.current.child(name)
+        self._stack.append(sp)
+        start = time.perf_counter()
+        try:
+            yield sp
+        finally:
+            sp.seconds += time.perf_counter() - start
+            sp.count += 1
+            self._stack.pop()
+
+    def counter(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` on the current span."""
+        counters = self.current.counters
+        counters[name] = counters.get(name, 0.0) + float(value)
+
+    def add_seconds(self, name: str, seconds: float, count: int = 1) -> None:
+        """Fold externally measured time in as a child of the current span."""
+        self.current.add(name, seconds, count)
+
+    def record_member(self, member: MemberRecord) -> None:
+        """Append one ensemble-member record."""
+        self.members.append(member)
+
+    def find_spans(self, name: str) -> List[Span]:
+        """All spans called ``name`` anywhere in the tree (root included)."""
+        hits = [self.root] if self.root.name == name else []
+        hits.extend(self.root.find_all(name))
+        return hits
+
+    def to_stopwatch(self) -> Stopwatch:
+        """Legacy :class:`Stopwatch` view: the root's direct children.
+
+        Keeps :attr:`repro.core.solver.HGPResult.stopwatch` working for
+        callers written against the pre-engine API.
+        """
+        sw = Stopwatch()
+        for c in self.root.children:
+            sw.totals[c.name] = sw.totals.get(c.name, 0.0) + c.seconds
+            sw.counts[c.name] = sw.counts.get(c.name, 0) + max(c.count, 1)
+        return sw
+
+    def report(
+        self,
+        config: Optional[dict] = None,
+        cost: Optional[float] = None,
+        **meta: object,
+    ) -> "RunReport":
+        """Freeze the collected data into a serialisable :class:`RunReport`."""
+        return RunReport(
+            path=self.path,
+            config=config,
+            cost=cost,
+            spans=self.root,
+            members=list(self.members),
+            meta=dict(meta),
+        )
+
+
+@dataclass
+class RunReport:
+    """One run's structured report: spans + counters + member records.
+
+    Serialises with :meth:`to_json` and reconstructs losslessly with
+    :meth:`from_json` (asserted by the telemetry tests); the schema is
+    documented in ``docs/algorithms.md``.
+    """
+
+    path: str
+    config: Optional[dict]
+    cost: Optional[float]
+    spans: Span
+    members: List[MemberRecord] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict view of the whole report (versioned schema)."""
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "path": self.path,
+            "config": self.config,
+            "cost": self.cost,
+            "spans": self.spans.to_dict(),
+            "members": [m.to_dict() for m in self.members],
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            path=data["path"],
+            config=data.get("config"),
+            cost=data.get("cost"),
+            spans=Span.from_dict(data["spans"]),
+            members=[MemberRecord.from_dict(m) for m in data.get("members", [])],
+            meta=dict(data.get("meta", {})),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the report to a JSON string (stable key order)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Parse a report back from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

@@ -18,7 +18,7 @@ so Proposition 1 applies unchanged.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -101,8 +101,14 @@ def solve_hgp_iterated(
     demands: Sequence[float],
     config=None,
     rounds: int = 2,
+    telemetry=None,
 ):
     """Iterate the pipeline with placement-guided warm-started trees.
+
+    Both the initial ensemble solve and every guided round run through
+    the shared staged engine, so the whole iteration emits one structured
+    run report (guided trees appear as extra member records with
+    ``method == "guided"``).
 
     Parameters
     ----------
@@ -114,6 +120,10 @@ def solve_hgp_iterated(
     rounds:
         Guided re-solve rounds after the initial ensemble solve
         (0 = plain :func:`repro.core.solve_hgp`).
+    telemetry:
+        Shared :class:`repro.core.telemetry.Telemetry` collector
+        (``None`` = a fresh ``Telemetry("guided")``, attached to the
+        returned result).
 
     Returns
     -------
@@ -123,29 +133,51 @@ def solve_hgp_iterated(
         how many rounds actually improved.
     """
     from repro.core.config import SolverConfig
-    from repro.core.solver import solve_hgp, solve_hgpt
+    from repro.core.engine import run_pipeline, solve_member
+    from repro.core.solver import HGPResult
+    from repro.core.telemetry import Telemetry
 
     cfg = config if config is not None else SolverConfig()
-    result = solve_hgp(g, hierarchy, demands, cfg)
+    tel = telemetry if telemetry is not None else Telemetry("guided")
+    d = np.asarray(demands, dtype=np.float64)
+    base = run_pipeline(g, hierarchy, d, cfg, telemetry=tel)
+    result = HGPResult(
+        base.placement,
+        base.tree_costs,
+        base.dp_costs,
+        tel.to_stopwatch(),
+        base.grid,
+        telemetry=tel,
+    )
     improved_rounds = 0
     for r in range(rounds):
-        guided = placement_guided_tree(result.placement, seed=(cfg.seed or 0) + r)
-        placement, dp_cost = solve_hgpt(guided, hierarchy, demands, config=cfg)
+        with tel.span("trees"):
+            guided = placement_guided_tree(result.placement, seed=(cfg.seed or 0) + r)
+            guided.method = "guided"
+        outcome = solve_member(
+            guided, hierarchy, d, cfg, base.grid, index=len(tel.members)
+        )
+        tel.add_seconds("dp", outcome.timings.total("dp"))
+        tel.add_seconds("repair", outcome.timings.total("repair"))
+        tel.record_member(outcome.record)
+        placement = outcome.placement
         if cfg.refine and cfg.refine_passes > 0:
             from repro.baselines.local_search import refine_placement
 
-            placement = refine_placement(
-                placement,
-                max_passes=cfg.refine_passes,
-                max_violation=max(1.0, placement.max_violation()),
-                allow_swaps=True,
-            )
+            with tel.span("refine"):
+                placement = refine_placement(
+                    placement,
+                    max_passes=cfg.refine_passes,
+                    max_violation=max(1.0, placement.max_violation()),
+                    allow_swaps=True,
+                )
         result.tree_costs.append(placement.cost())
-        result.dp_costs.append(dp_cost)
+        result.dp_costs.append(outcome.dp_cost)
         if placement.cost() < result.cost:
             result.placement = placement.with_meta(
                 solver="hgp_iterated", config=cfg.describe()
             )
             improved_rounds += 1
     result.placement = result.placement.with_meta(guided_rounds=improved_rounds)
+    result.stopwatch = tel.to_stopwatch()
     return result

@@ -57,7 +57,9 @@ def build_tree(g: Graph, method: str, seed: SeedLike = None) -> DecompositionTre
         raise InvalidInputError(
             f"unknown builder {method!r}; available: {sorted(BUILDERS)}"
         ) from None
-    return builder(g, seed=seed)
+    tree = builder(g, seed=seed)
+    tree.method = method
+    return tree
 
 
 def racke_ensemble(

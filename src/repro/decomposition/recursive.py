@@ -9,7 +9,7 @@ recursion always terminates.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable
 
 import numpy as np
 

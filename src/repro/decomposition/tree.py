@@ -69,6 +69,7 @@ class DecompositionTree:
         "leaf_vertex",
         "leaf_node_of_vertex",
         "root",
+        "method",
         "_leaf_sets",
     )
 
@@ -101,6 +102,7 @@ class DecompositionTree:
         inv = np.full(graph.n, -1, dtype=np.int64)
         inv[verts] = leaves
         self.leaf_node_of_vertex = inv
+        self.method: Optional[str] = None
         self._leaf_sets: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------

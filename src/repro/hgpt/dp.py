@@ -94,6 +94,22 @@ class DPStats:
             f"states_max={self.states_max}, merges={self.merges})"
         )
 
+    def as_dict(self) -> dict:
+        """Plain-dict view (folded into engine telemetry member records)."""
+        return {
+            "nodes": self.nodes,
+            "states_total": self.states_total,
+            "states_max": self.states_max,
+            "merges": self.merges,
+        }
+
+    def update(self, other: "DPStats") -> None:
+        """Accumulate another run's counters (per-tree -> caller totals)."""
+        self.states_total += other.states_total
+        self.states_max = max(self.states_max, other.states_max)
+        self.merges += other.merges
+        self.nodes += other.nodes
+
 
 @dataclass
 class _Table:

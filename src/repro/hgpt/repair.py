@@ -32,7 +32,7 @@ from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
 from repro.hgpt.quantize import DemandGrid
-from repro.hgpt.solution import LevelSet, TreeSolution
+from repro.hgpt.solution import TreeSolution
 
 __all__ = ["repair_to_placement", "RepairReport"]
 

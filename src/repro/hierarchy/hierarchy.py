@@ -21,7 +21,7 @@ of leaf ids (the hot path of Eq. (1) evaluation).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ guarantee), and the Eq. (1) communication cost (the α side).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

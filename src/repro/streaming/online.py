@@ -23,17 +23,17 @@ the simulation quantifies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InfeasibleError, InvalidInputError
+from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
 from repro.core.config import SolverConfig
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.core.telemetry import RunReport, Telemetry
 
 __all__ = ["OnlinePlacer", "ChurnEvent", "simulate_churn"]
 
@@ -75,6 +75,9 @@ class OnlinePlacer:
         self._leaf: Dict[int, int] = {}
         self._loads = np.zeros(hierarchy.k)
         self.migrations = 0
+        #: Run report of the most recent :meth:`reoptimize` engine run
+        #: (``None`` until the first re-optimisation).
+        self.last_report: Optional[RunReport] = None
 
     # ------------------------------------------------------------------
     # live-state queries
@@ -189,11 +192,14 @@ class OnlinePlacer:
         if self.n_tasks <= 1:
             return 0
         g, d, current, tasks = self.live_graph()
-        from repro.core.solver import solve_hgp
+        from repro.core.engine import run_pipeline
         from repro.baselines.local_search import enforce_capacity
 
-        target = solve_hgp(g, self.hierarchy, d, self.config).placement
-        target = enforce_capacity(target, self.max_violation)
+        tel = Telemetry("streaming")
+        tel.counter("live_tasks", float(g.n))
+        result = run_pipeline(g, self.hierarchy, d, self.config, telemetry=tel)
+        self.last_report = result.report(live_tasks=g.n)
+        target = enforce_capacity(result.placement, self.max_violation)
         diffs = [i for i in range(g.n) if current[i] != target.leaf_of[i]]
         current_cost = Placement(g, self.hierarchy, d, current).cost()
         if (migration_budget is None or migration_budget >= len(diffs)) and (

@@ -10,7 +10,7 @@ actually call: "here is my query workload and my server, pin it."
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
 from repro.core.config import SolverConfig
+from repro.core.telemetry import Telemetry
 from repro.streaming.operators import StreamDAG
 from repro.streaming.simulator import CommCostModel, ThroughputReport, evaluate_placement
 
@@ -65,6 +66,7 @@ def place_dag(
     seed: int | None = 0,
     replicate_hot: bool = False,
     max_utilisation: float = 0.8,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[Placement, ThroughputReport]:
     """Pin a streaming workload onto a core hierarchy and score it.
 
@@ -90,6 +92,9 @@ def place_dag(
         placement then covers the *transformed* DAG's operators.
     max_utilisation:
         Per-replica CPU budget used when ``replicate_hot`` is set.
+    telemetry:
+        Collector threaded through the ``"hgp"`` engine run (``None`` =
+        a fresh ``Telemetry("streaming")``); ignored by baselines.
 
     Returns
     -------
@@ -101,10 +106,11 @@ def place_dag(
         dag, _applied = auto_replicate(dag, max_utilisation=max_utilisation)
     g, demands = dag_to_instance(dag, hierarchy)
     if method == "hgp":
-        from repro.core.solver import solve_hgp
+        from repro.core.engine import run_pipeline
 
         cfg = config if config is not None else SolverConfig(seed=seed or 0)
-        placement = solve_hgp(g, hierarchy, demands, cfg).placement
+        tel = telemetry if telemetry is not None else Telemetry("streaming")
+        placement = run_pipeline(g, hierarchy, demands, cfg, telemetry=tel).placement
     else:
         from repro.baselines import placement_baselines
 

@@ -44,6 +44,19 @@ class Stopwatch:
         """Total seconds accumulated under ``name`` (0.0 if never entered)."""
         return self.totals.get(name, 0.0)
 
+    def merge(self, other: "Stopwatch") -> "Stopwatch":
+        """Fold another stopwatch's sections into this one; returns self.
+
+        The engine uses this to aggregate per-worker phase timings from
+        the process pool: each worker times its own ``dp``/``repair``
+        sections and ships the stopwatch back with its result, so the
+        parallel path reports the same phase breakdown as the serial one.
+        """
+        for name, secs in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + secs
+            self.counts[name] = self.counts.get(name, 0) + other.counts.get(name, 0)
+        return self
+
     def summary(self) -> str:
         """Human-readable one-line-per-section report, longest first."""
         rows = sorted(self.totals.items(), key=lambda kv: -kv[1])

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from repro.graph.graph import Graph
 from repro.decomposition.tree import DecompositionTree

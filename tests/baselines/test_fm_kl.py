@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro import Graph
 from repro.baselines.fm import fm_refine
 from repro.baselines.kl import kl_refine
 from repro.errors import InvalidInputError
-from repro.graph.generators import grid_2d, planted_partition, random_regular
+from repro.graph.generators import grid_2d, planted_partition
 
 
 def scrambled_blocks(seed, swap=4):

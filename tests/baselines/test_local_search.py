@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Graph, Hierarchy, Placement
+from repro import Graph, Placement
 from repro.baselines.local_search import enforce_capacity, refine_placement
 from repro.baselines.random_placement import random_placement
 from repro.graph.generators import planted_partition, random_demands

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Graph, Hierarchy, Placement
+from repro import Graph, Placement
 from repro.bench.metrics import (
     adjusted_rand_index,
     block_recovery,

@@ -1,0 +1,52 @@
+"""Serial vs. process-pool determinism of the staged engine.
+
+The ensemble members are independent and each member solve is
+deterministic given its tree and grid, so fanning the DP+repair work out
+to worker processes must not change the winner — same placement, same
+cost, same per-member diagnostics, for the same seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SolverConfig, solve_hgp
+
+
+class TestWorkerDeterminism:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.graph.generators import planted_partition, random_demands
+        from repro.hierarchy.hierarchy import Hierarchy
+
+        hier = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+        g = planted_partition(4, 6, 0.9, 0.05, seed=11)
+        d = random_demands(g.n, hier.total_capacity, fill=0.6, skew=0.3, seed=12)
+        serial = solve_hgp(
+            g, hier, d, SolverConfig(seed=0, n_trees=4, refine=False, n_jobs=1)
+        )
+        parallel = solve_hgp(
+            g, hier, d, SolverConfig(seed=0, n_trees=4, refine=False, n_jobs=2)
+        )
+        return serial, parallel
+
+    def test_identical_winner(self, results):
+        serial, parallel = results
+        assert parallel.cost == serial.cost
+        assert np.array_equal(parallel.placement.leaf_of, serial.placement.leaf_of)
+
+    def test_identical_member_diagnostics(self, results):
+        serial, parallel = results
+        assert parallel.tree_costs == serial.tree_costs
+        assert parallel.dp_costs == serial.dp_costs
+        for a, b in zip(serial.telemetry.members, parallel.telemetry.members):
+            assert a.index == b.index
+            assert a.method == b.method
+            assert a.dp_cost == b.dp_cost
+            assert a.mapped_cost == b.mapped_cost
+            assert a.dp_states_total == b.dp_states_total
+            assert a.dp_merges == b.dp_merges
+
+    def test_parallel_phase_timings_not_dropped(self, results):
+        _serial, parallel = results
+        assert parallel.stopwatch.total("dp") > 0.0
+        assert parallel.stopwatch.total("repair") > 0.0

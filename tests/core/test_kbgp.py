@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Graph, SolverConfig, solve_kbgp
+from repro import SolverConfig, solve_kbgp
 from repro.core.kbgp import kbgp_hierarchy, minimum_bisection
 from repro.errors import InvalidInputError
 from repro.graph.generators import grid_2d, planted_partition

@@ -1,6 +1,5 @@
 """Tests for portfolio solving."""
 
-import numpy as np
 import pytest
 
 from repro import SolverConfig

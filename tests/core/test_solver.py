@@ -3,14 +3,9 @@
 import numpy as np
 import pytest
 
-from repro import Graph, Hierarchy, SolverConfig, solve_hgp, solve_hgpt
+from repro import Graph, SolverConfig, solve_hgp, solve_hgpt
 from repro.errors import InfeasibleError, InvalidInputError
-from repro.graph.generators import (
-    grid_2d,
-    planted_partition,
-    power_law,
-    random_demands,
-)
+from repro.graph.generators import grid_2d, planted_partition
 from repro.decomposition.spectral_tree import spectral_decomposition_tree
 
 

@@ -1,0 +1,128 @@
+"""Unit tests for the structured telemetry layer (spans, records, reports)."""
+
+import time
+
+import pytest
+
+from repro.core.telemetry import MemberRecord, RunReport, Span, Telemetry
+
+
+class TestSpans:
+    def test_nested_spans_accumulate(self):
+        tel = Telemetry("run")
+        for _ in range(3):
+            with tel.span("outer"):
+                with tel.span("inner"):
+                    time.sleep(0.001)
+        outer = tel.root.child("outer")
+        inner = outer.child("inner")
+        assert outer.count == 3
+        assert inner.count == 3
+        assert inner.seconds >= 0.003
+        # inner time is contained in outer time
+        assert outer.seconds >= inner.seconds
+        # re-entry reuses the same node: exactly one child each
+        assert len(tel.root.children) == 1
+        assert len(outer.children) == 1
+
+    def test_same_name_different_parents_are_distinct(self):
+        tel = Telemetry("run")
+        with tel.span("a"):
+            with tel.span("x"):
+                pass
+        with tel.span("b"):
+            with tel.span("x"):
+                pass
+        xs = tel.root.find_all("x")
+        assert len(xs) == 2
+        assert tel.root.lookup("x") is xs[0]
+
+    def test_current_tracks_innermost(self):
+        tel = Telemetry("run")
+        assert tel.current is tel.root
+        with tel.span("a"):
+            assert tel.current.name == "a"
+            with tel.span("b"):
+                assert tel.current.name == "b"
+            assert tel.current.name == "a"
+        assert tel.current is tel.root
+
+    def test_counters_attach_to_current_span(self):
+        tel = Telemetry("run")
+        with tel.span("a"):
+            tel.counter("hits")
+            tel.counter("hits", 2.0)
+        assert tel.root.child("a").counters["hits"] == pytest.approx(3.0)
+        assert tel.root.counters == {}
+
+    def test_add_seconds_folds_external_time(self):
+        tel = Telemetry("run")
+        tel.add_seconds("dp", 1.5, count=2)
+        tel.add_seconds("dp", 0.5, count=1)
+        dp = tel.root.child("dp")
+        assert dp.seconds == pytest.approx(2.0)
+        assert dp.count == 3
+
+    def test_find_spans_includes_root(self):
+        tel = Telemetry("dp")
+        with tel.span("dp"):
+            pass
+        assert len(tel.find_spans("dp")) == 2
+
+    def test_to_stopwatch_flat_view(self):
+        tel = Telemetry("run")
+        tel.add_seconds("dp", 1.0, count=4)
+        with tel.span("trees"):
+            pass
+        sw = tel.to_stopwatch()
+        assert sw.total("dp") == pytest.approx(1.0)
+        assert sw.counts["dp"] == 4
+        assert sw.counts["trees"] == 1
+        assert sw.total("missing") == 0.0
+
+
+class TestSerialization:
+    def test_span_round_trip(self):
+        root = Span("run")
+        child = root.add("dp", 1.25, count=3)
+        child.counters["states"] = 7.0
+        child.add("merge", 0.5)
+        again = Span.from_dict(root.to_dict())
+        assert again.to_dict() == root.to_dict()
+
+    def test_member_record_round_trip(self):
+        rec = MemberRecord(
+            index=3,
+            method="spectral",
+            dp_cost=12.5,
+            mapped_cost=10.0,
+            dp_seconds=0.5,
+            repair_seconds=0.1,
+            beam_escalations=1,
+            dp_nodes=9,
+            dp_states_total=100,
+            dp_states_max=40,
+            dp_merges=200,
+        )
+        assert MemberRecord.from_dict(rec.to_dict()) == rec
+
+    def test_run_report_json_round_trip(self):
+        tel = Telemetry("batch")
+        with tel.span("trees"):
+            tel.counter("n_trees", 4)
+        tel.add_seconds("dp", 0.75, count=4)
+        tel.record_member(MemberRecord(index=0, method="frt", dp_cost=3.0))
+        report = tel.report(config={"n_trees": 4}, cost=2.5, note="unit-test")
+        again = RunReport.from_json(report.to_json())
+        assert again.to_dict() == report.to_dict()
+        assert again.path == "batch"
+        assert again.cost == pytest.approx(2.5)
+        assert again.config == {"n_trees": 4}
+        assert again.meta == {"note": "unit-test"}
+        assert len(again.members) == 1
+        assert again.members[0].method == "frt"
+        assert again.spans.child("dp").seconds == pytest.approx(0.75)
+
+    def test_report_schema_version_serialized(self):
+        report = Telemetry("x").report()
+        assert report.to_dict()["schema_version"] == RunReport.SCHEMA_VERSION

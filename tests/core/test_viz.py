@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Graph, Hierarchy, Placement
+from repro import Graph, Placement
 from repro.decomposition.spectral_tree import spectral_decomposition_tree
 from repro.graph.generators import grid_2d
 from repro.viz import decomposition_tree_to_dot, graph_to_dot, hierarchy_to_dot

@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro import Graph, Hierarchy, Placement, SolverConfig
+from repro import Graph, Placement, SolverConfig
 from repro.decomposition.guided import placement_guided_tree, solve_hgp_iterated
 from repro.decomposition.tree import min_leaf_cut
 from repro.core.solver import solve_hgp
-from repro.errors import InvalidInputError
 from repro.graph.generators import planted_partition, random_demands
 
 

@@ -6,7 +6,6 @@ import pytest
 from repro import Graph
 from repro.decomposition.racke import DEFAULT_METHODS, build_tree, racke_ensemble
 from repro.errors import InvalidInputError
-from repro.graph.generators import grid_2d
 
 
 class TestEnsemble:

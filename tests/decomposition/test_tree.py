@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import Graph
 from repro.errors import InvalidInputError
-from repro.decomposition.tree import DecompositionTree, TreeAssembler, min_leaf_cut
+from repro.decomposition.tree import TreeAssembler, min_leaf_cut
 from repro.graph.generators import grid_2d
 
 

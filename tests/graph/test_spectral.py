@@ -5,7 +5,7 @@ import pytest
 
 from repro import Graph
 from repro.errors import InvalidInputError
-from repro.graph.generators import grid_2d, planted_partition
+from repro.graph.generators import planted_partition
 from repro.graph.spectral import (
     fiedler_vector,
     laplacian,

@@ -8,7 +8,6 @@ import pytest
 from repro import Graph
 from repro.decomposition.tree import TreeAssembler
 from repro.errors import InvalidInputError
-from repro.graph.generators import grid_2d, power_law
 from repro.decomposition.spectral_tree import spectral_decomposition_tree
 from repro.decomposition.contraction import contraction_decomposition_tree
 from repro.hgpt.binarize import INF_WEIGHT, binarize

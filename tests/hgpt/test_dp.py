@@ -9,18 +9,14 @@ component is non-empty.  The minimum over all assignments must equal the
 DP's optimum on small trees.
 """
 
-import itertools
-import math
 
 import numpy as np
 import pytest
 
-from repro import Graph
 from repro.errors import SolverError
-from repro.graph.generators import grid_2d, random_tree
+from repro.graph.generators import grid_2d
 from repro.decomposition.spectral_tree import spectral_decomposition_tree
 from repro.decomposition.contraction import contraction_decomposition_tree
-from repro.decomposition.tree import TreeAssembler
 from repro.hgpt.binarize import binarize
 from repro.hgpt.dp import DPStats, solve_rhgpt
 from repro.bench.oracles import brute_force_optimum, path_binary_tree

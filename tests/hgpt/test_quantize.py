@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import Hierarchy
 from repro.errors import InfeasibleError, InvalidInputError
 from repro.hgpt.quantize import DemandGrid
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro import Graph, Hierarchy
 from repro.errors import SolverError
-from repro.graph.generators import planted_partition, power_law, random_demands
+from repro.graph.generators import power_law, random_demands
 from repro.decomposition.spectral_tree import spectral_decomposition_tree
 from repro.hgpt.binarize import binarize
 from repro.hgpt.dp import solve_rhgpt

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Graph, Hierarchy, Placement
+from repro import Graph, Placement
 from repro.errors import InvalidInputError
 from repro.hierarchy.report import (
     placement_from_json,

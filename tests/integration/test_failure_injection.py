@@ -5,12 +5,11 @@ inconsistent intermediate state produces wrong placements that *look*
 fine; these tests pin down the loud-failure contract at each layer.
 """
 
-import math
 
 import numpy as np
 import pytest
 
-from repro import Graph, Hierarchy, SolverConfig, solve_hgp
+from repro import Graph, SolverConfig, solve_hgp
 from repro.errors import InvalidInputError, ReproError, SolverError
 from repro.decomposition.spectral_tree import spectral_decomposition_tree
 from repro.graph.generators import grid_2d

@@ -7,21 +7,13 @@ exercises one theorem's statement end-to-end.
 import numpy as np
 import pytest
 
-from repro import (
-    Graph,
-    Hierarchy,
-    SolverConfig,
-    exact_hgp,
-    solve_hgp,
-    solve_hgpt,
-)
+from repro import Graph, Hierarchy, SolverConfig, exact_hgp, solve_hgp
 from repro.graph.generators import (
     grid_2d,
     planted_partition,
     random_demands,
     random_tree,
 )
-from repro.decomposition import racke_ensemble, spectral_decomposition_tree
 from repro.hierarchy.mirror import eq3_cost
 
 

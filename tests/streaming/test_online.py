@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Hierarchy, SolverConfig
+from repro import SolverConfig
 from repro.errors import InvalidInputError
 from repro.streaming.online import ChurnEvent, OnlinePlacer, simulate_churn
 

@@ -1,6 +1,5 @@
 """Tests for the streaming operator DAG model."""
 
-import numpy as np
 import pytest
 
 from repro.errors import InvalidInputError

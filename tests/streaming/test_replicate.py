@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import Hierarchy
 from repro.errors import InvalidInputError
 from repro.streaming.operators import Operator, StreamDAG
 from repro.streaming.replicate import auto_replicate, replicate_operator
@@ -113,7 +112,6 @@ class TestAutoReplicate:
 
 class TestPlaceDagReplication:
     def test_replicate_hot_flag(self, hier_2x4):
-        from repro import SolverConfig
         from repro.streaming.pinning import place_dag
 
         dag = hot_pipeline()

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import Hierarchy
 from repro.errors import InvalidInputError
 from repro.streaming.operators import Operator, StreamDAG
 from repro.streaming.simulator import CommCostModel, evaluate_placement

@@ -86,6 +86,25 @@ class TestTiming:
         assert sw.total("a") >= 0.0
         assert sw.total("missing") == 0.0
 
+    def test_merge_accumulates_sections(self):
+        a = Stopwatch(totals={"dp": 1.0, "repair": 0.5}, counts={"dp": 2, "repair": 1})
+        b = Stopwatch(totals={"dp": 0.25, "trees": 2.0}, counts={"dp": 1, "trees": 3})
+        out = a.merge(b)
+        assert out is a
+        assert a.total("dp") == pytest.approx(1.25)
+        assert a.counts["dp"] == 3
+        assert a.total("repair") == pytest.approx(0.5)
+        assert a.total("trees") == pytest.approx(2.0)
+        assert a.counts["trees"] == 3
+        # merge must not mutate the source
+        assert b.total("dp") == pytest.approx(0.25)
+
+    def test_merge_empty_is_noop(self):
+        a = Stopwatch(totals={"dp": 1.0}, counts={"dp": 1})
+        a.merge(Stopwatch())
+        assert a.total("dp") == pytest.approx(1.0)
+        assert a.counts["dp"] == 1
+
     def test_summary_mentions_sections(self):
         sw = Stopwatch()
         with sw.section("phase_x"):
