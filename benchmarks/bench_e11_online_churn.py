@@ -50,7 +50,7 @@ def make_churn_trace(n_events: int, n_clusters: int, seed: int) -> list[ChurnEve
 
 def _experiment() -> Table:
     table = Table(
-        ["policy", "mean_cost", "final_cost", "migrations"],
+        ["policy", "mean_cost", "final_cost", "migrations", "reopts", "rejections"],
         title="E11: online churn vs re-optimisation policy (extension)",
     )
     hier = Hierarchy([2, 4], [10.0, 3.0, 0.0])
@@ -63,10 +63,19 @@ def _experiment() -> Table:
         ("period12_unlimited", 12, None),
     ]
     for name, period, budget in policies:
-        costs, migrations = simulate_churn(
+        result = simulate_churn(
             hier, events, reopt_period=period, migration_budget=budget, config=cfg
         )
-        table.add_row([name, float(np.mean(costs)), costs[-1], migrations])
+        table.add_row(
+            [
+                name,
+                float(np.mean(result.costs)),
+                result.costs[-1],
+                result.migrations,
+                result.counters.reopt_calls,
+                result.counters.rejections,
+            ]
+        )
     return table
 
 

@@ -47,7 +47,7 @@ def main() -> None:
     cfg = SolverConfig(n_trees=2, refine=False, seed=0)
 
     table = Table(
-        ["policy", "mean_cost", "final_cost", "migrations"],
+        ["policy", "mean_cost", "final_cost", "migrations", "reopts"],
         title="re-optimisation policies over a 60-event churn trace",
     )
     series = {}
@@ -56,11 +56,19 @@ def main() -> None:
         ("every 15, budget 3", 15, 3),
         ("every 15, unlimited", 15, None),
     ):
-        costs, migrations = simulate_churn(
+        result = simulate_churn(
             hierarchy, events, reopt_period=period, migration_budget=budget, config=cfg
         )
-        series[name] = costs
-        table.add_row([name, float(np.mean(costs)), costs[-1], migrations])
+        series[name] = result.costs
+        table.add_row(
+            [
+                name,
+                float(np.mean(result.costs)),
+                result.costs[-1],
+                result.migrations,
+                result.counters.reopt_calls,
+            ]
+        )
     table.show()
 
     # A coarse sparkline of the trajectories.

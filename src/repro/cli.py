@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Two subcommands cover the operator workflow end-to-end:
+Three subcommands cover the operator workflow end-to-end:
 
 ``generate``
     Write a synthetic workload graph (any family from
@@ -12,7 +12,15 @@ Two subcommands cover the operator workflow end-to-end:
     print the ASCII placement report, and optionally save the placement
     as JSON (``--out``) and the engine's structured run report —
     per-stage spans plus per-tree member records — as JSON
-    (``--report``).
+    (``--report``).  ``--verbose`` streams structured engine events to
+    stderr and ``--log-json PATH`` appends them as JSON lines with the
+    run's correlation id.
+
+``report``
+    Analyse saved run reports: ``show`` pretty-prints the span tree and
+    member table, ``diff`` compares two reports with an optional
+    ``--fail-above PCT`` regression gate (non-zero exit on breach), and
+    ``trace`` exports Chrome trace-event JSON for Perfetto.
 
 Examples
 --------
@@ -22,6 +30,9 @@ Examples
     python -m repro solve --graph tasks.edges --degrees 2,4 \
         --cm 10,3,0 --fill 0.6 --method hgp --seed 0 --out pin.json \
         --report run.json
+    python -m repro report show run.json
+    python -m repro report diff baseline.json run.json --fail-above 10
+    python -m repro report trace run.json --out run.trace.json
 """
 
 from __future__ import annotations
@@ -118,6 +129,45 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--quiet", action="store_true", help="print only the one-line summary"
     )
+    solve.add_argument(
+        "--verbose",
+        action="store_true",
+        help="stream structured engine events to stderr",
+    )
+    solve.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="append structured engine events as JSON lines here",
+    )
+
+    report = sub.add_parser("report", help="inspect and compare saved run reports")
+    rsub = report.add_subparsers(dest="report_command", required=True)
+
+    show = rsub.add_parser("show", help="pretty-print one run report")
+    show.add_argument("report", help="run-report JSON file (from solve --report)")
+
+    diff = rsub.add_parser("diff", help="compare two run reports")
+    diff.add_argument("baseline", help="baseline run-report JSON file")
+    diff.add_argument("fresh", help="fresh run-report JSON file")
+    diff.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit non-zero when cost or a stage time regresses by more "
+        "than PCT percent over the baseline",
+    )
+
+    trace = rsub.add_parser("trace", help="export a Chrome trace (Perfetto)")
+    trace.add_argument("report", help="run-report JSON file (from solve --report)")
+    trace.add_argument("--out", required=True, help="output trace JSON path")
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-lane count (default: n_jobs from the report's config)",
+    )
     return parser
 
 
@@ -163,9 +213,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             g.n, hier.total_capacity, fill=args.fill, skew=args.skew, seed=args.seed
         )
 
+    logger = None
+    if args.verbose or args.log_json:
+        from repro.obs import StructuredLogger, human_sink, jsonl_sink
+
+        sinks = []
+        if args.log_json:
+            sinks.append(jsonl_sink(args.log_json))
+        if args.verbose:
+            sinks.append(human_sink(sys.stderr))
+        logger = StructuredLogger(sinks)
+
     if args.method in ("hgp", "hgp_feasible"):
         cfg = SolverConfig(seed=args.seed, n_trees=args.n_trees, slack=args.slack)
-        result = run_pipeline(g, hier, d, cfg, path="batch")
+        result = run_pipeline(g, hier, d, cfg, path="batch", logger=logger)
         placement = result.placement
         if args.report:
             report = result.report(graph=str(args.graph), method=args.method)
@@ -215,6 +276,41 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import diff_reports, load_report, render_report, write_trace
+
+    def _load(path: str):
+        if not Path(path).exists():
+            raise InvalidInputError(f"run report not found: {path}")
+        return load_report(path)
+
+    if args.report_command == "show":
+        print(render_report(_load(args.report)))
+        return 0
+    if args.report_command == "trace":
+        if args.workers is not None and args.workers < 1:
+            raise InvalidInputError(f"--workers must be >= 1, got {args.workers}")
+        trace_path = write_trace(
+            _load(args.report), args.out, workers=args.workers
+        )
+        print(f"chrome trace written to {trace_path} (load in ui.perfetto.dev)")
+        return 0
+    # diff
+    diff = diff_reports(_load(args.baseline), _load(args.fresh))
+    print(diff.render(args.fail_above))
+    if args.fail_above is not None:
+        failed = diff.regressions(args.fail_above)
+        if failed:
+            print(
+                f"FAIL: regression above {args.fail_above:g}% in: "
+                + ", ".join(failed),
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: no regression above {args.fail_above:g}%")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -222,6 +318,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "generate":
             return _cmd_generate(args)
+        if args.command == "report":
+            return _cmd_report(args)
         return _cmd_solve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -39,7 +39,10 @@ report the same non-empty ``dp``/``repair`` breakdown as serial ones.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -56,6 +59,8 @@ from repro.hgpt.quantize import DemandGrid
 from repro.hgpt.repair import repair_to_placement
 from repro.core.config import SolverConfig
 from repro.core.telemetry import MemberRecord, RunReport, Telemetry
+from repro.obs.logging import NULL_LOGGER, StructuredLogger, new_run_id
+from repro.obs.metrics import get_registry
 from repro.utils.rng import ensure_rng
 from repro.utils.timing import Stopwatch
 
@@ -155,6 +160,13 @@ class RunContext:
     placement:
         The winning placement (set by :class:`RepairStage` selection,
         polished by :class:`RefineStage`).
+    run_id:
+        Correlation id stamped on every log record this run emits
+        (including records produced inside pool workers) and on the run
+        report's ``meta``; auto-generated when not supplied.
+    logger:
+        Structured logger the stages emit through (``NULL_LOGGER`` =
+        silent; the CLI attaches sinks via ``--verbose``/``--log-json``).
     """
 
     graph: Graph
@@ -167,10 +179,16 @@ class RunContext:
     trees: Optional[List[DecompositionTree]] = None
     outcomes: List["MemberOutcome"] = field(default_factory=list)
     placement: Optional[Placement] = None
+    run_id: Optional[str] = None
+    logger: StructuredLogger = NULL_LOGGER
 
     def __post_init__(self) -> None:
         if self.rng is None:
             self.rng = ensure_rng(self.config.seed)
+        if self.run_id is None:
+            self.run_id = new_run_id()
+        if self.logger.run_id != self.run_id:
+            self.logger = self.logger.bind(run_id=self.run_id)
 
     @property
     def tree_costs(self) -> List[float]:
@@ -203,6 +221,10 @@ class MemberOutcome:
     timings:
         Per-phase stopwatch (``dp`` / ``repair`` sections) measured where
         the member actually ran — in-process or in a pool worker.
+    log_records:
+        Structured log records emitted where the member ran; pool
+        workers ship them back here and the parent replays them through
+        its logger, so correlation ids survive the process hop.
     """
 
     index: int
@@ -211,6 +233,7 @@ class MemberOutcome:
     mapped_cost: float
     record: MemberRecord
     timings: Stopwatch
+    log_records: List[dict] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -373,13 +396,16 @@ def solve_member(
     grid: DemandGrid,
     index: int = 0,
     stats: Optional[DPStats] = None,
+    run_id: Optional[str] = None,
 ) -> MemberOutcome:
     """Solve HGP on one decomposition tree: DP + repair, self-timed.
 
     This is the unit of work the engine fans out — in-process for
     ``n_jobs == 1``, in pool workers otherwise.  The returned
-    :class:`MemberOutcome` is picklable and carries its own stopwatch,
-    so the parent can merge worker timings into its telemetry.
+    :class:`MemberOutcome` is picklable and carries its own stopwatch
+    and log records (stamped with ``run_id`` and the worker's pid), so
+    the parent can merge worker timings into its telemetry and replay
+    worker logs under the run's correlation id.
     """
     own_stats = DPStats()
     sw = Stopwatch()
@@ -407,6 +433,24 @@ def solve_member(
         dp_states_max=own_stats.states_max,
         dp_merges=own_stats.merges,
     )
+    log_records: List[dict] = []
+    if run_id is not None:
+        log_records.append(
+            {
+                "ts": time.time(),
+                "level": "debug",
+                "event": "member_solved",
+                "run_id": run_id,
+                "pid": os.getpid(),
+                "member": index,
+                "method": record.method,
+                "dp_cost": record.dp_cost,
+                "mapped_cost": record.mapped_cost,
+                "dp_seconds": record.dp_seconds,
+                "repair_seconds": record.repair_seconds,
+                "beam_escalations": escalations,
+            }
+        )
     return MemberOutcome(
         index=index,
         placement=placement,
@@ -414,13 +458,16 @@ def solve_member(
         mapped_cost=float(mapped),
         record=record,
         timings=sw,
+        log_records=log_records,
     )
 
 
 def _member_job(args) -> MemberOutcome:
     """Top-level process-pool worker (must be picklable)."""
-    index, tree, hierarchy, demands, config, grid = args
-    return solve_member(tree, hierarchy, demands, config, grid, index=index)
+    index, tree, hierarchy, demands, config, grid, run_id = args
+    return solve_member(
+        tree, hierarchy, demands, config, grid, index=index, run_id=run_id
+    )
 
 
 # ----------------------------------------------------------------------
@@ -438,6 +485,7 @@ class EngineResult:
     grid: DemandGrid
     telemetry: Telemetry
     config: SolverConfig
+    run_id: Optional[str] = None
 
     @property
     def cost(self) -> float:
@@ -449,7 +497,13 @@ class EngineResult:
         return self.telemetry.to_stopwatch()
 
     def report(self, **meta: object) -> RunReport:
-        """Freeze the run into a JSON-serialisable :class:`RunReport`."""
+        """Freeze the run into a JSON-serialisable :class:`RunReport`.
+
+        The run's correlation id is stamped into ``meta["run_id"]`` so
+        reports, traces and JSON-lines logs cross-reference.
+        """
+        if self.run_id is not None:
+            meta.setdefault("run_id", self.run_id)
         return self.telemetry.report(
             config=self.config.describe(), cost=self.cost, **meta
         )
@@ -487,13 +541,31 @@ class Engine:
         order either way).
         """
         tel = ctx.telemetry
+        started = time.perf_counter()
+        ctx.logger.info(
+            "run_start",
+            path=tel.path,
+            n=ctx.graph.n,
+            m=ctx.graph.m,
+            n_trees=ctx.config.n_trees,
+            n_jobs=ctx.config.n_jobs,
+            seed=ctx.config.seed,
+        )
         self.embed.run(ctx)
         self.quantize.run(ctx)
         assert ctx.trees is not None and ctx.grid is not None
 
         base = len(tel.members)
         jobs = [
-            (base + i, tree, ctx.hierarchy, ctx.demands, ctx.config, ctx.grid)
+            (
+                base + i,
+                tree,
+                ctx.hierarchy,
+                ctx.demands,
+                ctx.config,
+                ctx.grid,
+                ctx.run_id,
+            )
             for i, tree in enumerate(ctx.trees)
         ]
         if ctx.config.n_jobs > 1 and len(ctx.trees) > 1:
@@ -510,12 +582,25 @@ class Engine:
         # the pool path) into this run's span tree — this is the fix for
         # the old parallel path reporting empty dp/repair sections.
         merged = Stopwatch()
+        escalations = 0
         for outcome in outcomes:
             merged.merge(outcome.timings)
             tel.record_member(outcome.record)
+            escalations += outcome.record.beam_escalations
+            if ctx.logger.enabled:
+                for record in outcome.log_records:
+                    ctx.logger.emit(record)
         for name in (self.dp.name, self.repair.name):
             tel.add_seconds(name, merged.total(name), merged.counts.get(name, 0))
         ctx.outcomes.extend(outcomes)
+        # Parent-side metric fold: member counters travelled back with the
+        # records, so these totals are accurate even for pool runs.
+        metrics = get_registry()
+        if escalations:
+            metrics.counter(
+                "repro_dp_beam_escalations_total",
+                "Beam widenings needed before the DP found a feasible state",
+            ).inc(escalations)
 
         best: Optional[MemberOutcome] = None
         for outcome in outcomes:
@@ -529,6 +614,19 @@ class Engine:
         ctx.placement = ctx.placement.with_meta(
             solver="hgp", config=ctx.config.describe()
         )
+        metrics.counter(
+            "repro_engine_runs_total",
+            "Completed engine runs by solve path",
+            labelnames=("path",),
+        ).inc(path=tel.path)
+        ctx.logger.info(
+            "run_done",
+            path=tel.path,
+            cost=ctx.placement.cost(),
+            seconds=time.perf_counter() - started,
+            members=len(outcomes),
+            beam_escalations=escalations,
+        )
         return EngineResult(
             placement=ctx.placement,
             tree_costs=[o.mapped_cost for o in outcomes],
@@ -536,6 +634,7 @@ class Engine:
             grid=ctx.grid,
             telemetry=tel,
             config=ctx.config,
+            run_id=ctx.run_id,
         )
 
 
@@ -550,6 +649,8 @@ def run_pipeline(
     grid: Optional[DemandGrid] = None,
     trees: Optional[List[DecompositionTree]] = None,
     engine: Optional[Engine] = None,
+    run_id: Optional[str] = None,
+    logger: Optional[StructuredLogger] = None,
 ) -> EngineResult:
     """Run the staged engine on one instance and return its result.
 
@@ -575,6 +676,17 @@ def run_pipeline(
         config when ``None``).
     engine:
         Stage set to run (``None`` = the default five stages).
+    run_id:
+        Correlation id for this run's logs/report (``None`` = fresh id).
+    logger:
+        Structured logger for run events (``None`` = silent).
+
+    Notes
+    -----
+    When the ``REPRO_RUN_REPORT_DIR`` environment variable is set, the
+    run's JSON report is also written there as
+    ``<path>_<run_id>.json`` — the benchmark harness uses this to
+    persist a report for every engine run it triggers.
     """
     d = np.asarray(demands, dtype=np.float64)
     check_instance(g, hierarchy, d)
@@ -586,5 +698,14 @@ def run_pipeline(
         telemetry=telemetry if telemetry is not None else Telemetry(path),
         grid=grid,
         trees=trees,
+        run_id=run_id,
+        logger=logger if logger is not None else NULL_LOGGER,
     )
-    return (engine or Engine()).run(ctx)
+    result = (engine or Engine()).run(ctx)
+    report_dir = os.environ.get("REPRO_RUN_REPORT_DIR")
+    if report_dir:
+        out = Path(report_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        target = out / f"{ctx.telemetry.path}_{ctx.run_id}.json"
+        target.write_text(result.report().to_json() + "\n")
+    return result

@@ -68,24 +68,30 @@ class Span:
         self.children.append(c)
         return c
 
-    def lookup(self, name: str) -> Optional["Span"]:
-        """Depth-first search for the first descendant called ``name``."""
+    def iter_named(self, name: str) -> Iterator["Span"]:
+        """Yield every descendant called ``name``, depth-first."""
         for c in self.children:
             if c.name == name:
-                return c
-            found = c.lookup(name)
-            if found is not None:
-                return found
-        return None
+                yield c
+            yield from c.iter_named(name)
+
+    def lookup(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant called ``name``."""
+        return next(self.iter_named(name), None)
 
     def find_all(self, name: str) -> List["Span"]:
         """All descendants called ``name`` (depth-first order)."""
-        hits: List[Span] = []
-        for c in self.children:
-            if c.name == name:
-                hits.append(c)
-            hits.extend(c.find_all(name))
-        return hits
+        return list(self.iter_named(name))
+
+    def total_child_seconds(self) -> float:
+        """Sum of the direct children's accumulated seconds.
+
+        ``report show`` derives self time as
+        ``max(0, seconds - total_child_seconds())``; the clamp matters
+        because pool runs fold summed worker time into child spans,
+        which can exceed the parent's wall-clock measurement.
+        """
+        return sum(c.seconds for c in self.children)
 
     def add(self, name: str, seconds: float, count: int = 1) -> "Span":
         """Accumulate externally measured time under child ``name``.

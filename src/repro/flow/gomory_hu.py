@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
 from repro.flow.maxflow import max_flow
+from repro.obs.metrics import get_registry
 
 __all__ = ["gomory_hu_tree", "min_cut_from_tree"]
 
@@ -57,6 +58,9 @@ def gomory_hu_tree(g: Graph) -> Tuple[np.ndarray, np.ndarray]:
             parent[t] = i
             flow[i] = flow[t]
             flow[t] = value
+    get_registry().counter(
+        "repro_flow_gomoryhu_trees_total", "Gomory-Hu trees built"
+    ).inc()
     return parent, flow
 
 

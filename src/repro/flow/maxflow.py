@@ -13,12 +13,14 @@ ample for the instance sizes the decomposition builders feed it.
 
 from __future__ import annotations
 
+import time
 from typing import List, Tuple
 
 import numpy as np
 
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
+from repro.obs.metrics import get_registry
 
 __all__ = ["DinicMaxFlow", "max_flow"]
 
@@ -85,6 +87,7 @@ class DinicMaxFlow:
         else:
             # Re-solving on the same network requires fresh capacities.
             self.caps = np.asarray(self._caps, dtype=np.float64)
+        t0 = time.perf_counter()
         heads, caps, adj = self.heads, self.caps, self._adj
         n = self.n
         total = 0.0
@@ -112,6 +115,13 @@ class DinicMaxFlow:
                 if pushed <= 1e-12:
                     break
                 total += pushed
+        metrics = get_registry()
+        metrics.counter(
+            "repro_flow_maxflow_calls_total", "Completed Dinic max-flow solves"
+        ).inc()
+        metrics.histogram(
+            "repro_flow_maxflow_seconds", "Wall-clock seconds of one max-flow solve"
+        ).observe(time.perf_counter() - t0)
         return total
 
     def _dfs_push(

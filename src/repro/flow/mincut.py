@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
 from repro.flow.maxflow import max_flow
+from repro.obs.metrics import get_registry
 
 __all__ = ["st_min_cut", "stoer_wagner", "isolating_cut_weight"]
 
@@ -98,4 +99,7 @@ def stoer_wagner(g: Graph) -> Tuple[float, np.ndarray]:
 
     mask = np.zeros(n, dtype=bool)
     mask[best_group] = True
+    get_registry().counter(
+        "repro_flow_stoerwagner_cuts_total", "Stoer-Wagner global min cuts computed"
+    ).inc()
     return best_weight, mask

@@ -65,6 +65,7 @@ spent ~70% of its time in the O(K²) Python dominance loop.  Semantics:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -73,8 +74,34 @@ import numpy as np
 from repro.errors import SolverError
 from repro.hgpt.binarize import BinaryTree
 from repro.hgpt.solution import LevelSet, TreeSolution
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
 
 __all__ = ["solve_rhgpt", "DPStats"]
+
+
+def _publish_dp_metrics(stats: "DPStats", seconds: float) -> None:
+    """Fold one DP run's counters into the process-local metrics registry."""
+    metrics = get_registry()
+    metrics.counter(
+        "repro_dp_solves_total", "Completed signature-DP solves"
+    ).inc()
+    metrics.counter(
+        "repro_dp_nodes_total", "Binary-tree nodes processed by the DP"
+    ).inc(stats.nodes)
+    metrics.counter(
+        "repro_dp_states_total", "DP states created across all nodes"
+    ).inc(stats.states_total)
+    metrics.counter(
+        "repro_dp_merges_total", "Pairwise signature merges evaluated"
+    ).inc(stats.merges)
+    metrics.histogram(
+        "repro_dp_states_max",
+        "Largest per-node state table of one DP solve",
+        buckets=DEFAULT_SIZE_BUCKETS,
+    ).observe(stats.states_max)
+    metrics.histogram(
+        "repro_dp_seconds", "Wall-clock seconds of one DP solve"
+    ).observe(seconds)
 
 
 class DPStats:
@@ -361,6 +388,11 @@ def solve_rhgpt(
         raise SolverError(f"capacities must be non-increasing, got {list(caps)}")
     deltas_arr = np.asarray(deltas, dtype=np.float64)
 
+    # Track counters even when the caller passed no collector, so the
+    # metrics registry sees every solve.
+    own_stats = stats if stats is not None else DPStats()
+    t0 = time.perf_counter()
+
     post = bt.postorder()
     tables: List[Optional[_Table]] = [None] * bt.n_nodes
     neg1 = np.full(1, -1, dtype=np.int64)
@@ -392,8 +424,7 @@ def solve_rhgpt(
                 tb, float(bt.up_weight[b]), deltas_arr, h
             )
             na, nb = pa_cost.size, pb_cost.size
-            if stats is not None:
-                stats.merges += na * nb
+            own_stats.merges += na * nb
             # Chunked outer merge to bound peak memory on exact runs.
             block = max(1, _MERGE_CHUNK // max(1, nb * h))
             cand_sigs: List[np.ndarray] = []
@@ -431,11 +462,10 @@ def solve_rhgpt(
                 ib=pb_orig[all_pb[win]],
                 jb=pb_j[all_pb[win]],
             )
-        if stats is not None:
-            stats.nodes += 1
-            size = tables[node].size  # type: ignore[union-attr]
-            stats.states_total += size
-            stats.states_max = max(stats.states_max, size)
+        own_stats.nodes += 1
+        size = tables[node].size  # type: ignore[union-attr]
+        own_stats.states_total += size
+        own_stats.states_max = max(own_stats.states_max, size)
 
     root_table = tables[bt.root]
     assert root_table is not None
@@ -447,6 +477,7 @@ def solve_rhgpt(
     best = int(order[0])
     solution = _rebuild(bt, tables, best, h)
     solution.cost = float(root_table.costs[best])
+    _publish_dp_metrics(own_stats, time.perf_counter() - t0)
     return solution
 
 

@@ -1,0 +1,61 @@
+"""Observability: metrics, structured logging, trace export, report tooling.
+
+Turns the engine's write-only telemetry into operator-facing artifacts:
+
+* :mod:`repro.obs.metrics` — process-local counters / gauges / bounded
+  histograms with Prometheus text exposition; the DP, flow and online
+  hot paths publish here.
+* :mod:`repro.obs.logging` — JSON-lines structured logging with a
+  per-run correlation id that survives process-pool hops.
+* :mod:`repro.obs.trace` — run reports → Chrome trace-event JSON with
+  reconstructed per-worker lanes (view in Perfetto).
+* :mod:`repro.obs.report` — pretty rendering and regression-gating
+  diffs behind the ``repro report`` CLI family.
+
+See ``docs/observability.md`` for the metrics catalog and workflows.
+"""
+
+from repro.obs.logging import (
+    ListSink,
+    NULL_LOGGER,
+    StructuredLogger,
+    human_sink,
+    jsonl_sink,
+    new_run_id,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.report import (
+    ReportDiff,
+    StageDelta,
+    diff_reports,
+    load_report,
+    render_report,
+)
+from repro.obs.trace import report_to_trace, write_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "StructuredLogger",
+    "ListSink",
+    "NULL_LOGGER",
+    "new_run_id",
+    "jsonl_sink",
+    "human_sink",
+    "report_to_trace",
+    "write_trace",
+    "load_report",
+    "render_report",
+    "diff_reports",
+    "ReportDiff",
+    "StageDelta",
+]

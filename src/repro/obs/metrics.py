@@ -1,0 +1,368 @@
+"""Process-local metrics registry with Prometheus text exposition.
+
+Three metric kinds, all thread-safe and dependency-free:
+
+* :class:`Counter` — monotonically increasing totals (DP solves, flow
+  calls, online arrivals/migrations, …).
+* :class:`Gauge` — last-written values (live task count, loads).
+* :class:`Histogram` — bounded cumulative-bucket distributions for
+  latencies and size counters (``reoptimize()`` seconds, DP states per
+  solve).  Bucket edges are fixed at registration; observations above
+  the last edge land in the implicit ``+Inf`` bucket.
+
+All families support Prometheus-style labels: ``family.labels(k=v)``
+returns (find-or-create) the child series for that label combination.
+:meth:`MetricsRegistry.render` emits the classic text exposition format
+(``# HELP`` / ``# TYPE`` / sample lines), suitable for a ``/metrics``
+endpoint or for dumping next to a run report.
+
+The library instruments its hot paths against the default registry
+(:func:`get_registry`): the signature DP, the flow substrate and the
+online placer all publish here.  One caveat for process pools: metrics
+are *process-local*, so members solved in pool workers increment the
+worker's registry, not the parent's.  Counters whose values travel back
+with :class:`repro.core.telemetry.MemberRecord` (states, merges, beam
+escalations) are folded into the parent registry by the engine, which
+keeps the parent's totals accurate either way.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: Default bucket edges for latency histograms (seconds, exponential).
+DEFAULT_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default bucket edges for size/count histograms (powers of four).
+DEFAULT_SIZE_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+
+def _format_value(v: float) -> str:
+    """Render a sample value the way Prometheus expects."""
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class _Family:
+    """Base class: one named metric family with labelled child series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[Tuple[str, str], ...], object] = {}
+
+    def labels(self, **labelvalues: str):
+        """Find-or-create the child series for this label combination."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple((k, str(labelvalues[k])) for k in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _default_child(self):
+        """The unlabelled series (only valid when the family has no labels)."""
+        if self.labelnames:
+            raise ValueError(f"{self.name}: labelled family needs .labels(...)")
+        return self.labels()
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _series(self) -> List[Tuple[Tuple[Tuple[str, str], ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def render(self) -> List[str]:
+        """Prometheus text-format lines for this family."""
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, child in self._series():
+            lines.extend(self._render_child(key, child))
+        return lines
+
+    def _render_child(self, key, child) -> List[str]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _CounterValue:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self.value += float(amount)
+
+
+class Counter(_Family):
+    """Monotonically increasing total (optionally labelled)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterValue:
+        return _CounterValue()
+
+    def inc(self, amount: float = 1.0, **labelvalues: str) -> None:
+        """Increment the (labelled) series by ``amount`` (must be >= 0)."""
+        child = self.labels(**labelvalues) if labelvalues else self._default_child()
+        child.inc(amount)
+
+    def value(self, **labelvalues: str) -> float:
+        """Current total of the (labelled) series."""
+        child = self.labels(**labelvalues) if labelvalues else self._default_child()
+        return child.value
+
+    def _render_child(self, key, child) -> List[str]:
+        return [f"{self.name}{_format_labels(key)} {_format_value(child.value)}"]
+
+
+class _GaugeValue:
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += float(amount)
+
+
+class Gauge(_Family):
+    """Last-written value (can go up and down)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeValue:
+        return _GaugeValue()
+
+    def set(self, value: float, **labelvalues: str) -> None:
+        """Set the (labelled) series to ``value``."""
+        child = self.labels(**labelvalues) if labelvalues else self._default_child()
+        child.set(value)
+
+    def inc(self, amount: float = 1.0, **labelvalues: str) -> None:
+        """Add ``amount`` (may be negative) to the (labelled) series."""
+        child = self.labels(**labelvalues) if labelvalues else self._default_child()
+        child.inc(amount)
+
+    def value(self, **labelvalues: str) -> float:
+        """Current value of the (labelled) series."""
+        child = self.labels(**labelvalues) if labelvalues else self._default_child()
+        return child.value
+
+    def _render_child(self, key, child) -> List[str]:
+        return [f"{self.name}{_format_labels(key)} {_format_value(child.value)}"]
+
+
+class _HistogramValue:
+    __slots__ = ("_lock", "edges", "bucket_counts", "sum", "count")
+
+    def __init__(self, edges: Tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self.edges = edges
+        self.bucket_counts = [0] * (len(edges) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        from bisect import bisect_left
+
+        idx = bisect_left(self.edges, value)
+        with self._lock:
+            self.bucket_counts[idx] += 1
+            self.sum += float(value)
+            self.count += 1
+
+    def cumulative(self) -> List[int]:
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class Histogram(_Family):
+    """Bounded cumulative-bucket distribution (Prometheus semantics).
+
+    ``buckets`` are the finite upper edges; an observation lands in the
+    first bucket whose edge is >= the value (``le`` semantics), with an
+    implicit ``+Inf`` bucket catching the overflow.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError(f"{name}: need at least one bucket edge")
+        if len(set(edges)) != len(edges):
+            raise ValueError(f"{name}: duplicate bucket edges {edges}")
+        self.buckets = edges
+
+    def _make_child(self) -> _HistogramValue:
+        return _HistogramValue(self.buckets)
+
+    def observe(self, value: float, **labelvalues: str) -> None:
+        """Record one observation in the (labelled) series."""
+        child = self.labels(**labelvalues) if labelvalues else self._default_child()
+        child.observe(value)
+
+    def snapshot(self, **labelvalues: str) -> Dict[str, object]:
+        """Dict view: per-edge cumulative counts plus sum/count."""
+        child = self.labels(**labelvalues) if labelvalues else self._default_child()
+        cum = child.cumulative()
+        return {
+            "buckets": {
+                **{edge: cum[i] for i, edge in enumerate(self.buckets)},
+                float("inf"): cum[-1],
+            },
+            "sum": child.sum,
+            "count": child.count,
+        }
+
+    def _render_child(self, key, child) -> List[str]:
+        lines = []
+        cum = child.cumulative()
+        for i, edge in enumerate(self.buckets):
+            labels = key + (("le", _format_value(edge)),)
+            lines.append(f"{self.name}_bucket{_format_labels(labels)} {cum[i]}")
+        labels = key + (("le", "+Inf"),)
+        lines.append(f"{self.name}_bucket{_format_labels(labels)} {cum[-1]}")
+        lines.append(f"{self.name}_sum{_format_labels(key)} {_format_value(child.sum)}")
+        lines.append(f"{self.name}_count{_format_labels(key)} {child.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named collection of metric families with text exposition.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing family (so instrumented modules can declare their metrics
+    at call sites without import-order coupling); re-registering under a
+    different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> _Family:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            family = cls(name, help, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Find-or-create the counter family ``name``."""
+        return self._register(Counter, name, help, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Find-or-create the gauge family ``name``."""
+        return self._register(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Find-or-create the histogram family ``name``."""
+        return self._register(
+            Histogram, name, help, labelnames=labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Family]:
+        """The family called ``name`` (``None`` if never registered)."""
+        with self._lock:
+            return self._families.get(name)
+
+    def families(self) -> List[_Family]:
+        """All registered families, sorted by name."""
+        with self._lock:
+            return [self._families[k] for k in sorted(self._families)]
+
+    def render(self) -> str:
+        """Prometheus text exposition of every family."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every family (tests; never called by library code)."""
+        with self._lock:
+            self._families.clear()
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry the library instruments against."""
+    return _DEFAULT_REGISTRY

@@ -13,7 +13,13 @@ from repro.streaming.simulator import (
     evaluate_placement,
 )
 from repro.streaming.pinning import dag_to_instance, place_dag
-from repro.streaming.online import ChurnEvent, OnlinePlacer, simulate_churn
+from repro.streaming.online import (
+    ChurnEvent,
+    ChurnResult,
+    OnlineCounters,
+    OnlinePlacer,
+    simulate_churn,
+)
 from repro.streaming.replicate import auto_replicate, replicate_operator
 
 __all__ = [
@@ -29,6 +35,8 @@ __all__ = [
     "dag_to_instance",
     "place_dag",
     "ChurnEvent",
+    "ChurnResult",
+    "OnlineCounters",
     "OnlinePlacer",
     "simulate_churn",
     "auto_replicate",

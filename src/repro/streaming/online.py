@@ -23,8 +23,9 @@ the simulation quantifies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,8 +35,36 @@ from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
 from repro.core.config import SolverConfig
 from repro.core.telemetry import RunReport, Telemetry
+from repro.obs.metrics import get_registry
 
-__all__ = ["OnlinePlacer", "ChurnEvent", "simulate_churn"]
+__all__ = [
+    "OnlineCounters",
+    "OnlinePlacer",
+    "ChurnEvent",
+    "ChurnResult",
+    "simulate_churn",
+]
+
+
+@dataclass
+class OnlineCounters:
+    """Event counters of one :class:`OnlinePlacer` lifetime.
+
+    ``rejections`` counts arrivals that found no leaf within the load
+    budget and fell back to the least-loaded leaf (the placement
+    succeeded but violated the budget) — previously these were silent.
+    """
+
+    arrivals: int = 0
+    departures: int = 0
+    rejections: int = 0
+    migrations: int = 0
+    reopt_calls: int = 0
+    reopt_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (used by churn results and experiment logs)."""
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -74,10 +103,20 @@ class OnlinePlacer:
         self._adj: Dict[int, Dict[int, float]] = {}
         self._leaf: Dict[int, int] = {}
         self._loads = np.zeros(hierarchy.k)
-        self.migrations = 0
+        #: Aggregate event counters (arrivals, departures, rejections,
+        #: migrations, re-optimisation calls/seconds).
+        self.counters = OnlineCounters()
+        #: Migrations performed by each :meth:`reoptimize` call, in call
+        #: order — previously this per-call count was dropped.
+        self.reopt_migrations: List[int] = []
         #: Run report of the most recent :meth:`reoptimize` engine run
         #: (``None`` until the first re-optimisation).
         self.last_report: Optional[RunReport] = None
+
+    @property
+    def migrations(self) -> int:
+        """Total migrations performed across all re-optimisations."""
+        return self.counters.migrations
 
     # ------------------------------------------------------------------
     # live-state queries
@@ -147,11 +186,21 @@ class OnlinePlacer:
             inc += cm[levels] * w
         budget = self.max_violation * self.hierarchy.leaf_capacity + 1e-12
         fits = self._loads + demand <= budget
+        metrics = get_registry()
         if fits.any():
             cand = np.where(fits, inc, np.inf)
             leaf = int(np.argmin(cand + 1e-12 * self._loads))
         else:
+            # No leaf has room within the budget: least-loaded fallback.
+            # The task is still placed, but the budget is violated —
+            # count it so operators can see overload instead of
+            # discovering it from drifting costs.
             leaf = int(np.argmin(self._loads))
+            self.counters.rejections += 1
+            metrics.counter(
+                "repro_online_rejections_total",
+                "Arrivals that found no leaf within the load budget",
+            ).inc()
         self._demand[task] = float(demand)
         self._adj.setdefault(task, {})
         for other, w in live_edges.items():
@@ -159,6 +208,13 @@ class OnlinePlacer:
             self._adj[other][task] = w
         self._leaf[task] = leaf
         self._loads[leaf] += demand
+        self.counters.arrivals += 1
+        metrics.counter(
+            "repro_online_arrivals_total", "Tasks placed by the online placer"
+        ).inc()
+        metrics.gauge(
+            "repro_online_live_tasks", "Currently live tasks"
+        ).set(self.n_tasks)
         return leaf
 
     def depart(self, task: int) -> None:
@@ -171,6 +227,14 @@ class OnlinePlacer:
         self._adj.pop(task, None)
         del self._demand[task]
         del self._leaf[task]
+        self.counters.departures += 1
+        metrics = get_registry()
+        metrics.counter(
+            "repro_online_departures_total", "Tasks removed from the online placer"
+        ).inc()
+        metrics.gauge(
+            "repro_online_live_tasks", "Currently live tasks"
+        ).set(self.n_tasks)
 
     # ------------------------------------------------------------------
     # re-optimisation
@@ -187,10 +251,34 @@ class OnlinePlacer:
         Returns
         -------
         int
-            Number of migrations performed.
+            Number of migrations performed.  Per-call counts are kept in
+            :attr:`reopt_migrations` and aggregate event counts in
+            :attr:`counters`.
         """
         if self.n_tasks <= 1:
             return 0
+        t0 = time.perf_counter()
+        moved = self._reoptimize(migration_budget)
+        elapsed = time.perf_counter() - t0
+        self.counters.reopt_calls += 1
+        self.counters.reopt_seconds += elapsed
+        self.counters.migrations += moved
+        self.reopt_migrations.append(moved)
+        metrics = get_registry()
+        metrics.counter(
+            "repro_online_reopts_total", "Budgeted re-optimisation calls"
+        ).inc()
+        metrics.counter(
+            "repro_online_migrations_total", "Tasks migrated by re-optimisation"
+        ).inc(moved)
+        metrics.histogram(
+            "repro_online_reoptimize_seconds",
+            "Wall-clock seconds of one reoptimize() call",
+        ).observe(elapsed)
+        return moved
+
+    def _reoptimize(self, migration_budget: Optional[int]) -> int:
+        """The re-optimisation itself; returns migrations performed."""
         g, d, current, tasks = self.live_graph()
         from repro.core.engine import run_pipeline
         from repro.baselines.local_search import enforce_capacity
@@ -213,7 +301,6 @@ class OnlinePlacer:
             for i, t in enumerate(tasks):
                 self._leaf[t] = int(target.leaf_of[i])
             self._loads = loads
-            self.migrations += len(diffs)
             return len(diffs)
         moved = 0
         leaf = current.copy()
@@ -260,8 +347,39 @@ class OnlinePlacer:
             if self._leaf[t] != int(leaf[i]):
                 self._leaf[t] = int(leaf[i])
         self._loads = loads
-        self.migrations += moved
         return moved
+
+
+@dataclass
+class ChurnResult:
+    """What one churn replay produced.
+
+    Iterating yields ``(costs, migrations)`` so the pre-observability
+    two-value unpacking keeps working; new callers read the richer
+    fields directly.
+
+    Attributes
+    ----------
+    costs:
+        Eq. (1) cost after every event.
+    migrations:
+        Total migrations performed.
+    counters:
+        The placer's aggregate event counters (arrivals, departures,
+        rejections, migrations, re-optimisation calls/seconds).
+    reopt_migrations:
+        Migrations adopted by each :meth:`OnlinePlacer.reoptimize` call,
+        in call order.
+    """
+
+    costs: List[float]
+    migrations: int
+    counters: OnlineCounters = field(default_factory=OnlineCounters)
+    reopt_migrations: List[int] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[object]:
+        yield self.costs
+        yield self.migrations
 
 
 def simulate_churn(
@@ -271,7 +389,7 @@ def simulate_churn(
     migration_budget: Optional[int] = None,
     config: Optional[SolverConfig] = None,
     max_violation: float = 1.0,
-) -> Tuple[List[float], int]:
+) -> ChurnResult:
     """Replay a churn trace under one re-optimisation policy.
 
     Parameters
@@ -290,8 +408,9 @@ def simulate_churn(
 
     Returns
     -------
-    (list[float], int)
-        The cost after every event and the total migrations performed.
+    ChurnResult
+        Cost trajectory, migrations and the placer's event counters
+        (unpacks as ``(costs, migrations)`` for legacy callers).
     """
     placer = OnlinePlacer(hierarchy, config=config, max_violation=max_violation)
     costs: List[float] = []
@@ -305,4 +424,9 @@ def simulate_churn(
         if reopt_period and i % reopt_period == 0 and placer.n_tasks > 1:
             placer.reoptimize(migration_budget)
         costs.append(placer.cost())
-    return costs, placer.migrations
+    return ChurnResult(
+        costs=costs,
+        migrations=placer.migrations,
+        counters=placer.counters,
+        reopt_migrations=list(placer.reopt_migrations),
+    )

@@ -36,6 +36,24 @@ class TestSpans:
         xs = tel.root.find_all("x")
         assert len(xs) == 2
         assert tel.root.lookup("x") is xs[0]
+        # find_all/lookup are views over the same pre-order traversal.
+        assert list(tel.root.iter_named("x")) == xs
+
+    def test_lookup_missing_returns_none(self):
+        tel = Telemetry("run")
+        with tel.span("a"):
+            pass
+        assert tel.root.lookup("nope") is None
+        assert tel.root.find_all("nope") == []
+
+    def test_total_child_seconds_direct_children_only(self):
+        root = Span("run")
+        a = root.add("a", 1.0)
+        a.add("a1", 10.0)  # grandchild: not counted at root
+        root.add("b", 2.5)
+        assert root.total_child_seconds() == pytest.approx(3.5)
+        assert a.total_child_seconds() == pytest.approx(10.0)
+        assert Span("leaf").total_child_seconds() == 0.0
 
     def test_current_tracks_innermost(self):
         tel = Telemetry("run")

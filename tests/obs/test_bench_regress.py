@@ -1,0 +1,151 @@
+"""Tests for the CI benchmark regression gate (tools/bench_regress.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.telemetry import MemberRecord, Telemetry
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+@pytest.fixture(scope="module")
+def bench_regress():
+    spec = importlib.util.spec_from_file_location(
+        "bench_regress", TOOLS / "bench_regress.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def make_bench_file(tmp_path, name, points):
+    data = {"experiment": "E4", "schema_version": 1, "points": points}
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+def make_point(sweep="n", n=24, h=2, grid_cells=96, time_s=0.01, dp_cost=42.0):
+    tel = Telemetry("bench")
+    tel.add_seconds("dp", time_s * 0.8)
+    tel.add_seconds("trees", time_s * 0.2)
+    tel.record_member(
+        MemberRecord(index=0, method="spectral", dp_cost=dp_cost)
+    )
+    return {
+        "sweep": sweep,
+        "n": n,
+        "h": h,
+        "grid_cells": grid_cells,
+        "time_s": time_s,
+        "states_max": 10,
+        "merges": 100,
+        "report": tel.report().to_dict(),
+    }
+
+
+class TestPointHelpers:
+    def test_point_key(self, bench_regress):
+        assert bench_regress.point_key(make_point()) == ("n", 24, 2, 96)
+
+    def test_point_cost_from_member(self, bench_regress):
+        assert bench_regress.point_cost(make_point(dp_cost=7.5)) == 7.5
+
+    def test_pct_delta(self, bench_regress):
+        assert bench_regress.pct_delta(1.0, 1.5) == pytest.approx(50.0)
+        assert bench_regress.pct_delta(0.0, 0.0) == 0.0
+        assert bench_regress.pct_delta(0.0, 1.0) == float("inf")
+
+
+class TestGate:
+    def test_identical_files_pass(self, bench_regress, tmp_path):
+        base = make_bench_file(tmp_path, "base.json", [make_point()])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(base)]
+        )
+        assert rc == 0
+
+    def test_cost_change_fails(self, bench_regress, tmp_path):
+        base = make_bench_file(tmp_path, "base.json", [make_point(dp_cost=42.0)])
+        fresh = make_bench_file(tmp_path, "fresh.json", [make_point(dp_cost=43.0)])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 1
+
+    def test_time_regression_warns_only(self, bench_regress, tmp_path, capsys):
+        base = make_bench_file(tmp_path, "base.json", [make_point(time_s=0.01)])
+        fresh = make_bench_file(tmp_path, "fresh.json", [make_point(time_s=0.10)])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 0
+        assert "WARN" in capsys.readouterr().out
+
+    def test_time_fail_promotes_warning(self, bench_regress, tmp_path):
+        base = make_bench_file(tmp_path, "base.json", [make_point(time_s=0.01)])
+        fresh = make_bench_file(tmp_path, "fresh.json", [make_point(time_s=0.10)])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(fresh), "--time-fail"]
+        )
+        assert rc == 1
+
+    def test_time_within_threshold_silent(self, bench_regress, tmp_path, capsys):
+        base = make_bench_file(tmp_path, "base.json", [make_point(time_s=0.010)])
+        fresh = make_bench_file(tmp_path, "fresh.json", [make_point(time_s=0.012)])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 0
+        assert "WARN" not in capsys.readouterr().out
+
+    def test_missing_point_fails(self, bench_regress, tmp_path):
+        base = make_bench_file(
+            tmp_path, "base.json", [make_point(n=24), make_point(n=48)]
+        )
+        fresh = make_bench_file(tmp_path, "fresh.json", [make_point(n=24)])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 1
+
+    def test_extra_point_fails(self, bench_regress, tmp_path):
+        base = make_bench_file(tmp_path, "base.json", [make_point(n=24)])
+        fresh = make_bench_file(
+            tmp_path, "fresh.json", [make_point(n=24), make_point(n=48)]
+        )
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(fresh)]
+        )
+        assert rc == 1
+
+    def test_cost_tol_allows_drift(self, bench_regress, tmp_path):
+        base = make_bench_file(tmp_path, "base.json", [make_point(dp_cost=100.0)])
+        fresh = make_bench_file(tmp_path, "fresh.json", [make_point(dp_cost=100.5)])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(fresh), "--cost-tol", "1"]
+        )
+        assert rc == 0
+
+    def test_missing_file_fails(self, bench_regress, tmp_path, capsys):
+        base = make_bench_file(tmp_path, "base.json", [make_point()])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(tmp_path / "nope.json")]
+        )
+        assert rc == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_checked_in_baseline_self_compares_clean(self, bench_regress):
+        baseline = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "results"
+            / "BENCH_E4_runtime_scaling.json"
+        )
+        rc = bench_regress.main(
+            ["--baseline", str(baseline), "--fresh", str(baseline)]
+        )
+        assert rc == 0

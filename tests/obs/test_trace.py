@@ -1,0 +1,162 @@
+"""Tests for Chrome trace-event export (Perfetto compatibility)."""
+
+import json
+
+import pytest
+
+from repro.core.telemetry import MemberRecord, Telemetry
+from repro.obs.trace import report_to_trace, write_trace
+
+
+@pytest.fixture
+def report():
+    """A realistic report: stage skeleton + two members + counters."""
+    tel = Telemetry("batch")
+    with tel.span("trees"):
+        tel.counter("n_trees", 2)
+    tel.add_seconds("quantize", 0.001)
+    tel.add_seconds("dp", 0.05, count=2)
+    tel.add_seconds("repair", 0.004, count=2)
+    tel.add_seconds("refine", 0.01)
+    tel.record_member(
+        MemberRecord(
+            index=0,
+            method="spectral",
+            dp_cost=10.0,
+            mapped_cost=9.0,
+            dp_seconds=0.03,
+            repair_seconds=0.002,
+            dp_states_max=40,
+        )
+    )
+    tel.record_member(
+        MemberRecord(
+            index=1,
+            method="frt",
+            dp_cost=11.0,
+            mapped_cost=10.5,
+            dp_seconds=0.02,
+            repair_seconds=0.002,
+        )
+    )
+    return tel.report(config={"n_jobs": 2}, cost=9.0, run_id="feedc0ffee12")
+
+
+class TestTraceStructure:
+    def test_json_serialisable_and_loadable(self, report, tmp_path):
+        out = write_trace(report, tmp_path / "run.trace.json")
+        data = json.loads(out.read_text())
+        assert isinstance(data["traceEvents"], list)
+        assert data["displayTimeUnit"] == "ms"
+        assert data["otherData"]["cost"] == 9.0
+        assert data["otherData"]["run_id"] == "feedc0ffee12"
+
+    def test_duration_events_have_required_keys(self, report):
+        trace = report_to_trace(report)
+        x_events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert x_events, "no complete events emitted"
+        for e in x_events:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= e.keys()
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+
+    def test_only_known_phases(self, report):
+        trace = report_to_trace(report)
+        assert {e["ph"] for e in trace["traceEvents"]} <= {"X", "M"}
+
+    def test_metadata_names_lanes(self, report):
+        trace = report_to_trace(report)
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {
+            (e["name"], e["tid"]): e["args"]["name"] for e in meta
+        }
+        assert names[("thread_name", 0)] == "engine"
+        assert names[("thread_name", 1)] == "worker-0"
+        assert names[("thread_name", 2)] == "worker-1"
+        assert "batch" in names[("process_name", 0)]
+
+    def test_timestamps_monotone_per_lane(self, report):
+        trace = report_to_trace(report)
+        by_tid = {}
+        for e in trace["traceEvents"]:
+            if e["ph"] == "X":
+                by_tid.setdefault(e["tid"], []).append(e["ts"])
+        for tid, stamps in by_tid.items():
+            assert stamps == sorted(stamps), f"lane {tid} not monotone"
+
+    def test_events_sorted_by_lane_then_time(self, report):
+        trace = report_to_trace(report)
+        keys = [
+            (e["tid"], e["ts"]) for e in trace["traceEvents"] if e["ph"] == "X"
+        ]
+        assert keys == sorted(keys)
+
+
+class TestWorkerLanes:
+    def test_lane_count_from_config(self, report):
+        trace = report_to_trace(report)  # config says n_jobs=2
+        tids = {e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert tids == {0, 1, 2}
+
+    def test_workers_override(self, report):
+        trace = report_to_trace(report, workers=1)
+        tids = {e["tid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert tids == {0, 1}
+        # Serial lane: members run back-to-back, no overlap.
+        lane = [
+            e
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 1
+        ]
+        for prev, nxt in zip(lane, lane[1:]):
+            assert nxt["ts"] >= prev["ts"] + prev["dur"] - 1e-9
+
+    def test_bad_workers_rejected(self, report):
+        with pytest.raises(ValueError):
+            report_to_trace(report, workers=0)
+
+    def test_member_args_carry_dp_stats(self, report):
+        trace = report_to_trace(report)
+        dp0 = next(
+            e for e in trace["traceEvents"] if e.get("name") == "dp[0]"
+        )
+        assert dp0["args"]["method"] == "spectral"
+        assert dp0["args"]["dp_states_max"] == 40
+        assert dp0["dur"] == pytest.approx(0.03 * 1e6)
+
+    def test_members_start_inside_dp_stage(self, report):
+        trace = report_to_trace(report)
+        events = trace["traceEvents"]
+        dp_stage = next(
+            e for e in events if e.get("name") == "dp" and e["tid"] == 0
+        )
+        for e in events:
+            if e["ph"] == "X" and e["tid"] > 0:
+                assert e["ts"] >= dp_stage["ts"] - 1e-9
+
+
+class TestDegenerateReports:
+    def test_memberless_report_has_engine_lane_only(self):
+        tel = Telemetry("empty")
+        tel.add_seconds("dp", 0.01)
+        trace = report_to_trace(tel.report())
+        tids = {e["tid"] for e in trace["traceEvents"]}
+        assert tids == {0}
+
+    def test_zero_duration_spans_allowed(self):
+        tel = Telemetry("zero")
+        with tel.span("trees"):
+            pass
+        trace = report_to_trace(tel.report())
+        x = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert all(e["dur"] >= 0.0 for e in x)
+
+    def test_parent_stretches_over_children(self):
+        """Summed child time exceeding the parent's own span is covered."""
+        tel = Telemetry("run")
+        root_child = tel.root.add("dp", 0.01)
+        root_child.add("merge", 0.04)
+        root_child.add("merge2", 0.03)
+        trace = report_to_trace(tel.report())
+        dp = next(e for e in trace["traceEvents"] if e.get("name") == "dp")
+        assert dp["dur"] == pytest.approx((0.04 + 0.03) * 1e6)

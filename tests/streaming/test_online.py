@@ -5,7 +5,13 @@ import pytest
 
 from repro import SolverConfig
 from repro.errors import InvalidInputError
-from repro.streaming.online import ChurnEvent, OnlinePlacer, simulate_churn
+from repro.streaming.online import (
+    ChurnEvent,
+    ChurnResult,
+    OnlineCounters,
+    OnlinePlacer,
+    simulate_churn,
+)
 
 
 @pytest.fixture
@@ -99,6 +105,58 @@ class TestOnlinePlacer:
         assert placer.reoptimize() == 0
         placer.arrive(0, 0.2)
         assert placer.reoptimize() == 0
+        # Trivial early-outs are not counted as re-optimisation calls.
+        assert placer.counters.reopt_calls == 0
+        assert placer.reopt_migrations == []
+
+
+class TestCounters:
+    def test_arrivals_and_departures_counted(self, placer):
+        placer.arrive(0, 0.2)
+        placer.arrive(1, 0.2)
+        placer.depart(0)
+        assert placer.counters.arrivals == 2
+        assert placer.counters.departures == 1
+        assert placer.counters.rejections == 0
+
+    def test_overload_arrival_counted_as_rejection(self, placer):
+        # Fill every leaf beyond budget: the next arrival cannot fit.
+        k = placer.hierarchy.k
+        for t in range(2 * k):
+            placer.arrive(t, 0.51)
+        assert placer.counters.rejections > 0
+        assert placer.counters.arrivals == 2 * k  # still placed
+
+    def test_reoptimize_updates_counters(self, placer):
+        for ev in clustered_trace():
+            placer.arrive(ev.task, ev.demand, ev.edges)
+        moved = placer.reoptimize(migration_budget=None)
+        assert placer.counters.reopt_calls == 1
+        assert placer.counters.migrations == moved
+        assert placer.reopt_migrations == [moved]
+        assert placer.counters.reopt_seconds > 0.0
+
+    def test_per_call_migrations_no_longer_dropped(self, placer):
+        for ev in clustered_trace():
+            placer.arrive(ev.task, ev.demand, ev.edges)
+        first = placer.reoptimize(migration_budget=2)
+        second = placer.reoptimize(migration_budget=None)
+        assert placer.reopt_migrations == [first, second]
+        assert placer.migrations == first + second
+
+    def test_as_dict_round_trip(self):
+        counters = OnlineCounters(arrivals=3, rejections=1)
+        d = counters.as_dict()
+        assert d["arrivals"] == 3
+        assert d["rejections"] == 1
+        assert set(d) == {
+            "arrivals",
+            "departures",
+            "rejections",
+            "migrations",
+            "reopt_calls",
+            "reopt_seconds",
+        }
 
 
 class TestSimulateChurn:
@@ -121,3 +179,28 @@ class TestSimulateChurn:
     def test_bad_event_kind(self, hier_2x4):
         with pytest.raises(InvalidInputError):
             simulate_churn(hier_2x4, [ChurnEvent("explode", 0)])
+
+    def test_result_exposes_counters(self, hier_2x4):
+        events = clustered_trace(per_cluster=4)
+        result = simulate_churn(
+            hier_2x4,
+            events,
+            reopt_period=8,
+            migration_budget=3,
+            config=SolverConfig(n_trees=2, refine=False, seed=0),
+        )
+        assert isinstance(result, ChurnResult)
+        assert result.counters.arrivals == len(events)
+        assert result.counters.departures == 0
+        assert result.counters.reopt_calls == len(result.reopt_migrations)
+        assert result.migrations == sum(result.reopt_migrations)
+        assert result.migrations == result.counters.migrations
+
+    def test_legacy_tuple_unpacking(self, hier_2x4):
+        """Pre-observability callers unpack (costs, migrations)."""
+        events = clustered_trace(per_cluster=2)
+        costs, migrations = simulate_churn(
+            hier_2x4, events, config=SolverConfig(n_trees=2)
+        )
+        assert len(costs) == len(events)
+        assert migrations == 0

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Gate benchmark runs against checked-in baselines.
+
+Compares a freshly produced ``BENCH_*.json`` (written by the benchmark
+suite under ``benchmarks/results/``) against a baseline copy of the same
+file, point by point:
+
+* **Cost is gated hard** — any change in a point's DP cost
+  (``members[0].dp_cost`` of the embedded run report) beyond
+  ``--cost-tol`` percent fails the run.  The solver is deterministic per
+  seed, so cost drift means behaviour changed.
+* **Time is warn-only by default** — per-point ``time_s`` regressions
+  beyond ``--time-warn`` percent print a warning with the per-stage
+  breakdown (via :func:`repro.obs.report.diff_reports` on the embedded
+  reports); pass ``--time-fail`` to turn those warnings into failures.
+* **Coverage is gated hard** — a point missing from the fresh file or
+  appearing only there fails the run (the sweep definition changed
+  without refreshing the baseline).
+
+Usage (CI runs this against the small E4 instance)::
+
+    PYTHONPATH=src python tools/bench_regress.py \
+        --baseline /tmp/baseline/BENCH_E4_runtime_scaling.json \
+        --fresh benchmarks/results/BENCH_E4_runtime_scaling.json
+
+Exit code 0 when clean (or warnings only), 1 on any hard failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.core.telemetry import RunReport
+from repro.obs.report import diff_reports
+
+#: Point identity within a sweep file: (sweep, n, h, grid_cells).
+KEY_FIELDS = ("sweep", "n", "h", "grid_cells")
+
+
+def point_key(point: dict) -> Tuple:
+    return tuple(point.get(f) for f in KEY_FIELDS)
+
+
+def load_points(path: Path) -> Dict[Tuple, dict]:
+    data = json.loads(path.read_text())
+    points = {}
+    for point in data.get("points", []):
+        key = point_key(point)
+        if key in points:
+            raise SystemExit(f"duplicate point {key} in {path}")
+        points[key] = point
+    if not points:
+        raise SystemExit(f"no points in {path}")
+    return points
+
+
+def point_cost(point: dict) -> float:
+    report = point.get("report") or {}
+    members = report.get("members") or []
+    if members:
+        return float(members[0]["dp_cost"])
+    cost = report.get("cost")
+    if cost is None:
+        raise SystemExit(f"point {point_key(point)} carries no cost")
+    return float(cost)
+
+
+def pct_delta(baseline: float, fresh: float) -> float:
+    if baseline == 0.0:
+        return 0.0 if fresh == 0.0 else float("inf")
+    return (fresh - baseline) / abs(baseline) * 100.0
+
+
+def stage_breakdown(base_point: dict, fresh_point: dict) -> str:
+    """Per-stage time table for one regressed point (best-effort)."""
+    try:
+        diff = diff_reports(
+            RunReport.from_dict(base_point["report"]),
+            RunReport.from_dict(fresh_point["report"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return "    (no embedded run reports to break down)"
+    return "\n".join("    " + line for line in diff.render().splitlines())
+
+
+def compare(
+    baseline: Dict[Tuple, dict],
+    fresh: Dict[Tuple, dict],
+    time_warn_pct: float,
+    cost_tol_pct: float,
+    time_is_fatal: bool,
+) -> Tuple[list, list]:
+    """Return (failures, warnings) as printable strings."""
+    failures, warnings = [], []
+    for key in baseline.keys() - fresh.keys():
+        failures.append(f"point {key} missing from fresh results")
+    for key in fresh.keys() - baseline.keys():
+        failures.append(f"point {key} not in baseline (refresh the baseline?)")
+    for key in sorted(baseline.keys() & fresh.keys()):
+        bp, fp = baseline[key], fresh[key]
+        cost_pct = pct_delta(point_cost(bp), point_cost(fp))
+        if abs(cost_pct) > cost_tol_pct:
+            failures.append(
+                f"point {key}: dp_cost changed {point_cost(bp):g} -> "
+                f"{point_cost(fp):g} ({cost_pct:+.2f}%)"
+            )
+        time_pct = pct_delta(float(bp["time_s"]), float(fp["time_s"]))
+        if time_pct > time_warn_pct:
+            msg = (
+                f"point {key}: time_s {float(bp['time_s']):.4g} -> "
+                f"{float(fp['time_s']):.4g} ({time_pct:+.1f}% > "
+                f"{time_warn_pct:g}%)\n" + stage_breakdown(bp, fp)
+            )
+            (failures if time_is_fatal else warnings).append(msg)
+    return failures, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a fresh BENCH_*.json against its baseline"
+    )
+    parser.add_argument("--baseline", required=True, help="baseline BENCH_*.json")
+    parser.add_argument("--fresh", required=True, help="fresh BENCH_*.json")
+    parser.add_argument(
+        "--time-warn",
+        type=float,
+        default=50.0,
+        metavar="PCT",
+        help="warn when a point's time_s regresses by more than PCT "
+        "(default 50; CI timing is noisy)",
+    )
+    parser.add_argument(
+        "--cost-tol",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="tolerated absolute dp_cost drift in percent (default 0: exact)",
+    )
+    parser.add_argument(
+        "--time-fail",
+        action="store_true",
+        help="treat time regressions as failures instead of warnings",
+    )
+    args = parser.parse_args(argv)
+
+    for path in (args.baseline, args.fresh):
+        if not Path(path).exists():
+            print(f"bench_regress: file not found: {path}", file=sys.stderr)
+            return 1
+    baseline = load_points(Path(args.baseline))
+    fresh = load_points(Path(args.fresh))
+    failures, warnings = compare(
+        baseline, fresh, args.time_warn, args.cost_tol, args.time_fail
+    )
+
+    for msg in warnings:
+        print(f"WARN: {msg}")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    print(
+        f"bench_regress: {len(baseline)} baseline points, "
+        f"{len(failures)} failure(s), {len(warnings)} warning(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
