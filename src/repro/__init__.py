@@ -29,6 +29,7 @@ Subpackages
     Streaming-operator placement application (the paper's motivation).
 """
 
+from repro.cache import CacheConfig, configure_cache, get_cache
 from repro.errors import InfeasibleError, InvalidInputError, ReproError, SolverError
 from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
@@ -51,6 +52,9 @@ __all__ = [
     "Hierarchy",
     "Placement",
     "SolverConfig",
+    "CacheConfig",
+    "get_cache",
+    "configure_cache",
     "HGPResult",
     "solve_hgp",
     "solve_hgpt",

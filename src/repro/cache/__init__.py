@@ -1,0 +1,34 @@
+"""Content-addressed solver cache (:mod:`repro.cache.cache`).
+
+Public surface: :class:`CacheConfig` (the ``cache`` block on
+``SolverConfig``), :class:`SolverCache` (two-tier LRU + disk cache),
+:func:`get_cache` / :func:`configure_cache` / :func:`resolve_cache` for
+the process-wide instance, and the key helpers :func:`cache_key` /
+:func:`seed_token`.
+"""
+
+from repro.cache.cache import (
+    CacheConfig,
+    CacheStats,
+    SolverCache,
+    cache_key,
+    configure_cache,
+    estimate_nbytes,
+    get_cache,
+    reset_cache,
+    resolve_cache,
+    seed_token,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "SolverCache",
+    "cache_key",
+    "configure_cache",
+    "estimate_nbytes",
+    "get_cache",
+    "reset_cache",
+    "resolve_cache",
+    "seed_token",
+]

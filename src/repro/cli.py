@@ -140,6 +140,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append structured engine events as JSON lines here",
     )
+    solve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the content-addressed solver cache for this run "
+        "(always rebuild decomposition trees)",
+    )
+
+    cache = sub.add_parser("cache", help="inspect or wipe the solver cache")
+    csub = cache.add_subparsers(dest="cache_command", required=True)
+
+    cstats = csub.add_parser("stats", help="print cache tiers and hit counters")
+    cstats.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="disk-tier directory to inspect (default: REPRO_CACHE_DIR)",
+    )
+
+    cclear = csub.add_parser("clear", help="wipe the cache tiers")
+    cclear.add_argument(
+        "--dir",
+        default=None,
+        metavar="PATH",
+        help="disk-tier directory to clear (default: REPRO_CACHE_DIR)",
+    )
+    ctier = cclear.add_mutually_exclusive_group()
+    ctier.add_argument(
+        "--memory-only", action="store_true", help="clear only the in-memory tier"
+    )
+    ctier.add_argument(
+        "--disk-only", action="store_true", help="clear only the disk tier"
+    )
 
     report = sub.add_parser("report", help="inspect and compare saved run reports")
     rsub = report.add_subparsers(dest="report_command", required=True)
@@ -225,7 +257,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         logger = StructuredLogger(sinks)
 
     if args.method in ("hgp", "hgp_feasible"):
-        cfg = SolverConfig(seed=args.seed, n_trees=args.n_trees, slack=args.slack)
+        from repro.cache import CacheConfig, get_cache
+
+        if args.no_cache:
+            # Disable the whole process cache, not just the engine's
+            # ensemble lookup — the inner builders (fiedler, gomory-hu)
+            # must not populate or consult it either.
+            get_cache().enabled = False
+        cfg = SolverConfig(
+            seed=args.seed,
+            n_trees=args.n_trees,
+            slack=args.slack,
+            cache=CacheConfig(enabled=not args.no_cache),
+        )
         result = run_pipeline(g, hier, d, cfg, path="batch", logger=logger)
         placement = result.placement
         if args.report:
@@ -276,6 +320,79 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{int(n)} B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import get_cache
+    from repro.obs.metrics import get_registry
+
+    cache = get_cache()
+    if args.dir is not None:
+        cache.disk_dir = Path(args.dir)
+
+    if args.cache_command == "clear":
+        memory = not args.disk_only
+        disk = not args.memory_only
+        dropped = cache.clear(memory=memory, disk=disk)
+        print(
+            f"cleared: {dropped['memory_entries']} memory entries "
+            f"({_human_bytes(dropped['memory_bytes'])}), "
+            f"{dropped['disk_files']} disk files"
+        )
+        return 0
+
+    # stats
+    info = cache.describe()
+    mem = info["memory"]
+    print("solver cache")
+    print(f"  enabled      : {info['enabled']}")
+    print(
+        f"  memory tier  : {mem['entries']} entries, "
+        f"{_human_bytes(mem['bytes'])} of {_human_bytes(mem['max_bytes'])} budget"
+    )
+    disk = info["disk"]
+    if disk["dir"] is None:
+        print("  disk tier    : disabled (set REPRO_CACHE_DIR or --dir)")
+    else:
+        print(
+            f"  disk tier    : {disk['dir']} — {disk['files']} files, "
+            f"{_human_bytes(disk['bytes'])}"
+        )
+        for kind, sub in disk["by_kind"].items():
+            print(
+                f"    {kind:<12s} {sub['files']} files, "
+                f"{_human_bytes(sub['bytes'])}"
+            )
+    stats = info["stats"]
+    print(
+        f"  this process : {stats['hits']} hits, {stats['disk_hits']} disk hits, "
+        f"{stats['misses']} misses, {stats['evictions']} evictions "
+        f"(hit rate {stats['hit_rate']:.0%})"
+    )
+    for kind, sub in stats["by_kind"].items():
+        print(
+            f"    {kind:<12s} {sub['hits']} hits, {sub['disk_hits']} disk hits, "
+            f"{sub['misses']} misses"
+        )
+    lines = [
+        line
+        for family in get_registry().families()
+        if family.name.startswith("repro_cache_")
+        for line in family.render()
+    ]
+    if lines:
+        print("  registry metrics:")
+        for line in lines:
+            print(f"    {line}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import diff_reports, load_report, render_report, write_trace
 
@@ -318,6 +435,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "generate":
             return _cmd_generate(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "report":
             return _cmd_report(args)
         return _cmd_solve(args)

@@ -7,9 +7,10 @@ placement's ``meta``).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence
 
+from repro.cache import CacheConfig
 from repro.errors import InvalidInputError
 
 __all__ = ["SolverConfig"]
@@ -53,6 +54,10 @@ class SolverConfig:
         bit-identical either way.
     seed:
         Master RNG seed.
+    cache:
+        Solver-cache knobs (:class:`repro.cache.CacheConfig`): whether
+        this run consults the content-addressed cache, and optional
+        byte-budget / disk-dir overrides applied to the shared cache.
     """
 
     n_trees: int = 8
@@ -66,6 +71,7 @@ class SolverConfig:
     refine_passes: int = 4
     n_jobs: int = 1
     seed: Optional[int] = 0
+    cache: CacheConfig = field(default_factory=CacheConfig)
 
     def __post_init__(self) -> None:
         if self.n_trees < 1:

@@ -47,11 +47,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.cache import resolve_cache
 from repro.errors import InfeasibleError, InvalidInputError, SolverError
 from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
-from repro.decomposition.racke import racke_ensemble
+from repro.decomposition.racke import ensemble_cache_parts, racke_ensemble
 from repro.decomposition.tree import DecompositionTree
 from repro.hgpt.binarize import binarize
 from repro.hgpt.dp import DPStats, solve_rhgpt
@@ -252,7 +253,14 @@ class Stage:
 
 
 class EmbedStage(Stage):
-    """Build the decomposition-tree ensemble (the Räcke step, span ``trees``)."""
+    """Build the decomposition-tree ensemble (the Räcke step, span ``trees``).
+
+    Consults the content-addressed solver cache first (kind ``"trees"``,
+    keyed by graph digest + ensemble params + seed): a warm run on an
+    unchanged instance skips tree construction entirely.  The span's
+    ``cache_hits`` / ``cache_misses`` counters record which path ran, so
+    run reports (and ``repro report show``) expose cache effectiveness.
+    """
 
     name = "trees"
 
@@ -260,12 +268,36 @@ class EmbedStage(Stage):
         """Fill ``ctx.trees`` (skipped when the caller pre-supplied them)."""
         with ctx.telemetry.span(self.name):
             if ctx.trees is None:
-                ctx.trees = racke_ensemble(
-                    ctx.graph,
-                    n_trees=ctx.config.n_trees,
-                    methods=ctx.config.tree_methods,
-                    seed=ctx.config.seed,
-                )
+                cfg = ctx.config
+                cache = None
+                parts = None
+                if cfg.cache.enabled:
+                    cache = resolve_cache(cfg.cache)
+                    parts = ensemble_cache_parts(
+                        ctx.graph, cfg.n_trees, cfg.tree_methods, cfg.seed
+                    )
+                hit = False
+                trees: Optional[List[DecompositionTree]] = None
+                if cache is not None and parts is not None:
+                    hit, trees = cache.lookup("trees", parts)
+                if hit:
+                    assert trees is not None
+                    ctx.trees = list(trees)
+                    ctx.telemetry.counter("cache_hits", 1)
+                    ctx.logger.info(
+                        "trees_cache_hit", n_trees=len(ctx.trees)
+                    )
+                else:
+                    ctx.trees = racke_ensemble(
+                        ctx.graph,
+                        n_trees=cfg.n_trees,
+                        methods=cfg.tree_methods,
+                        seed=cfg.seed,
+                        use_cache=False,
+                    )
+                    if cache is not None and parts is not None:
+                        cache.store("trees", parts, list(ctx.trees))
+                        ctx.telemetry.counter("cache_misses", 1)
             ctx.telemetry.counter("n_trees", len(ctx.trees))
 
 
@@ -556,27 +588,43 @@ class Engine:
         assert ctx.trees is not None and ctx.grid is not None
 
         base = len(tel.members)
-        jobs = [
-            (
-                base + i,
-                tree,
-                ctx.hierarchy,
-                ctx.demands,
-                ctx.config,
-                ctx.grid,
-                ctx.run_id,
-            )
-            for i, tree in enumerate(ctx.trees)
-        ]
         if ctx.config.n_jobs > 1 and len(ctx.trees) > 1:
-            import concurrent.futures as cf
+            # Persistent pool + one spooled generation payload: workers
+            # unpickle the shared instance once per generation instead of
+            # once per member job (see repro.core.pool).
+            from repro.core import pool as worker_pool
 
-            with cf.ProcessPoolExecutor(
-                max_workers=min(ctx.config.n_jobs, len(ctx.trees))
-            ) as pool:
-                outcomes = list(pool.map(_member_job, jobs))
+            executor = worker_pool.get_pool(
+                min(ctx.config.n_jobs, len(ctx.trees))
+            )
+            ref = worker_pool.publish_generation(
+                {
+                    "trees": ctx.trees,
+                    "hierarchy": ctx.hierarchy,
+                    "demands": ctx.demands,
+                    "config": ctx.config,
+                    "grid": ctx.grid,
+                    "run_id": ctx.run_id,
+                }
+            )
+            try:
+                jobs = [(ref, i, base + i) for i in range(len(ctx.trees))]
+                outcomes = list(executor.map(worker_pool.member_job, jobs))
+            finally:
+                worker_pool.release_generation(ref)
         else:
-            outcomes = [_member_job(job) for job in jobs]
+            outcomes = [
+                solve_member(
+                    tree,
+                    ctx.hierarchy,
+                    ctx.demands,
+                    ctx.config,
+                    ctx.grid,
+                    index=base + i,
+                    run_id=ctx.run_id,
+                )
+                for i, tree in enumerate(ctx.trees)
+            ]
 
         # Fold the members' self-measured phase timings (worker-side for
         # the pool path) into this run's span tree — this is the fix for

@@ -1,0 +1,214 @@
+"""Persistent worker pool with per-generation shared payloads.
+
+The old parallel path created a fresh ``ProcessPoolExecutor`` inside
+every ``Engine.run`` and shipped the *same* hierarchy/demands/config/grid
+in every member-job tuple — so an 8-member run pickled the shared
+instance 8 times and paid full worker start-up on every solve.  This
+module keeps one process pool alive for the lifetime of the process and
+moves the shared state out of the job tuples:
+
+* :func:`get_pool` returns the long-lived executor, growing it when a
+  run asks for more workers than it currently has (a larger pool is
+  reused as-is — ``Executor.map`` preserves submission order, so results
+  are identical regardless of how many workers actually serve the jobs).
+* :func:`publish_generation` pickles one *generation* — the dict of
+  everything a run's member jobs share (trees, hierarchy, demands,
+  config, grid, run id) — to a spool file **once**.  Pickle's internal
+  memoisation dedups the graph referenced by every tree, so the file is
+  roughly the size of one instance, not ``n_trees`` of them.
+* Job tuples shrink to ``(ref, member, index)``; :func:`member_job`
+  loads the generation on the worker (memoised per ``gen_id``, so each
+  worker unpickles a generation at most once) and runs
+  :func:`repro.core.engine.solve_member` exactly as before.
+
+The spool file lives only for the duration of one ``Executor.map`` call;
+the parent unlinks it as soon as all outcomes are back.  Workers keep a
+small LRU of recent generations so the streaming placer's back-to-back
+re-optimisations don't re-read identical payloads.
+
+Determinism: none of this changes *what* runs — only how the inputs
+travel.  ``solve_member`` receives bit-identical arguments either way.
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures as cf
+import multiprocessing as mp
+import os
+import pickle
+import tempfile
+import threading
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "GenerationRef",
+    "get_pool",
+    "pool_info",
+    "shutdown_pool",
+    "publish_generation",
+    "release_generation",
+    "member_job",
+]
+
+_LOCK = threading.RLock()
+_POOL: Optional[cf.ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_CREATES = 0  # how many executors this process has ever built
+
+
+@dataclass(frozen=True)
+class GenerationRef:
+    """Cheap, picklable handle to one published generation payload."""
+
+    gen_id: str
+    path: str
+    nbytes: int
+
+
+def _mp_context():
+    """Fork where available (cheap workers, shared baked-in state)."""
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()  # pragma: no cover - non-fork platforms
+
+
+def get_pool(workers: int) -> cf.ProcessPoolExecutor:
+    """The persistent executor, with at least ``workers`` workers.
+
+    A pool at least as large as requested is reused; a larger request
+    replaces it (the old one is drained first).  The pool survives
+    across ``Engine.run`` calls and is torn down at interpreter exit.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_CREATES
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    with _LOCK:
+        if _POOL is not None and _POOL_WORKERS >= workers:
+            return _POOL
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = cf.ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
+        )
+        _POOL_WORKERS = workers
+        _POOL_CREATES += 1
+        reg = get_registry()
+        reg.counter(
+            "repro_pool_creates_total", "Process-pool executors created"
+        ).inc()
+        reg.gauge("repro_pool_workers", "Workers in the persistent pool").set(
+            _POOL_WORKERS
+        )
+        return _POOL
+
+
+def pool_info() -> Dict[str, int]:
+    """Introspection for tests / ``repro cache stats``: size + create count."""
+    with _LOCK:
+        return {
+            "workers": _POOL_WORKERS,
+            "creates": _POOL_CREATES,
+            "alive": int(_POOL is not None),
+        }
+
+
+def shutdown_pool() -> None:
+    """Drain and drop the persistent pool (no-op when none exists)."""
+    global _POOL, _POOL_WORKERS
+    with _LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+            _POOL = None
+            _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+# ----------------------------------------------------------------------
+# generation payloads
+# ----------------------------------------------------------------------
+
+
+def publish_generation(payload: Dict[str, Any]) -> GenerationRef:
+    """Spool one generation's shared payload to disk, once.
+
+    The payload dict is pickled to a private temp file; the returned
+    :class:`GenerationRef` is what travels inside each (tiny) job tuple.
+    Callers must :func:`release_generation` when the generation's jobs
+    have completed.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    fd, path = tempfile.mkstemp(prefix="repro-gen-", suffix=".pkl")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+    except BaseException:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        raise
+    get_registry().counter(
+        "repro_pool_generations_total",
+        "Generation payloads published to the worker pool",
+    ).inc()
+    return GenerationRef(gen_id=uuid.uuid4().hex, path=path, nbytes=len(blob))
+
+
+def release_generation(ref: GenerationRef) -> None:
+    """Delete a published generation's spool file (idempotent)."""
+    try:
+        os.unlink(ref.path)
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+#: Per-worker memo of recently loaded generations (gen_id -> payload).
+_GEN_CACHE: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+_GEN_CACHE_MAX = 4
+
+
+def _load_generation(ref: GenerationRef) -> Dict[str, Any]:
+    payload = _GEN_CACHE.get(ref.gen_id)
+    if payload is not None:
+        _GEN_CACHE.move_to_end(ref.gen_id)
+        return payload
+    with open(ref.path, "rb") as fh:
+        payload = pickle.load(fh)
+    _GEN_CACHE[ref.gen_id] = payload
+    while len(_GEN_CACHE) > _GEN_CACHE_MAX:
+        _GEN_CACHE.popitem(last=False)
+    return payload
+
+
+def member_job(args: Tuple[GenerationRef, int, int]):
+    """Pool worker entry point: solve one ensemble member.
+
+    ``args`` is ``(generation ref, member position, telemetry index)``.
+    The shared inputs come from the generation payload, loaded at most
+    once per worker per generation.
+    """
+    ref, member, index = args
+    payload = _load_generation(ref)
+    from repro.core.engine import solve_member
+
+    return solve_member(
+        payload["trees"][member],
+        payload["hierarchy"],
+        payload["demands"],
+        payload["config"],
+        payload["grid"],
+        index=index,
+        run_id=payload["run_id"],
+    )

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Sequence
 
-import numpy as np
-
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
 from repro.decomposition.tree import DecompositionTree
@@ -30,9 +28,10 @@ from repro.decomposition.mincut_split import (
     gomory_hu_decomposition_tree,
     mincut_decomposition_tree,
 )
+from repro.cache import get_cache, seed_token
 from repro.utils.rng import SeedLike, spawn_rngs
 
-__all__ = ["BUILDERS", "build_tree", "racke_ensemble"]
+__all__ = ["BUILDERS", "build_tree", "racke_ensemble", "ensemble_cache_parts"]
 
 BuilderFn = Callable[..., DecompositionTree]
 
@@ -62,11 +61,34 @@ def build_tree(g: Graph, method: str, seed: SeedLike = None) -> DecompositionTre
     return tree
 
 
+def ensemble_cache_parts(
+    g: Graph,
+    n_trees: int,
+    methods: Sequence[str] | None,
+    seed: SeedLike,
+) -> tuple | None:
+    """Cache-key parts for one ensemble build, or ``None`` if uncacheable.
+
+    The key covers everything that determines the output: the graph's
+    content digest, the ensemble size, the *requested* method cycle (its
+    resolution — validation, FRT connectivity drop — is a deterministic
+    function of the graph, so the raw spec suffices), and the seed
+    material.  Seeds without a stable token (``None``, live generators)
+    make the build uncacheable.
+    """
+    token = seed_token(seed)
+    if token is None:
+        return None
+    methods_key = tuple(methods) if methods is not None else None
+    return (g.digest(), int(n_trees), methods_key, token)
+
+
 def racke_ensemble(
     g: Graph,
     n_trees: int = 8,
     methods: Sequence[str] | None = None,
     seed: SeedLike = None,
+    use_cache: bool = True,
 ) -> List[DecompositionTree]:
     """Build a diversified ensemble of decomposition trees.
 
@@ -83,6 +105,10 @@ def racke_ensemble(
         :data:`DEFAULT_METHODS`.
     seed:
         Master seed; members receive independent child streams.
+    use_cache:
+        Consult the process cache (kind ``"trees"``) before building.
+        Only reproducible seed material (ints, ``SeedSequence``) is
+        cacheable; ``None`` and live generators always build fresh.
 
     Returns
     -------
@@ -90,17 +116,26 @@ def racke_ensemble(
     """
     if n_trees < 1:
         raise InvalidInputError(f"n_trees must be >= 1, got {n_trees}")
-    chosen = list(methods) if methods is not None else list(DEFAULT_METHODS)
-    for mname in chosen:
+    requested = list(methods) if methods is not None else list(DEFAULT_METHODS)
+    for mname in requested:
         if mname not in BUILDERS:
             raise InvalidInputError(
                 f"unknown builder {mname!r}; available: {sorted(BUILDERS)}"
             )
-    if not g.is_connected():
-        chosen = [m for m in chosen if m != "frt"] or ["spectral"]
-    rngs = spawn_rngs(seed, n_trees)
-    trees: List[DecompositionTree] = []
-    for i in range(n_trees):
-        method = chosen[i % len(chosen)]
-        trees.append(build_tree(g, method, seed=rngs[i]))
-    return trees
+
+    def build() -> List[DecompositionTree]:
+        chosen = requested
+        if not g.is_connected():
+            chosen = [m for m in chosen if m != "frt"] or ["spectral"]
+        rngs = spawn_rngs(seed, n_trees)
+        return [
+            build_tree(g, chosen[i % len(chosen)], seed=rngs[i])
+            for i in range(n_trees)
+        ]
+
+    if not use_cache:
+        return build()
+    parts = ensemble_cache_parts(g, n_trees, methods, seed)
+    trees = get_cache().get_or_build("trees", parts, build)
+    # Shallow copy so callers mutating the list cannot corrupt the entry.
+    return list(trees)

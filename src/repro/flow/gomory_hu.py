@@ -18,6 +18,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.cache import get_cache
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
 from repro.flow.maxflow import max_flow
@@ -26,8 +27,14 @@ from repro.obs.metrics import get_registry
 __all__ = ["gomory_hu_tree", "min_cut_from_tree"]
 
 
-def gomory_hu_tree(g: Graph) -> Tuple[np.ndarray, np.ndarray]:
+def gomory_hu_tree(
+    g: Graph, use_cache: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
     """Gusfield Gomory–Hu tree of a connected graph.
+
+    The construction is fully deterministic, so results are cached by
+    graph content digest (kind ``"gomory_hu"``) unless ``use_cache`` is
+    ``False``; cache hits return fresh array copies.
 
     Returns
     -------
@@ -38,6 +45,21 @@ def gomory_hu_tree(g: Graph) -> Tuple[np.ndarray, np.ndarray]:
     """
     if g.n < 1:
         raise InvalidInputError("empty graph")
+    if use_cache:
+        cache = get_cache()
+        parts = (g.digest(),)
+        hit, value = cache.lookup("gomory_hu", parts)
+        if hit:
+            parent, flow = value
+            return parent.copy(), flow.copy()
+        parent, flow = _build_gomory_hu(g)
+        cache.store("gomory_hu", parts, (parent, flow))
+        return parent.copy(), flow.copy()
+    return _build_gomory_hu(g)
+
+
+def _build_gomory_hu(g: Graph) -> Tuple[np.ndarray, np.ndarray]:
+    """The actual Gusfield construction (n − 1 max-flows)."""
     if g.n >= 2 and not g.is_connected():
         raise InvalidInputError("gomory_hu_tree requires a connected graph")
     n = g.n

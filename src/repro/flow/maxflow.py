@@ -75,7 +75,11 @@ class DinicMaxFlow:
 
     def _freeze(self) -> None:
         self.heads = np.asarray(self._heads, dtype=np.int64)
-        self.caps = np.asarray(self._caps, dtype=np.float64)
+        # Frozen master copy of the input capacities: re-solves restore
+        # from this ndarray instead of reconverting the Python list.
+        self._caps0 = np.asarray(self._caps, dtype=np.float64)
+        self._caps0.setflags(write=False)
+        self.caps = self._caps0.copy()
         self._frozen = True
 
     def solve(self, s: int, t: int) -> float:
@@ -85,8 +89,9 @@ class DinicMaxFlow:
         if not self._frozen:
             self._freeze()
         else:
-            # Re-solving on the same network requires fresh capacities.
-            self.caps = np.asarray(self._caps, dtype=np.float64)
+            # Re-solving on the same network requires fresh capacities;
+            # restore from the frozen master without an O(m) list pass.
+            np.copyto(self.caps, self._caps0)
         t0 = time.perf_counter()
         heads, caps, adj = self.heads, self.caps, self._adj
         n = self.n

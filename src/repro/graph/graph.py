@@ -23,6 +23,7 @@ Design notes (per the hpc-parallel guides):
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Sequence, Tuple
 
 import numpy as np
@@ -74,6 +75,7 @@ class Graph:
         "adj_weights",
         "adj_edge_ids",
         "_weighted_degrees",
+        "_digest",
     )
 
     def __init__(self, n: int, edges: Iterable[Tuple[int, int, float]]):
@@ -115,6 +117,7 @@ class Graph:
         self.m = int(self.edges_u.size)
         self._build_csr()
         self._weighted_degrees: np.ndarray | None = None
+        self._digest: str | None = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -175,11 +178,30 @@ class Graph:
         g.m = int(g.edges_u.size)
         g._build_csr()
         g._weighted_degrees = None
+        g._digest = None
         return g
 
     # ------------------------------------------------------------------
     # basic queries
     # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """Stable content hash of the graph (32-char blake2b hex).
+
+        Hashes ``n`` plus the canonical edge arrays, so two graphs built
+        independently from the same edge set (in any input order — the
+        constructor canonicalises) share a digest.  Computed once and
+        memoised; graphs are immutable so the value can never go stale.
+        This is the graph's identity in :mod:`repro.cache` keys.
+        """
+        if self._digest is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self.n.to_bytes(8, "little"))
+            h.update(self.edges_u.tobytes())
+            h.update(self.edges_v.tobytes())
+            h.update(self.edges_w.tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     def neighbors(self, v: int) -> np.ndarray:
         """View of the neighbour ids of vertex ``v`` (no copy)."""

@@ -53,6 +53,10 @@ class OnlineCounters:
     ``rejections`` counts arrivals that found no leaf within the load
     budget and fell back to the least-loaded leaf (the placement
     succeeded but violated the budget) — previously these were silent.
+    ``tree_cache_hits`` / ``tree_cache_misses`` count re-optimisation
+    runs whose decomposition ensemble came from the solver cache versus
+    being rebuilt — back-to-back calls on an unchanged live graph should
+    be all hits after the first.
     """
 
     arrivals: int = 0
@@ -61,6 +65,8 @@ class OnlineCounters:
     migrations: int = 0
     reopt_calls: int = 0
     reopt_seconds: float = 0.0
+    tree_cache_hits: int = 0
+    tree_cache_misses: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view (used by churn results and experiment logs)."""
@@ -287,6 +293,14 @@ class OnlinePlacer:
         tel.counter("live_tasks", float(g.n))
         result = run_pipeline(g, self.hierarchy, d, self.config, telemetry=tel)
         self.last_report = result.report(live_tasks=g.n)
+        trees_span = tel.root.lookup("trees")
+        if trees_span is not None:
+            self.counters.tree_cache_hits += int(
+                trees_span.counters.get("cache_hits", 0)
+            )
+            self.counters.tree_cache_misses += int(
+                trees_span.counters.get("cache_misses", 0)
+            )
         target = enforce_capacity(result.placement, self.max_violation)
         diffs = [i for i in range(g.n) if current[i] != target.leaf_of[i]]
         current_cost = Placement(g, self.hierarchy, d, current).cost()

@@ -1,0 +1,18 @@
+"""Cache-test isolation: every test starts from a pristine process cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import reset_cache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    """Scrub cache env vars and drop the shared instance around each test."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    reset_cache()
+    yield
+    reset_cache()

@@ -233,3 +233,98 @@ class TestSolveArtifacts:
         script = pin.read_text()
         assert script.startswith("#!/bin/sh")
         assert script.count("taskset -a -cp") == g.n
+
+
+class TestCacheCommands:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self, monkeypatch):
+        from repro.cache import reset_cache
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+        reset_cache()
+        yield
+        reset_cache()
+
+    def _solve_args(self, path):
+        return [
+            "solve",
+            "--graph",
+            str(path),
+            "--degrees",
+            "2,2",
+            "--cm",
+            "5,1,0",
+            "--n-trees",
+            "3",
+            "--quiet",
+        ]
+
+    def test_stats_empty(self, capsys):
+        rc = main(["cache", "stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "memory tier  : 0 entries" in out
+        assert "disk tier    : disabled" in out
+
+    def test_solve_populates_cache_and_stats_reports_it(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(self._solve_args(path)) == 0
+        assert main(self._solve_args(path)) == 0  # warm: hits
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "trees" in out
+        assert "repro_cache_hits_total" in out
+        from repro.cache import get_cache
+
+        assert get_cache().stats.by_kind["trees"]["hits"] >= 1
+
+    def test_no_cache_flag_bypasses(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(self._solve_args(path) + ["--no-cache"]) == 0
+        assert main(self._solve_args(path) + ["--no-cache"]) == 0
+        capsys.readouterr()
+        from repro.cache import get_cache
+
+        assert len(get_cache()) == 0
+        assert get_cache().stats.lookups == 0
+
+    def test_clear_wipes_memory_and_disk(self, graph_file, tmp_path, capsys, monkeypatch):
+        path, _g = graph_file
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        from repro.cache import reset_cache
+
+        reset_cache()  # pick up the env var
+        assert main(self._solve_args(path)) == 0
+        assert list(cache_dir.glob("*/*.pkl"))
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared:" in out
+        assert not list(cache_dir.glob("*/*.pkl"))
+        from repro.cache import get_cache
+
+        assert len(get_cache()) == 0
+
+    def test_clear_memory_only_keeps_disk(self, graph_file, tmp_path, capsys, monkeypatch):
+        path, _g = graph_file
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        from repro.cache import reset_cache
+
+        reset_cache()
+        assert main(self._solve_args(path)) == 0
+        assert main(["cache", "clear", "--memory-only"]) == 0
+        capsys.readouterr()
+        assert list(cache_dir.glob("*/*.pkl"))
+
+    def test_stats_with_dir_override(self, tmp_path, capsys):
+        target = tmp_path / "elsewhere"
+        (target / "trees").mkdir(parents=True)
+        (target / "trees" / "deadbeef.pkl").write_bytes(b"x" * 10)
+        rc = main(["cache", "stats", "--dir", str(target)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert str(target) in out
+        assert "1 files" in out

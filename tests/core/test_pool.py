@@ -1,0 +1,111 @@
+"""Tests for the persistent worker pool and generation payloads."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import SolverConfig, solve_hgp
+from repro.core import pool as worker_pool
+from repro.graph.generators import planted_partition, random_demands
+from repro.hierarchy.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def instance():
+    hier = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+    g = planted_partition(4, 6, 0.9, 0.05, seed=11)
+    d = random_demands(g.n, hier.total_capacity, fill=0.6, skew=0.3, seed=12)
+    return g, hier, d
+
+
+class TestGenerationPayloads:
+    def test_publish_and_release(self):
+        payload = {"data": np.arange(32), "run_id": "r1"}
+        ref = worker_pool.publish_generation(payload)
+        try:
+            assert os.path.exists(ref.path)
+            assert ref.nbytes > 0
+            with open(ref.path, "rb") as fh:
+                loaded = pickle.load(fh)
+            assert np.array_equal(loaded["data"], payload["data"])
+        finally:
+            worker_pool.release_generation(ref)
+        assert not os.path.exists(ref.path)
+        worker_pool.release_generation(ref)  # idempotent
+
+    def test_worker_memoises_generation(self):
+        payload = {"value": 42}
+        ref = worker_pool.publish_generation(payload)
+        try:
+            first = worker_pool._load_generation(ref)
+            second = worker_pool._load_generation(ref)
+            assert second is first  # loaded once, served from the memo
+        finally:
+            worker_pool.release_generation(ref)
+            worker_pool._GEN_CACHE.clear()
+
+    def test_shared_graph_pickled_once(self, instance):
+        # The trees all reference the same underlying graph; pickle's memo
+        # must dedup it so the payload is ~one instance, not n_trees.
+        from repro.decomposition.racke import racke_ensemble
+
+        g, hier, d = instance
+        trees = racke_ensemble(g, n_trees=6, seed=0, use_cache=False)
+        one = len(pickle.dumps({"trees": trees[:1]}))
+        six = len(pickle.dumps({"trees": trees}))
+        assert six < 6 * one
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_engine_runs(self, instance):
+        g, hier, d = instance
+        worker_pool.shutdown_pool()
+        creates0 = worker_pool.pool_info()["creates"]
+        cfg = SolverConfig(seed=0, n_trees=4, refine=False, n_jobs=2)
+        first = solve_hgp(g, hier, d, cfg)
+        after_first = worker_pool.pool_info()
+        second = solve_hgp(g, hier, d, cfg)
+        after_second = worker_pool.pool_info()
+
+        assert after_first["creates"] == creates0 + 1
+        assert after_second["creates"] == creates0 + 1  # no new executor
+        assert after_second["alive"] == 1
+        assert second.cost == first.cost
+        assert np.array_equal(
+            second.placement.leaf_of, first.placement.leaf_of
+        )
+
+    def test_pool_grows_but_never_shrinks(self):
+        worker_pool.shutdown_pool()
+        worker_pool.get_pool(2)
+        creates = worker_pool.pool_info()["creates"]
+        worker_pool.get_pool(1)  # smaller request reuses the 2-pool
+        assert worker_pool.pool_info()["workers"] == 2
+        assert worker_pool.pool_info()["creates"] == creates
+        worker_pool.get_pool(3)  # larger request rebuilds
+        assert worker_pool.pool_info()["workers"] == 3
+        assert worker_pool.pool_info()["creates"] == creates + 1
+        worker_pool.shutdown_pool()
+        assert worker_pool.pool_info() == {"workers": 0, "creates": creates + 1, "alive": 0}
+
+    def test_get_pool_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            worker_pool.get_pool(0)
+
+    def test_parallel_matches_serial_with_persistent_pool(self, instance):
+        g, hier, d = instance
+        serial = solve_hgp(
+            g, hier, d, SolverConfig(seed=0, n_trees=4, refine=False, n_jobs=1)
+        )
+        parallel = solve_hgp(
+            g, hier, d, SolverConfig(seed=0, n_trees=4, refine=False, n_jobs=2)
+        )
+        assert parallel.cost == serial.cost
+        assert np.array_equal(
+            parallel.placement.leaf_of, serial.placement.leaf_of
+        )
+        assert [m.dp_cost for m in parallel.telemetry.members] == [
+            m.dp_cost for m in serial.telemetry.members
+        ]

@@ -61,6 +61,33 @@ class TestDinicBasic:
         assert eng.solve(0, 2) == pytest.approx(2.0)
         assert eng.solve(0, 2) == pytest.approx(2.0)  # same answer again
 
+    def test_resolve_restores_from_frozen_master(self):
+        # The re-solve path copies from the immutable ndarray master
+        # (no O(m) Python-list reconversion) and keeps the same buffer.
+        g = random_regular(16, 3, seed=2)
+        eng = DinicMaxFlow(g.n)
+        for u, v, w in g.iter_edges():
+            eng.add_edge(u, v, w)
+        first = eng.solve(0, 7)
+        master = eng._caps0
+        assert not master.flags.writeable
+        drained = eng.caps.copy()
+        buffer_before = eng.caps
+        second = eng.solve(3, 12)
+        assert eng.caps is buffer_before  # reused, not reallocated
+        assert not np.array_equal(drained, master)  # first solve mutated
+        assert first == pytest.approx(eng.solve(0, 7))
+        assert second == pytest.approx(eng.solve(3, 12))
+
+    def test_resolve_many_pairs_matches_fresh_engines(self):
+        g = grid_2d(4, 4)
+        eng = DinicMaxFlow(g.n)
+        for u, v, w in g.iter_edges():
+            eng.add_edge(u, v, w)
+        for s, t in [(0, 15), (3, 12), (0, 5), (10, 2)]:
+            fresh_value, _ = max_flow(g, s, t)
+            assert eng.solve(s, t) == pytest.approx(fresh_value)
+
     def test_errors(self):
         eng = DinicMaxFlow(3)
         with pytest.raises(InvalidInputError):

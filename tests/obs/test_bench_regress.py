@@ -21,8 +21,10 @@ def bench_regress():
     return module
 
 
-def make_bench_file(tmp_path, name, points):
+def make_bench_file(tmp_path, name, points, meta=None):
     data = {"experiment": "E4", "schema_version": 1, "points": points}
+    if meta is not None:
+        data["meta"] = meta
     path = tmp_path / name
     path.write_text(json.dumps(data))
     return path
@@ -138,6 +140,69 @@ class TestGate:
         assert rc == 1
         assert "not found" in capsys.readouterr().err
 
+class TestMetaFloors:
+    def test_parse_min_meta(self, bench_regress):
+        assert bench_regress.parse_min_meta("hit_rate=0.5") == ("hit_rate", 0.5)
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            bench_regress.parse_min_meta("hit_rate")
+        with pytest.raises(argparse.ArgumentTypeError):
+            bench_regress.parse_min_meta("hit_rate=lots")
+
+    def test_meta_floor_passes(self, bench_regress, tmp_path):
+        base = make_bench_file(
+            tmp_path, "base.json", [make_point()], meta={"warm_speedup": 5.0}
+        )
+        rc = bench_regress.main(
+            [
+                "--baseline",
+                str(base),
+                "--fresh",
+                str(base),
+                "--min-meta",
+                "warm_speedup=2.0",
+            ]
+        )
+        assert rc == 0
+
+    def test_meta_below_floor_fails(self, bench_regress, tmp_path, capsys):
+        base = make_bench_file(
+            tmp_path, "base.json", [make_point()], meta={"hit_rate": 0.0}
+        )
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(base), "--min-meta", "hit_rate=0.5"]
+        )
+        assert rc == 1
+        assert "below required floor" in capsys.readouterr().err
+
+    def test_missing_meta_key_fails(self, bench_regress, tmp_path, capsys):
+        base = make_bench_file(tmp_path, "base.json", [make_point()])
+        rc = bench_regress.main(
+            ["--baseline", str(base), "--fresh", str(base), "--min-meta", "nope=1"]
+        )
+        assert rc == 1
+        assert "missing" in capsys.readouterr().err
+
+    def test_floor_checked_on_fresh_file_only(self, bench_regress, tmp_path):
+        base = make_bench_file(tmp_path, "base.json", [make_point()])
+        fresh = make_bench_file(
+            tmp_path, "fresh.json", [make_point()], meta={"hit_rate": 0.9}
+        )
+        rc = bench_regress.main(
+            [
+                "--baseline",
+                str(base),
+                "--fresh",
+                str(fresh),
+                "--min-meta",
+                "hit_rate=0.5",
+            ]
+        )
+        assert rc == 0
+
+
+class TestCheckedInBaselines:
     def test_checked_in_baseline_self_compares_clean(self, bench_regress):
         baseline = (
             Path(__file__).resolve().parents[2]
@@ -147,5 +212,26 @@ class TestGate:
         )
         rc = bench_regress.main(
             ["--baseline", str(baseline), "--fresh", str(baseline)]
+        )
+        assert rc == 0
+
+    def test_checked_in_e17_baseline_meets_cache_floors(self, bench_regress):
+        baseline = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "results"
+            / "BENCH_E17_cache_warm.json"
+        )
+        rc = bench_regress.main(
+            [
+                "--baseline",
+                str(baseline),
+                "--fresh",
+                str(baseline),
+                "--min-meta",
+                "hit_rate=0.5",
+                "--min-meta",
+                "warm_speedup=2.0",
+            ]
         )
         assert rc == 0

@@ -156,6 +156,8 @@ class TestCounters:
             "migrations",
             "reopt_calls",
             "reopt_seconds",
+            "tree_cache_hits",
+            "tree_cache_misses",
         }
 
 

@@ -16,6 +16,10 @@ file, point by point:
 * **Coverage is gated hard** — a point missing from the fresh file or
   appearing only there fails the run (the sweep definition changed
   without refreshing the baseline).
+* **Meta floors are gated hard** — repeatable ``--min-meta KEY=FLOAT``
+  flags assert that the fresh file's top-level ``meta`` dict carries
+  ``KEY`` with a value of at least ``FLOAT`` (e.g. E17's cache
+  effectiveness: ``--min-meta hit_rate=0.5 --min-meta warm_speedup=2``).
 
 Usage (CI runs this against the small E4 instance)::
 
@@ -56,6 +60,35 @@ def load_points(path: Path) -> Dict[Tuple, dict]:
     if not points:
         raise SystemExit(f"no points in {path}")
     return points
+
+
+def parse_min_meta(spec: str) -> Tuple[str, float]:
+    key, sep, floor = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=FLOAT, got {spec!r}"
+        )
+    try:
+        return key, float(floor)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=FLOAT, got {spec!r}"
+        ) from exc
+
+
+def check_meta_floors(path: Path, floors: list) -> list:
+    """Gate the fresh file's top-level ``meta`` dict against floors."""
+    failures = []
+    meta = json.loads(path.read_text()).get("meta") or {}
+    for key, floor in floors:
+        value = meta.get(key)
+        if value is None:
+            failures.append(f"meta key {key!r} missing from {path}")
+        elif float(value) < floor:
+            failures.append(
+                f"meta {key} = {float(value):g} below required floor {floor:g}"
+            )
+    return failures
 
 
 def point_cost(point: dict) -> float:
@@ -145,6 +178,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="treat time regressions as failures instead of warnings",
     )
+    parser.add_argument(
+        "--min-meta",
+        type=parse_min_meta,
+        action="append",
+        default=[],
+        metavar="KEY=FLOAT",
+        help="fail unless the fresh file's meta[KEY] >= FLOAT (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     for path in (args.baseline, args.fresh):
@@ -156,6 +197,7 @@ def main(argv=None) -> int:
     failures, warnings = compare(
         baseline, fresh, args.time_warn, args.cost_tol, args.time_fail
     )
+    failures.extend(check_meta_floors(Path(args.fresh), args.min_meta))
 
     for msg in warnings:
         print(f"WARN: {msg}")
