@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from repro.cache import CacheConfig
 from repro.errors import InvalidInputError
+from repro.hgpt.dp import DPConfig
 
 __all__ = ["SolverConfig"]
 
@@ -58,6 +59,11 @@ class SolverConfig:
         Solver-cache knobs (:class:`repro.cache.CacheConfig`): whether
         this run consults the content-addressed cache, and optional
         byte-budget / disk-dir overrides applied to the shared cache.
+    dp:
+        Merge-kernel knobs (:class:`repro.hgpt.dp.DPConfig`): merge tile
+        size, incumbent-bound pruning, subtree parallelism.  All
+        combinations return identical solution costs — these trade
+        memory and wall-clock only.
     """
 
     n_trees: int = 8
@@ -72,6 +78,7 @@ class SolverConfig:
     n_jobs: int = 1
     seed: Optional[int] = 0
     cache: CacheConfig = field(default_factory=CacheConfig)
+    dp: DPConfig = field(default_factory=DPConfig)
 
     def __post_init__(self) -> None:
         if self.n_trees < 1:

@@ -353,7 +353,14 @@ class DPStage(Stage):
         last_error: Optional[SolverError] = None
         for escalations, beam in enumerate(beams):
             try:
-                solution = solve_rhgpt(bt, caps, deltas, beam_width=beam, stats=stats)
+                solution = solve_rhgpt(
+                    bt,
+                    caps,
+                    deltas,
+                    beam_width=beam,
+                    stats=stats,
+                    dp_config=config.dp,
+                )
                 return solution, escalations
             except SolverError as exc:
                 last_error = exc
@@ -464,6 +471,9 @@ def solve_member(
         dp_states_total=own_stats.states_total,
         dp_states_max=own_stats.states_max,
         dp_merges=own_stats.merges,
+        dp_tiles=own_stats.tiles,
+        dp_bound_pruned=own_stats.bound_pruned,
+        dp_table_peak_bytes=own_stats.table_peak_bytes,
     )
     log_records: List[dict] = []
     if run_id is not None:

@@ -54,6 +54,8 @@ __all__ = [
     "publish_generation",
     "release_generation",
     "member_job",
+    "dp_subtree_job",
+    "in_worker",
 ]
 
 _LOCK = threading.RLock()
@@ -178,6 +180,15 @@ def release_generation(ref: GenerationRef) -> None:
 _GEN_CACHE: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
 _GEN_CACHE_MAX = 4
 
+#: Set to True inside pool workers so nested code (the DP kernel's
+#: subtree farming) never tries to build a pool inside a pool.
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """True when the calling process is a pool worker."""
+    return _IN_WORKER
+
 
 def _load_generation(ref: GenerationRef) -> Dict[str, Any]:
     payload = _GEN_CACHE.get(ref.gen_id)
@@ -199,6 +210,8 @@ def member_job(args: Tuple[GenerationRef, int, int]):
     The shared inputs come from the generation payload, loaded at most
     once per worker per generation.
     """
+    global _IN_WORKER
+    _IN_WORKER = True
     ref, member, index = args
     payload = _load_generation(ref)
     from repro.core.engine import solve_member
@@ -212,3 +225,19 @@ def member_job(args: Tuple[GenerationRef, int, int]):
         index=index,
         run_id=payload["run_id"],
     )
+
+
+def dp_subtree_job(args: Tuple[GenerationRef, int]):
+    """Pool worker entry point: solve one farmed DP subtree.
+
+    ``args`` is ``(generation ref, subtree root)``; the tree, capacities
+    and kernel configuration come from the generation payload (see
+    :func:`repro.hgpt.dp.solve_subtree_tables`).
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    ref, root = args
+    payload = _load_generation(ref)
+    from repro.hgpt.dp import solve_subtree_tables
+
+    return solve_subtree_tables(payload, root)

@@ -146,6 +146,9 @@ class MemberRecord:
     dp_states_total: int = 0
     dp_states_max: int = 0
     dp_merges: int = 0
+    dp_tiles: int = 0
+    dp_bound_pruned: int = 0
+    dp_table_peak_bytes: int = 0
 
     def to_dict(self) -> dict:
         """JSON-ready flat-dict view of this record."""

@@ -21,7 +21,7 @@ import numpy as np
 from repro.cache import get_cache
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
-from repro.flow.maxflow import max_flow
+from repro.flow.maxflow import DinicMaxFlow
 from repro.obs.metrics import get_registry
 
 __all__ = ["gomory_hu_tree", "min_cut_from_tree"]
@@ -66,9 +66,14 @@ def _build_gomory_hu(g: Graph) -> Tuple[np.ndarray, np.ndarray]:
     parent = np.zeros(n, dtype=np.int64)
     parent[0] = -1
     flow = np.zeros(n, dtype=np.float64)
+    # One frozen engine for all n − 1 Gusfield iterations: each solve
+    # restores capacities from the frozen master (np.copyto) instead of
+    # rebuilding the arc arrays and adjacency lists from scratch.
+    engine = DinicMaxFlow.from_graph(g) if n >= 2 else None
     for i in range(1, n):
         t = int(parent[i])
-        value, side = max_flow(g, i, t)
+        value = engine.solve(i, t)
+        side = engine.min_cut_side(i)
         flow[i] = value
         # Re-hang children of t that fell on i's side of the cut.
         for j in range(i + 1, n):

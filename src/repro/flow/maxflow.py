@@ -55,6 +55,22 @@ class DinicMaxFlow:
         self.heads: np.ndarray
         self.caps: np.ndarray
 
+    @classmethod
+    def from_graph(cls, g: Graph) -> "DinicMaxFlow":
+        """Build (and freeze) an engine over ``g``'s undirected edges.
+
+        The returned engine is ready for repeated ``solve`` calls on
+        varying terminal pairs — each re-solve restores capacities from
+        the frozen master via ``np.copyto`` instead of rebuilding the
+        arc arrays (the Gomory–Hu builder runs ``n − 1`` solves on one
+        engine this way).
+        """
+        engine = cls(g.n)
+        for u, v, w in g.iter_edges():
+            engine.add_edge(u, v, w)
+        engine._freeze()
+        return engine
+
     def add_edge(self, u: int, v: int, capacity: float, directed: bool = False) -> None:
         """Add an arc ``u -> v`` (and the paired residual arc).
 
@@ -186,8 +202,6 @@ class DinicMaxFlow:
 
 def max_flow(g: Graph, s: int, t: int) -> Tuple[float, np.ndarray]:
     """Max ``s``–``t`` flow and the source-side min-cut mask of graph ``g``."""
-    engine = DinicMaxFlow(g.n)
-    for u, v, w in g.iter_edges():
-        engine.add_edge(u, v, w)
+    engine = DinicMaxFlow.from_graph(g)
     value = engine.solve(s, t)
     return value, engine.min_cut_side(s)

@@ -3,7 +3,7 @@
 from repro.hgpt.quantize import DemandGrid
 from repro.hgpt.binarize import INF_WEIGHT, BinaryTree, binarize
 from repro.hgpt.solution import LevelSet, TreeSolution
-from repro.hgpt.dp import DPStats, solve_rhgpt
+from repro.hgpt.dp import DPConfig, DPStats, compute_lower_bounds, solve_rhgpt
 from repro.hgpt.repair import RepairReport, repair_to_placement
 
 __all__ = [
@@ -13,7 +13,9 @@ __all__ = [
     "binarize",
     "LevelSet",
     "TreeSolution",
+    "DPConfig",
     "DPStats",
+    "compute_lower_bounds",
     "solve_rhgpt",
     "RepairReport",
     "repair_to_placement",

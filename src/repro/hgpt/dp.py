@@ -45,8 +45,10 @@ Implementation
 State tables are *structure-of-arrays* (signature matrix, cost vector,
 back-pointer columns) and every pass — projection, pairwise merge,
 deduplication, dominance pruning — is vectorised numpy over those
-arrays; profiling showed the original dict-of-tuples implementation
-spent ~70% of its time in the O(K²) Python dominance loop.  Semantics:
+arrays.  The merge engine is a *bounded, tiled, optionally
+subtree-parallel* kernel configured by :class:`DPConfig`; all knob
+combinations return costs identical to the exhaustive merge (pinned by
+``tests/hgpt/test_dp_kernel.py``).  Semantics:
 
 * **Projection**: cutting a child's up-edge at level ``j`` zeroes
   signature components above ``j`` and pays for each closed non-empty
@@ -54,29 +56,139 @@ spent ~70% of its time in the O(K²) Python dominance loop.  Semantics:
 * **Dominance pruning**: ``(sig', cost')`` kills ``(sig, cost)`` when
   ``sig' ≤ sig`` componentwise and ``cost' ≤ cost`` — a smaller active
   set only loosens future capacity checks, and any payment triggered by
-  ``Dᵏ > 0`` under ``sig'`` is also triggered under ``sig``.
+  ``Dᵏ > 0`` under ``sig'`` is also triggered under ``sig``.  The
+  ``h ≥ 3`` scan is blocked: each block of cost-ordered candidates is
+  first filtered against every previously kept signature in one
+  vectorised comparison, and only the survivors fall through to the
+  sequential intra-block pass (the old per-row loop profiled at ~97% of
+  deep-hierarchy solve time).
+* **Incumbent-bound pruning** (exact solves): a cheap beamed pre-pass
+  seeds an upper bound, and an admissible per-node lower bound on the
+  cost paid *outside* each subtree (mandatory closure payments,
+  :func:`compute_lower_bounds`) drops any partial state that provably
+  cannot beat the incumbent before it enters a cross-product.
+* **Tiled merges**: the ``(j1, j2) × K1 × K2`` cross-product streams
+  through fixed-size tiles that are bound-pruned, feasibility-masked and
+  periodically compacted (radix dedupe + dominance), capping peak table
+  bytes instead of materialising every candidate at once.
+* **Subtree parallelism**: disjoint subtrees below a size threshold are
+  independent, so their tables can be farmed across the persistent
+  :mod:`repro.core.pool` workers; the parent merges only the spine.
 * **Beam**: an optional cap on states kept per node; the most-closed
   surviving state is always retained (dropping every flexible state can
   make an ancestor infeasible), and the solver escalates to the exact
   DP if pruning ever kills feasibility.  Beamed runs stay *sound* — any
-  kept state reconstructs to a valid solution.
+  kept state reconstructs to a valid solution.  Incumbent-bound pruning
+  is disabled under a beam so beamed state selection (and therefore
+  beamed results) stay bit-identical to the pre-kernel implementation.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import SolverError
+from repro.errors import InvalidInputError, SolverError
 from repro.hgpt.binarize import BinaryTree
 from repro.hgpt.solution import LevelSet, TreeSolution
-from repro.obs.metrics import DEFAULT_SIZE_BUCKETS, get_registry
+from repro.obs.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    get_registry,
+)
 
-__all__ = ["solve_rhgpt", "DPStats"]
+__all__ = [
+    "solve_rhgpt",
+    "DPConfig",
+    "DPStats",
+    "compute_lower_bounds",
+]
+
+
+@dataclass(frozen=True)
+class DPConfig:
+    """Knobs of the bounded, tiled, subtree-parallel merge kernel.
+
+    Every combination returns the same solution *costs* as the
+    exhaustive merge; the knobs trade memory and wall-clock, never
+    quality (property-tested in ``tests/hgpt/test_dp_kernel.py``).
+
+    Attributes
+    ----------
+    tile_size:
+        Cross-product pairs materialised per merge tile.  Survivors are
+        compacted (dedupe + dominance) whenever the pending buffer
+        exceeds ``2 × tile_size`` rows, capping peak table bytes.
+        ``0`` = legacy single-pass accumulation (one compaction per
+        node, chunked only to bound the transient ``sums`` array).
+    bound_pruning:
+        Incumbent/lower-bound pruning on *exact* solves: a beamed
+        pre-pass (width :attr:`incumbent_beam`) seeds an upper bound,
+        and states whose cost plus the admissible outside-subtree lower
+        bound exceeds it are dropped before they enter a cross-product.
+        Ignored under a beam (see the module docstring).
+    parallel_subtrees:
+        Farm independent subtrees across the persistent
+        :mod:`repro.core.pool` workers and merge only the spine in the
+        parent.  Automatically disabled inside pool workers (no nested
+        pools) and on trees smaller than :attr:`parallel_min_nodes`.
+    parallel_workers:
+        Worker processes for subtree farming (``0`` = ``min(cpu, 8)``).
+    parallel_threshold:
+        Largest farmed subtree, in binary-tree nodes (``0`` = auto:
+        ``max(16, n_nodes // (2 × workers))``).
+    parallel_min_nodes:
+        Smallest tree worth farming at all.
+    incumbent_beam:
+        Beam width of the bound-seeding pre-pass.  Wider beams cost
+        more up front but tighten the incumbent; 256 is the sweet spot
+        on deep (h >= 4) hierarchies, where a loose bound leaves most
+        of the cross-product unpruned.
+    """
+
+    tile_size: int = 1 << 18
+    bound_pruning: bool = True
+    parallel_subtrees: bool = False
+    parallel_workers: int = 0
+    parallel_threshold: int = 0
+    parallel_min_nodes: int = 64
+    incumbent_beam: int = 256
+
+    def __post_init__(self) -> None:
+        if self.tile_size < 0:
+            raise InvalidInputError(
+                f"tile_size must be >= 0, got {self.tile_size}"
+            )
+        if self.parallel_workers < 0:
+            raise InvalidInputError(
+                f"parallel_workers must be >= 0, got {self.parallel_workers}"
+            )
+        if self.parallel_threshold < 0:
+            raise InvalidInputError(
+                f"parallel_threshold must be >= 0, got {self.parallel_threshold}"
+            )
+        if self.parallel_min_nodes < 1:
+            raise InvalidInputError(
+                f"parallel_min_nodes must be >= 1, got {self.parallel_min_nodes}"
+            )
+        if self.incumbent_beam < 1:
+            raise InvalidInputError(
+                f"incumbent_beam must be >= 1, got {self.incumbent_beam}"
+            )
+
+
+#: Module default: tiling + bound pruning on, subtree farming opt-in.
+_DEFAULT_CONFIG = DPConfig()
+
+#: Kernel-off reference configuration (the pre-kernel merge semantics).
+_LEGACY_CONFIG = DPConfig(
+    tile_size=0, bound_pruning=False, parallel_subtrees=False
+)
 
 
 def _publish_dp_metrics(stats: "DPStats", seconds: float) -> None:
@@ -94,31 +206,56 @@ def _publish_dp_metrics(stats: "DPStats", seconds: float) -> None:
     metrics.counter(
         "repro_dp_merges_total", "Pairwise signature merges evaluated"
     ).inc(stats.merges)
+    metrics.counter(
+        "repro_dp_tiles_total", "Merge tiles streamed by the DP kernel"
+    ).inc(stats.tiles)
+    metrics.counter(
+        "repro_dp_bound_pruned_total",
+        "States dropped by incumbent-bound pruning",
+    ).inc(stats.bound_pruned)
     metrics.histogram(
         "repro_dp_states_max",
         "Largest per-node state table of one DP solve",
         buckets=DEFAULT_SIZE_BUCKETS,
     ).observe(stats.states_max)
     metrics.histogram(
+        "repro_dp_table_peak_bytes",
+        "Peak live merge-table bytes of one DP solve",
+        buckets=DEFAULT_BYTE_BUCKETS,
+    ).observe(stats.table_peak_bytes)
+    metrics.histogram(
         "repro_dp_seconds", "Wall-clock seconds of one DP solve"
     ).observe(seconds)
 
 
 class DPStats:
-    """Counters describing one DP run (consumed by E4's scaling study)."""
+    """Counters describing one DP run (consumed by E4/E18's scaling studies)."""
 
-    __slots__ = ("states_total", "states_max", "merges", "nodes")
+    __slots__ = (
+        "states_total",
+        "states_max",
+        "merges",
+        "nodes",
+        "tiles",
+        "bound_pruned",
+        "table_peak_bytes",
+    )
 
     def __init__(self) -> None:
         self.states_total = 0
         self.states_max = 0
         self.merges = 0
         self.nodes = 0
+        self.tiles = 0
+        self.bound_pruned = 0
+        self.table_peak_bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"DPStats(nodes={self.nodes}, states_total={self.states_total}, "
-            f"states_max={self.states_max}, merges={self.merges})"
+            f"states_max={self.states_max}, merges={self.merges}, "
+            f"tiles={self.tiles}, bound_pruned={self.bound_pruned}, "
+            f"table_peak_bytes={self.table_peak_bytes})"
         )
 
     def as_dict(self) -> dict:
@@ -128,6 +265,9 @@ class DPStats:
             "states_total": self.states_total,
             "states_max": self.states_max,
             "merges": self.merges,
+            "tiles": self.tiles,
+            "bound_pruned": self.bound_pruned,
+            "table_peak_bytes": self.table_peak_bytes,
         }
 
     def update(self, other: "DPStats") -> None:
@@ -136,6 +276,11 @@ class DPStats:
         self.states_max = max(self.states_max, other.states_max)
         self.merges += other.merges
         self.nodes += other.nodes
+        self.tiles += other.tiles
+        self.bound_pruned += other.bound_pruned
+        self.table_peak_bytes = max(
+            self.table_peak_bytes, other.table_peak_bytes
+        )
 
 
 @dataclass
@@ -178,28 +323,32 @@ def _encode_rows(sigs: np.ndarray) -> Optional[np.ndarray]:
 
 
 def _dedupe_min(
-    sigs: np.ndarray, costs: np.ndarray
+    sigs: np.ndarray, costs: np.ndarray, tie: Optional[np.ndarray] = None
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per unique signature keep the cheapest row.
 
     Returns (unique_sigs, min_costs, source_row_index), deterministic:
-    ties resolve to the first row in (cost, row-order).  Rows are
-    radix-encoded to scalar keys so uniqueness is one int64 sort —
-    ``np.unique(axis=0)``'s structured-dtype argsort profiled ~10x
-    slower on the DP's tables.
+    ties resolve to the smallest ``tie`` rank in (cost, tie) order
+    (row position when ``tie`` is ``None`` — the tiled merge passes the
+    global cross-product rank so compaction order cannot change
+    winners).  Rows are radix-encoded to scalar keys so uniqueness is
+    one int64 sort — ``np.unique(axis=0)``'s structured-dtype argsort
+    profiled ~10x slower on the DP's tables.
     """
     if sigs.shape[0] == 0:
         return sigs, costs, np.empty(0, dtype=np.int64)
+    if tie is None:
+        tie = np.arange(costs.size, dtype=np.int64)
     keys = _encode_rows(sigs)
     if keys is None:  # pragma: no cover - astronomically large capacities
         uniq, inverse = np.unique(sigs, axis=0, return_inverse=True)
         inverse = inverse.ravel()
-        order = np.lexsort((np.arange(costs.size), costs, inverse))
+        order = np.lexsort((tie, costs, inverse))
         sorted_inv = inverse[order]
         first = np.concatenate([[True], sorted_inv[1:] != sorted_inv[:-1]])
         winners = order[first]
         return uniq, costs[winners], winners
-    order = np.lexsort((np.arange(costs.size), costs, keys))
+    order = np.lexsort((tie, costs, keys))
     sorted_keys = keys[order]
     first = np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]])
     winners = order[first]
@@ -250,6 +399,10 @@ def _project(
     return uniq, min_costs, porig[winners], pj[winners]
 
 
+#: Candidate rows per vectorised dominance block (h >= 3 scan).
+_DOM_BLOCK = 256
+
+
 def _dominance_prune(
     sigs: np.ndarray,
     costs: np.ndarray,
@@ -262,9 +415,14 @@ def _dominance_prune(
     Because survivors are scanned cheapest-first, the kept signatures
     form an antichain — for ``h ≤ 2`` that is a monotone staircase, so
     dominance queries become binary searches (O(m log m) total) instead
-    of the generic O(m · kept) scan.  Under beam truncation the
-    most-closed state (minimal component sum) is always re-inserted —
-    see the module docstring.
+    of the generic O(m · kept) scan.  For ``h ≥ 3`` the scan is blocked:
+    a whole block is checked against every previously kept signature in
+    one vectorised comparison, and only rows that survive it (final
+    survivors plus rows dominated solely inside their own block —
+    transitivity guarantees nothing else slips through) reach the
+    sequential pass, which then compares against block-local keeps
+    only.  Under beam truncation the most-closed state (minimal
+    component sum) is always re-inserted — see the module docstring.
     """
     m = costs.size
     h = sigs.shape[1]
@@ -316,17 +474,35 @@ def _dominance_prune(
                 truncated = True
                 break
     else:
+        sorted_sigs = sigs[order]
         kept_rows = np.empty((m, h), dtype=sigs.dtype)
         n_kept = 0
-        for pos in order:
-            sig = sigs[pos]
-            if n_kept and bool(np.all(kept_rows[:n_kept] <= sig, axis=1).any()):
-                continue
-            kept_rows[n_kept] = sig
-            kept_idx.append(int(pos))
-            n_kept += 1
-            if beam_width is not None and n_kept >= beam_width:
-                truncated = True
+        for s in range(0, m, _DOM_BLOCK):
+            block = sorted_sigs[s:s + _DOM_BLOCK]
+            if n_kept:
+                # One comparison of the whole block against every kept
+                # signature; (h, kept, block) accumulation keeps the
+                # temporary two-dimensional.
+                dom = np.ones((n_kept, block.shape[0]), dtype=bool)
+                for i in range(h):
+                    dom &= kept_rows[:n_kept, i, None] <= block[None, :, i]
+                survivors = np.nonzero(~dom.any(axis=0))[0]
+            else:
+                survivors = np.arange(block.shape[0])
+            block_start = n_kept
+            for t in survivors:
+                sig = block[t]
+                if n_kept > block_start and bool(
+                    np.all(kept_rows[block_start:n_kept] <= sig, axis=1).any()
+                ):
+                    continue
+                kept_rows[n_kept] = sig
+                kept_idx.append(int(order[s + t]))
+                n_kept += 1
+                if beam_width is not None and n_kept >= beam_width:
+                    truncated = True
+                    break
+            if truncated:
                 break
     if truncated:
         sums = sigs.sum(axis=1)
@@ -338,8 +514,411 @@ def _dominance_prune(
     return np.asarray(kept_idx, dtype=np.int64)
 
 
-# Cap on the pa-block x pb cross-product materialised at once (entries).
+# ----------------------------------------------------------------------
+# admissible lower bounds (incumbent-bound pruning)
+# ----------------------------------------------------------------------
+
+
+def compute_lower_bounds(
+    bt: BinaryTree, caps: Sequence[int], deltas: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Admissible per-node closure-payment lower bounds, in one pass each.
+
+    Returns ``(sub_lb, outside_lb)``:
+
+    * ``sub_lb[v]`` lower-bounds the cost of **any** feasible DP state
+      at ``v`` — the mandatory closure payments inside ``SUB(v)``.  At
+      level ``k`` every set holds at most ``caps[k-1]`` quantized
+      demand and at most one set stays active across ``v``, so at least
+      ``ceil(dem(v)/caps[k-1]) − 1`` sets are closed strictly inside
+      ``SUB(v)``; distinct same-level closures are paid by distinct
+      edge cuts, each at least the cheapest finite edge weight below
+      ``v`` times ``deltas[k]``.  The recursion takes the max of that
+      splitting bound and the children's bounds (subtree costs add).
+    * ``outside_lb[v]`` lower-bounds the cost any completion pays
+      **outside** ``SUB(v)``: the sum of ``sub_lb`` over every subtree
+      hanging off the path from ``v`` to the root.
+
+    Admissibility (``sub_lb[v] ≤`` the cheapest state cost at ``v``) is
+    pinned against the exhaustive DP in ``tests/hgpt/test_dp_kernel.py``.
+    """
+    caps_arr = np.asarray(caps, dtype=np.int64)
+    deltas_arr = np.asarray(deltas, dtype=np.float64)
+    h = caps_arr.size
+    n = bt.n_nodes
+    dem = np.zeros(n, dtype=np.int64)
+    wmin = np.full(n, np.inf)  # cheapest finite edge weight below v
+    sub_lb = np.zeros(n)
+    post = bt.postorder()
+    for v in post:
+        if bt.is_leaf(v):
+            dem[v] = int(bt.demand[v])
+            continue
+        a, b = int(bt.left[v]), int(bt.right[v])
+        dem[v] = dem[a] + dem[b]
+        w = min(wmin[a], wmin[b])
+        for child in (a, b):
+            cw = float(bt.up_weight[child])
+            if math.isfinite(cw):
+                w = min(w, cw)
+        wmin[v] = w
+        split = 0.0
+        if math.isfinite(w):
+            for k in range(1, h + 1):
+                cap = int(caps_arr[k - 1])
+                forced = -(-int(dem[v]) // cap) - 1
+                if forced > 0:
+                    split += deltas_arr[k] * forced * w
+        sub_lb[v] = max(sub_lb[a] + sub_lb[b], split)
+    outside_lb = np.zeros(n)
+    for v in post[::-1]:  # parents before children
+        if bt.is_leaf(v):
+            continue
+        a, b = int(bt.left[v]), int(bt.right[v])
+        outside_lb[a] = outside_lb[v] + sub_lb[b]
+        outside_lb[b] = outside_lb[v] + sub_lb[a]
+    return sub_lb, outside_lb
+
+
+# ----------------------------------------------------------------------
+# the tiled merge
+# ----------------------------------------------------------------------
+
+# Cap on the cross-product entries materialised at once in legacy
+# (tile_size=0) mode (matches the pre-kernel chunking).
 _MERGE_CHUNK = 4_000_000
+
+
+def _merge_node(
+    pa: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    pb: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    caps_arr: np.ndarray,
+    beam_width: Optional[int],
+    budget: float,
+    cfg: DPConfig,
+    stats: "DPStats",
+) -> Optional[_Table]:
+    """Merge two projected child tables through the tiled kernel.
+
+    ``budget`` is the node-local cost ceiling (incumbent minus the
+    outside-subtree lower bound; ``inf`` disables bound pruning).
+    Returns ``None`` when no feasible pair survives.
+    """
+    pa_sig, pa_cost, pa_orig, pa_j = pa
+    pb_sig, pb_cost, pb_orig, pb_j = pb
+
+    if budget < math.inf and pa_cost.size and pb_cost.size:
+        # Row-level pruning before the cross-product: a row that cannot
+        # beat the budget even with the cheapest possible partner never
+        # produces a surviving pair (the optimal pair's rows survive
+        # because their joint cost is within budget).
+        keep_a = pa_cost + float(pb_cost.min()) <= budget
+        stats.bound_pruned += int(pa_cost.size - np.count_nonzero(keep_a))
+        pa_sig, pa_cost = pa_sig[keep_a], pa_cost[keep_a]
+        pa_orig, pa_j = pa_orig[keep_a], pa_j[keep_a]
+        if pa_cost.size:
+            keep_b = pb_cost + float(pa_cost.min()) <= budget
+            stats.bound_pruned += int(pb_cost.size - np.count_nonzero(keep_b))
+            pb_sig, pb_cost = pb_sig[keep_b], pb_cost[keep_b]
+            pb_orig, pb_j = pb_orig[keep_b], pb_j[keep_b]
+
+    na, nb = pa_cost.size, pb_cost.size
+    total = na * nb
+    if total == 0:
+        return None
+    h = caps_arr.size
+    tiled = cfg.tile_size > 0
+    tile = cfg.tile_size if tiled else max(1, _MERGE_CHUNK // max(1, h))
+    compact_rows = 2 * tile
+
+    # Accumulated survivors (compacted) + pending tile survivors.
+    acc: Optional[Tuple[np.ndarray, ...]] = None
+    buf: List[Tuple[np.ndarray, ...]] = []
+    pending = 0
+    peak = 0
+
+    def compact(final: bool) -> None:
+        nonlocal acc, buf, pending
+        parts = ([acc] if acc is not None else []) + buf
+        if not parts:
+            return
+        sigs = np.vstack([p[0] for p in parts])
+        costs = np.concatenate([p[1] for p in parts])
+        ii = np.concatenate([p[2] for p in parts])
+        jj = np.concatenate([p[3] for p in parts])
+        rank = np.concatenate([p[4] for p in parts])
+        uniq, min_costs, winners = _dedupe_min(sigs, costs, tie=rank)
+        keep = _dominance_prune(
+            uniq, min_costs, beam_width if final else None
+        )
+        win = winners[keep]
+        acc = (uniq[keep], min_costs[keep], ii[win], jj[win], rank[win])
+        buf = []
+        pending = 0
+
+    for start in range(0, total, tile):
+        stats.tiles += 1
+        idx = np.arange(start, min(total, start + tile), dtype=np.int64)
+        ii = idx // nb
+        jj = idx - ii * nb
+        costs_t = pa_cost[ii] + pb_cost[jj]
+        if budget < math.inf:
+            ok = costs_t <= budget
+            n_ok = int(np.count_nonzero(ok))
+            stats.bound_pruned += idx.size - n_ok
+            if n_ok < idx.size:
+                ii, jj, costs_t, idx = ii[ok], jj[ok], costs_t[ok], idx[ok]
+        stats.merges += int(ii.size)
+        if ii.size == 0:
+            continue
+        sums = pa_sig[ii] + pb_sig[jj]
+        feas = (sums <= caps_arr).all(axis=1)
+        tile_bytes = sums.nbytes + costs_t.nbytes + 3 * idx.nbytes
+        if feas.any():
+            buf.append((sums[feas], costs_t[feas], ii[feas], jj[feas], idx[feas]))
+            pending += int(np.count_nonzero(feas))
+        live = tile_bytes + sum(
+            sum(arr.nbytes for arr in part)
+            for part in ([acc] if acc is not None else []) + buf
+        )
+        peak = max(peak, live)
+        if tiled and pending >= compact_rows:
+            compact(final=False)
+    compact(final=True)
+    stats.table_peak_bytes = max(stats.table_peak_bytes, peak)
+    if acc is None or acc[0].shape[0] == 0:
+        return None
+    sigs, costs, ii, jj, _rank = acc
+    return _Table(
+        sigs=sigs,
+        costs=costs,
+        ia=pa_orig[ii],
+        ja=pa_j[ii],
+        ib=pb_orig[jj],
+        jb=pb_j[jj],
+    )
+
+
+# ----------------------------------------------------------------------
+# table construction (shared by serial solves, spines, and pool workers)
+# ----------------------------------------------------------------------
+
+
+def _solve_tables(
+    bt: BinaryTree,
+    caps_arr: np.ndarray,
+    deltas_arr: np.ndarray,
+    beam_width: Optional[int],
+    cfg: DPConfig,
+    stats: "DPStats",
+    nodes: np.ndarray,
+    tables: List[Optional[_Table]],
+    incumbent: float = math.inf,
+    outside_lb: Optional[np.ndarray] = None,
+) -> None:
+    """Fill ``tables`` for ``nodes`` (a children-before-parents order).
+
+    ``tables`` entries for the children of every processed internal node
+    must already be present (leaves are built on the fly), so the same
+    routine serves whole trees, farmed subtrees, and the parent spine.
+    """
+    h = int(caps_arr.size)
+    caps_min = int(caps_arr.min())
+    neg1 = np.full(1, -1, dtype=np.int64)
+    for node in nodes:
+        if bt.is_leaf(node):
+            d = int(bt.demand[node])
+            if d > caps_min:
+                raise SolverError(
+                    f"leaf demand {d} exceeds capacities {caps_arr.tolist()} "
+                    "— the demand grid should have rejected this instance"
+                )
+            tables[node] = _Table(
+                sigs=np.full((1, h), d, dtype=np.int64),
+                costs=np.zeros(1),
+                ia=neg1.copy(),
+                ja=neg1.copy(),
+                ib=neg1.copy(),
+                jb=neg1.copy(),
+            )
+        else:
+            a, b = int(bt.left[node]), int(bt.right[node])
+            ta, tb = tables[a], tables[b]
+            assert ta is not None and tb is not None
+            pa = _project(ta, float(bt.up_weight[a]), deltas_arr, h)
+            pb = _project(tb, float(bt.up_weight[b]), deltas_arr, h)
+            budget = math.inf
+            if incumbent < math.inf and outside_lb is not None:
+                budget = incumbent - float(outside_lb[node])
+            merged = _merge_node(
+                pa, pb, caps_arr, beam_width, budget, cfg, stats
+            )
+            if merged is None:
+                raise SolverError(
+                    "no feasible merged state — capacities too tight for "
+                    "this tree (grid admission should prevent this)"
+                )
+            tables[node] = merged
+        stats.nodes += 1
+        size = tables[node].size  # type: ignore[union-attr]
+        stats.states_total += size
+        stats.states_max = max(stats.states_max, size)
+
+
+# ----------------------------------------------------------------------
+# subtree parallelism
+# ----------------------------------------------------------------------
+
+
+def _partition_subtrees(
+    bt: BinaryTree, max_nodes: int, min_nodes: int = 8
+) -> List[int]:
+    """Roots of disjoint subtrees with ``min_nodes <= size <= max_nodes``.
+
+    Walks down from the root, splitting any subtree above ``max_nodes``;
+    subtrees below ``min_nodes`` are left to the spine (not worth a
+    process hop).  The returned roots never include the tree root.
+    """
+    size = bt.subtree_sizes()
+    roots: List[int] = []
+    stack = [int(bt.left[bt.root]), int(bt.right[bt.root])] \
+        if not bt.is_leaf(bt.root) else []
+    while stack:
+        v = stack.pop()
+        if size[v] > max_nodes:
+            if not bt.is_leaf(v):
+                stack.append(int(bt.left[v]))
+                stack.append(int(bt.right[v]))
+            continue
+        if size[v] >= min_nodes:
+            roots.append(v)
+    return sorted(roots)
+
+
+def solve_subtree_tables(payload: Dict[str, object], root: int) -> dict:
+    """Pool-worker entry: build one farmed subtree's state tables.
+
+    ``payload`` is the generation dict published by
+    :func:`_solve_parallel` (tree, caps, deltas, beam, config, incumbent
+    and outside lower bounds).  Returns the subtree's tables as plain
+    arrays plus the worker-side counters, all picklable.
+    """
+    bt: BinaryTree = payload["bt"]  # type: ignore[assignment]
+    caps_arr = np.asarray(payload["caps"], dtype=np.int64)
+    deltas_arr = np.asarray(payload["deltas"], dtype=np.float64)
+    cfg: DPConfig = payload["cfg"]  # type: ignore[assignment]
+    stats = DPStats()
+    tables: List[Optional[_Table]] = [None] * bt.n_nodes
+    nodes = bt.subtree_postorder(root)
+    _solve_tables(
+        bt,
+        caps_arr,
+        deltas_arr,
+        payload["beam_width"],  # type: ignore[arg-type]
+        cfg,
+        stats,
+        nodes,
+        tables,
+        incumbent=float(payload["incumbent"]),  # type: ignore[arg-type]
+        outside_lb=payload["outside_lb"],  # type: ignore[arg-type]
+    )
+    return {
+        "root": root,
+        "tables": {
+            int(v): tables[v] for v in nodes if tables[v] is not None
+        },
+        "stats": stats.as_dict(),
+    }
+
+
+def _solve_parallel(
+    bt: BinaryTree,
+    caps_arr: np.ndarray,
+    deltas_arr: np.ndarray,
+    beam_width: Optional[int],
+    cfg: DPConfig,
+    stats: "DPStats",
+    tables: List[Optional[_Table]],
+    incumbent: float,
+    outside_lb: Optional[np.ndarray],
+) -> bool:
+    """Farm independent subtrees to the pool; solve the spine here.
+
+    Returns ``False`` (caller falls back to the serial pass) when the
+    tree partitions into fewer than two farmable subtrees or this
+    process is itself a pool worker.
+    """
+    from repro.core import pool as worker_pool
+
+    if worker_pool.in_worker():
+        return False
+    workers = cfg.parallel_workers or min(os.cpu_count() or 1, 8)
+    if workers < 2:
+        return False
+    max_nodes = cfg.parallel_threshold or max(16, bt.n_nodes // (2 * workers))
+    roots = _partition_subtrees(bt, max_nodes)
+    if len(roots) < 2:
+        return False
+
+    executor = worker_pool.get_pool(min(workers, len(roots)))
+    ref = worker_pool.publish_generation(
+        {
+            "bt": bt,
+            "caps": caps_arr,
+            "deltas": deltas_arr,
+            "beam_width": beam_width,
+            "cfg": cfg,
+            "incumbent": incumbent,
+            "outside_lb": outside_lb,
+        }
+    )
+    try:
+        jobs = [(ref, r) for r in roots]
+        results = list(executor.map(worker_pool.dp_subtree_job, jobs))
+    finally:
+        worker_pool.release_generation(ref)
+
+    covered = np.zeros(bt.n_nodes, dtype=bool)
+    for result in results:
+        sub_stats = result["stats"]
+        stats.nodes += sub_stats["nodes"]
+        stats.states_total += sub_stats["states_total"]
+        stats.states_max = max(stats.states_max, sub_stats["states_max"])
+        stats.merges += sub_stats["merges"]
+        stats.tiles += sub_stats["tiles"]
+        stats.bound_pruned += sub_stats["bound_pruned"]
+        stats.table_peak_bytes = max(
+            stats.table_peak_bytes, sub_stats["table_peak_bytes"]
+        )
+        for node, table in result["tables"].items():
+            tables[node] = table
+            covered[node] = True
+    get_registry().counter(
+        "repro_dp_parallel_subtrees_total",
+        "Subtrees farmed to pool workers by the DP kernel",
+    ).inc(len(roots))
+
+    spine = np.asarray(
+        [v for v in bt.postorder() if not covered[v]], dtype=np.int64
+    )
+    _solve_tables(
+        bt,
+        caps_arr,
+        deltas_arr,
+        beam_width,
+        cfg,
+        stats,
+        spine,
+        tables,
+        incumbent=incumbent,
+        outside_lb=outside_lb,
+    )
+    return True
+
+
+# ----------------------------------------------------------------------
+# the solver
+# ----------------------------------------------------------------------
 
 
 def solve_rhgpt(
@@ -348,6 +927,7 @@ def solve_rhgpt(
     deltas: Sequence[float],
     beam_width: Optional[int] = None,
     stats: Optional[DPStats] = None,
+    dp_config: Optional[DPConfig] = None,
 ) -> TreeSolution:
     """Run the signature DP and reconstruct an optimal nice solution.
 
@@ -365,6 +945,10 @@ def solve_rhgpt(
         Optional cap on states kept per node (exact when ``None``).
     stats:
         Optional counter object filled during the run.
+    dp_config:
+        Merge-kernel knobs (``None`` = the tiled, bound-pruned default;
+        see :class:`DPConfig`).  All combinations return identical
+        solution costs.
 
     Returns
     -------
@@ -387,85 +971,74 @@ def solve_rhgpt(
     if np.any(caps_arr[:-1] < caps_arr[1:]):
         raise SolverError(f"capacities must be non-increasing, got {list(caps)}")
     deltas_arr = np.asarray(deltas, dtype=np.float64)
+    cfg = dp_config if dp_config is not None else _DEFAULT_CONFIG
 
     # Track counters even when the caller passed no collector, so the
     # metrics registry sees every solve.
     own_stats = stats if stats is not None else DPStats()
     t0 = time.perf_counter()
 
-    post = bt.postorder()
-    tables: List[Optional[_Table]] = [None] * bt.n_nodes
-    neg1 = np.full(1, -1, dtype=np.int64)
+    # Incumbent-bound pruning (exact solves only — see module docstring):
+    # a beamed pre-pass seeds the upper bound, the lower-bound passes
+    # price the mandatory closures outside each subtree.
+    incumbent = math.inf
+    outside_lb: Optional[np.ndarray] = None
+    if cfg.bound_pruning and beam_width is None:
+        pre_tables: List[Optional[_Table]] = [None] * bt.n_nodes
+        pre_cfg = DPConfig(
+            tile_size=cfg.tile_size,
+            bound_pruning=False,
+            parallel_subtrees=False,
+            incumbent_beam=cfg.incumbent_beam,
+        )
+        try:
+            _solve_tables(
+                bt,
+                caps_arr,
+                deltas_arr,
+                cfg.incumbent_beam,
+                pre_cfg,
+                DPStats(),  # pre-pass work is not the caller's solve
+                bt.postorder(),
+                pre_tables,
+            )
+            pre_root = pre_tables[bt.root]
+            assert pre_root is not None
+            ub = float(pre_root.costs.min())
+            # Keep every state that can still tie the incumbent (strict
+            # pruning could drop the optimum itself on exact ties).
+            incumbent = ub * (1 + 1e-12) + 1e-9
+            _sub_lb, outside_lb = compute_lower_bounds(bt, caps_arr, deltas_arr)
+        except SolverError:
+            incumbent = math.inf  # beam killed feasibility: no pruning
 
-    for node in post:
-        if bt.is_leaf(node):
-            d = int(bt.demand[node])
-            if d > int(caps_arr.min()):
-                raise SolverError(
-                    f"leaf demand {d} exceeds capacities {list(caps)} — the "
-                    "demand grid should have rejected this instance"
-                )
-            tables[node] = _Table(
-                sigs=np.full((1, h), d, dtype=np.int64),
-                costs=np.zeros(1),
-                ia=neg1.copy(),
-                ja=neg1.copy(),
-                ib=neg1.copy(),
-                jb=neg1.copy(),
-            )
-        else:
-            a, b = int(bt.left[node]), int(bt.right[node])
-            ta, tb = tables[a], tables[b]
-            assert ta is not None and tb is not None
-            pa_sig, pa_cost, pa_orig, pa_j = _project(
-                ta, float(bt.up_weight[a]), deltas_arr, h
-            )
-            pb_sig, pb_cost, pb_orig, pb_j = _project(
-                tb, float(bt.up_weight[b]), deltas_arr, h
-            )
-            na, nb = pa_cost.size, pb_cost.size
-            own_stats.merges += na * nb
-            # Chunked outer merge to bound peak memory on exact runs.
-            block = max(1, _MERGE_CHUNK // max(1, nb * h))
-            cand_sigs: List[np.ndarray] = []
-            cand_costs: List[np.ndarray] = []
-            cand_pa: List[np.ndarray] = []
-            cand_pb: List[np.ndarray] = []
-            for start in range(0, na, block):
-                stop = min(na, start + block)
-                sums = pa_sig[start:stop, None, :] + pb_sig[None, :, :]
-                feas = (sums <= caps_arr).all(axis=2)
-                if not feas.any():
-                    continue
-                ii, jj = np.nonzero(feas)
-                cand_sigs.append(sums[ii, jj])
-                cand_costs.append(pa_cost[start:stop][ii] + pb_cost[jj])
-                cand_pa.append(ii + start)
-                cand_pb.append(jj)
-            if not cand_sigs:
-                raise SolverError(
-                    "no feasible merged state — capacities too tight for "
-                    "this tree (grid admission should prevent this)"
-                )
-            all_sigs = np.vstack(cand_sigs)
-            all_costs = np.concatenate(cand_costs)
-            all_pa = np.concatenate(cand_pa)
-            all_pb = np.concatenate(cand_pb)
-            uniq, min_costs, winners = _dedupe_min(all_sigs, all_costs)
-            keep = _dominance_prune(uniq, min_costs, beam_width)
-            win = winners[keep]
-            tables[node] = _Table(
-                sigs=uniq[keep],
-                costs=min_costs[keep],
-                ia=pa_orig[all_pa[win]],
-                ja=pa_j[all_pa[win]],
-                ib=pb_orig[all_pb[win]],
-                jb=pb_j[all_pb[win]],
-            )
-        own_stats.nodes += 1
-        size = tables[node].size  # type: ignore[union-attr]
-        own_stats.states_total += size
-        own_stats.states_max = max(own_stats.states_max, size)
+    tables: List[Optional[_Table]] = [None] * bt.n_nodes
+    solved = False
+    if cfg.parallel_subtrees and bt.n_nodes >= cfg.parallel_min_nodes:
+        solved = _solve_parallel(
+            bt,
+            caps_arr,
+            deltas_arr,
+            beam_width,
+            cfg,
+            own_stats,
+            tables,
+            incumbent,
+            outside_lb,
+        )
+    if not solved:
+        _solve_tables(
+            bt,
+            caps_arr,
+            deltas_arr,
+            beam_width,
+            cfg,
+            own_stats,
+            bt.postorder(),
+            tables,
+            incumbent=incumbent,
+            outside_lb=outside_lb,
+        )
 
     root_table = tables[bt.root]
     assert root_table is not None

@@ -40,6 +40,7 @@ __all__ = [
     "get_registry",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_BYTE_BUCKETS",
 ]
 
 #: Default bucket edges for latency histograms (seconds, exponential).
@@ -50,6 +51,12 @@ DEFAULT_LATENCY_BUCKETS = (
 
 #: Default bucket edges for size/count histograms (powers of four).
 DEFAULT_SIZE_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536)
+
+#: Default bucket edges for byte-sized histograms (4 KiB .. 1 GiB).
+DEFAULT_BYTE_BUCKETS = (
+    4096, 16384, 65536, 262144, 1048576, 4194304,
+    16777216, 67108864, 268435456, 1073741824,
+)
 
 
 def _format_value(v: float) -> str:

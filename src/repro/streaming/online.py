@@ -109,6 +109,12 @@ class OnlinePlacer:
         self._adj: Dict[int, Dict[int, float]] = {}
         self._leaf: Dict[int, int] = {}
         self._loads = np.zeros(hierarchy.k)
+        #: Bumped on every topology change (arrive/depart); the snapshot
+        #: cache below is keyed on it.  Migrations move tasks between
+        #: leaves but never change the graph, so re-optimisation and the
+        #: cost probe after it reuse one build.
+        self._topology_version = 0
+        self._snapshot: Optional[Tuple[int, Graph, np.ndarray, List[int]]] = None
         #: Aggregate event counters (arrivals, departures, rejections,
         #: migrations, re-optimisation calls/seconds).
         self.counters = OnlineCounters()
@@ -138,16 +144,26 @@ class OnlinePlacer:
         return self._leaf[task]
 
     def live_graph(self) -> Tuple[Graph, np.ndarray, np.ndarray, List[int]]:
-        """Snapshot: (graph, demands, leaf assignment, task ids in order)."""
-        tasks = sorted(self._demand)
-        index = {t: i for i, t in enumerate(tasks)}
-        edges = []
-        for t in tasks:
-            for u, w in self._adj[t].items():
-                if u > t and u in index:
-                    edges.append((index[t], index[u], w))
-        g = Graph(len(tasks), edges)
-        d = np.asarray([self._demand[t] for t in tasks])
+        """Snapshot: (graph, demands, leaf assignment, task ids in order).
+
+        The graph/demand build is cached between topology changes
+        (arrivals/departures bump a version counter); only the leaf
+        assignment — which migrations mutate — is re-read per call.
+        """
+        cached = self._snapshot
+        if cached is not None and cached[0] == self._topology_version:
+            _version, g, d, tasks = cached
+        else:
+            tasks = sorted(self._demand)
+            index = {t: i for i, t in enumerate(tasks)}
+            edges = []
+            for t in tasks:
+                for u, w in self._adj[t].items():
+                    if u > t and u in index:
+                        edges.append((index[t], index[u], w))
+            g = Graph(len(tasks), edges)
+            d = np.asarray([self._demand[t] for t in tasks])
+            self._snapshot = (self._topology_version, g, d, tasks)
         leaf = np.asarray([self._leaf[t] for t in tasks], dtype=np.int64)
         return g, d, leaf, tasks
 
@@ -214,6 +230,7 @@ class OnlinePlacer:
             self._adj[other][task] = w
         self._leaf[task] = leaf
         self._loads[leaf] += demand
+        self._topology_version += 1
         self.counters.arrivals += 1
         metrics.counter(
             "repro_online_arrivals_total", "Tasks placed by the online placer"
@@ -233,6 +250,7 @@ class OnlinePlacer:
         self._adj.pop(task, None)
         del self._demand[task]
         del self._leaf[task]
+        self._topology_version += 1
         self.counters.departures += 1
         metrics = get_registry()
         metrics.counter(
@@ -322,26 +340,44 @@ class OnlinePlacer:
         loads = self._loads.copy()
         budget_load = self.max_violation * self.hierarchy.leaf_capacity + 1e-12
 
-        def gain(i: int) -> float:
-            """Immediate cost reduction of moving task i to its target."""
-            src, dst = int(leaf[i]), int(target.leaf_of[i])
-            if src == dst:
-                return 0.0
-            nbrs = g.neighbors(i)
-            if nbrs.size == 0:
-                return 0.0
-            ws = g.neighbor_weights(i)
-            nl = leaf[nbrs]
-            before = float(np.dot(cm[np.asarray(self.hierarchy.lca_level(src, nl))], ws))
-            after = float(np.dot(cm[np.asarray(self.hierarchy.lca_level(dst, nl))], ws))
-            return before - after
+        # Flattened adjacency, built once per re-optimisation (topology is
+        # fixed inside the call): owner[e] / nbr[e] / w[e] per directed
+        # half-edge.  Each loop iteration then prices every candidate
+        # move in one vectorised pass over the half-edges — the old code
+        # re-ran a per-task Python gain() for all pending tasks after
+        # every single migration.
+        tgt = np.asarray(target.leaf_of, dtype=np.int64)
+        nbr_blocks = [g.neighbors(i) for i in range(g.n)]
+        counts = np.asarray([b.size for b in nbr_blocks], dtype=np.int64)
+        if counts.sum():
+            flat_owner = np.repeat(np.arange(g.n, dtype=np.int64), counts)
+            flat_nbr = np.concatenate(nbr_blocks)
+            flat_w = np.concatenate([g.neighbor_weights(i) for i in range(g.n)])
+        else:
+            flat_owner = np.empty(0, dtype=np.int64)
+            flat_nbr = np.empty(0, dtype=np.int64)
+            flat_w = np.empty(0)
+
+        def all_gains() -> np.ndarray:
+            """Per-task cost reduction of moving it to its target leaf."""
+            gains = np.zeros(g.n)
+            if flat_owner.size:
+                nl = leaf[flat_nbr]
+                before = cm[np.asarray(self.hierarchy.lca_level(leaf[flat_owner], nl))]
+                after = cm[np.asarray(self.hierarchy.lca_level(tgt[flat_owner], nl))]
+                np.add.at(gains, flat_owner, (before - after) * flat_w)
+            gains[leaf == tgt] = 0.0
+            return gains
 
         pending = [i for i in range(g.n) if leaf[i] != target.leaf_of[i]]
         while pending and (migration_budget is None or moved < migration_budget):
-            gains = [(gain(i), i) for i in pending]
-            gains.sort(reverse=True)
+            pend = np.asarray(pending, dtype=np.int64)
+            gains = all_gains()[pend]
+            # Descending (gain, task) — the order the old tuple sort used.
+            order = np.lexsort((pend, gains))[::-1]
             applied = False
-            for gval, i in gains:
+            for k in order:
+                gval, i = float(gains[k]), int(pend[k])
                 if gval <= 1e-12:
                     break
                 dst = int(target.leaf_of[i])

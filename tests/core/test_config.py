@@ -51,3 +51,24 @@ class TestConfig:
         cfg = SolverConfig()
         with pytest.raises(Exception):
             cfg.n_trees = 5  # type: ignore[misc]
+
+
+class TestDPConfigField:
+    def test_default_dp_config(self):
+        cfg = SolverConfig()
+        assert cfg.dp.tile_size > 0
+        assert cfg.dp.bound_pruning is True
+        assert cfg.dp.parallel_subtrees is False
+
+    def test_custom_dp_config(self):
+        from repro.hgpt.dp import DPConfig
+
+        cfg = SolverConfig(dp=DPConfig(tile_size=1024, bound_pruning=False))
+        assert cfg.dp.tile_size == 1024
+        assert cfg.dp.bound_pruning is False
+
+    def test_describe_includes_dp_knobs(self):
+        desc = SolverConfig().describe()
+        assert desc["dp"]["tile_size"] == SolverConfig().dp.tile_size
+        assert "bound_pruning" in desc["dp"]
+        assert "parallel_subtrees" in desc["dp"]

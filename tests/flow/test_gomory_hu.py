@@ -68,3 +68,42 @@ class TestGomoryHu:
         for v in range(1, 9):
             direct, _ = max_flow(g, v, int(parent[v]))
             assert flow[v] == pytest.approx(direct)
+
+
+class TestEngineReuse:
+    def test_single_engine_matches_fresh_per_pair(self):
+        """Gusfield on one frozen engine == fresh engines per iteration."""
+        from repro.flow.maxflow import DinicMaxFlow
+
+        g = random_regular(10, 3, seed=4, weight_range=(0.5, 2.0))
+        parent, flow = gomory_hu_tree(g, use_cache=False)
+        # Replay Gusfield with a fresh engine per solve; trees must agree.
+        n = g.n
+        p2 = [0] * n
+        p2[0] = -1
+        f2 = [0.0] * n
+        for i in range(1, n):
+            t = p2[i]
+            engine = DinicMaxFlow.from_graph(g)
+            value = engine.solve(i, t)
+            side = engine.min_cut_side(i)
+            f2[i] = value
+            for j in range(i + 1, n):
+                if p2[j] == t and side[j]:
+                    p2[j] = i
+            if p2[t] >= 0 and side[p2[t]]:
+                p2[i] = p2[t]
+                p2[t] = i
+                f2[i] = f2[t]
+                f2[t] = value
+        assert list(parent) == p2
+        assert list(flow) == pytest.approx(f2)
+
+    def test_from_graph_engine_is_reusable(self):
+        from repro.flow.maxflow import DinicMaxFlow
+
+        g = grid_2d(3, 3, weight_range=(0.5, 2.0), seed=2)
+        engine = DinicMaxFlow.from_graph(g)
+        for s, t in [(0, 8), (1, 7), (0, 8)]:
+            value, _side = max_flow(g, s, t)
+            assert engine.solve(s, t) == pytest.approx(value)

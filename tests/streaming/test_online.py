@@ -206,3 +206,34 @@ class TestSimulateChurn:
         )
         assert len(costs) == len(events)
         assert migrations == 0
+
+
+class TestSnapshotCache:
+    def test_live_graph_cached_between_topology_changes(self, placer):
+        for t in range(6):
+            placer.arrive(t, demand=0.3, edges=tuple((u, 1.0) for u in range(t)))
+        g1, d1, leaf1, tasks1 = placer.live_graph()
+        g2, d2, _leaf2, tasks2 = placer.live_graph()
+        # Same topology version: the graph/demand build is reused as-is.
+        assert g1 is g2 and d1 is d2 and tasks1 is tasks2
+        placer.depart(3)
+        g3, _d3, _leaf3, tasks3 = placer.live_graph()
+        assert g3 is not g1
+        assert 3 not in tasks3
+        assert g3.n == 5
+
+    def test_leaf_snapshot_fresh_after_migration(self, placer):
+        for t in range(8):
+            edges = tuple((u, 5.0) for u in range(t) if u % 2 == t % 2)
+            placer.arrive(t, demand=0.3, edges=edges)
+        _g, _d, before, _tasks = placer.live_graph()
+        placer.reoptimize()
+        g, _d, after, _tasks = placer.live_graph()
+        # Reoptimize moved tasks: the cached graph survives, the leaf
+        # vector reflects the migrations.
+        assert len(after) == g.n
+        assert placer.cost() == pytest.approx(
+            __import__("repro").hierarchy.placement.Placement(
+                g, placer.hierarchy, _d, after
+            ).cost()
+        )
