@@ -30,12 +30,19 @@ Subpackages
 """
 
 from repro.cache import CacheConfig, configure_cache, get_cache
-from repro.errors import InfeasibleError, InvalidInputError, ReproError, SolverError
+from repro.errors import (
+    DegradedRunError,
+    InfeasibleError,
+    InvalidInputError,
+    ReproError,
+    SolverError,
+)
 from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
 from repro.core.config import SolverConfig
 from repro.core.engine import run_pipeline
+from repro.core.resilience import ResilienceConfig, RetryPolicy
 from repro.core.solver import HGPResult, solve_hgp, solve_hgpt
 from repro.core.telemetry import RunReport, Telemetry
 from repro.core.exact import exact_hgp
@@ -48,10 +55,13 @@ __all__ = [
     "InvalidInputError",
     "InfeasibleError",
     "SolverError",
+    "DegradedRunError",
     "Graph",
     "Hierarchy",
     "Placement",
     "SolverConfig",
+    "ResilienceConfig",
+    "RetryPolicy",
     "CacheConfig",
     "get_cache",
     "configure_cache",

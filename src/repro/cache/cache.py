@@ -46,9 +46,9 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 import threading
 import time
+import uuid
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -516,9 +516,16 @@ class SolverCache:
         path = self._disk_path(kind, key)
         if path is None:
             return
+        # Temp name unique per writer (pid + uuid, O_EXCL) so concurrent
+        # processes storing the same key never share a partially written
+        # temp file; whoever renames last wins, and both entries hold the
+        # same content-addressed bytes anyway.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        )
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            fd = os.open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o600)
             try:
                 with os.fdopen(fd, "wb") as fh:
                     fh.write(blob)
@@ -536,6 +543,12 @@ class SolverCache:
         path = self._disk_path(kind, key)
         if path is None or not path.exists():
             return _MISSING
+        if os.environ.get("REPRO_FAULT_SPEC"):
+            # Chaos hook: cache_corrupt overwrites the entry on disk so
+            # the *real* recovery path below handles the garbage.
+            from repro.testing.faults import maybe_inject
+
+            maybe_inject("cache", kind=kind, path=str(path))
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)

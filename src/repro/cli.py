@@ -44,7 +44,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import InvalidInputError, ReproError
+from repro.errors import DegradedRunError, InvalidInputError, ReproError
 from repro.graph.graph import Graph
 from repro.graph.generators import random_demands
 from repro.graph.io import read_edgelist, read_metis, write_edgelist
@@ -109,6 +109,49 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--n-trees", type=int, default=8)
     solve.add_argument("--slack", type=float, default=0.25)
     solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-tree solves (1 = in-process)",
+    )
+    solve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-run failed ensemble members up to N times "
+        "(the last retry runs in-process)",
+    )
+    solve.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base backoff before the first retry; doubles per retry",
+    )
+    solve.add_argument(
+        "--member-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline per member solve wave; hung workers are "
+        "terminated and the members retried",
+    )
+    solve.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="complete on the surviving ensemble when members fail "
+        "terminally (the run report is marked degraded)",
+    )
+    solve.add_argument(
+        "--min-members",
+        type=int,
+        default=1,
+        metavar="K",
+        help="minimum surviving members a partial run needs (with "
+        "--allow-partial)",
+    )
     solve.add_argument("--out", default=None, help="write the placement as JSON here")
     solve.add_argument(
         "--report",
@@ -264,14 +307,31 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             # ensemble lookup — the inner builders (fiedler, gomory-hu)
             # must not populate or consult it either.
             get_cache().enabled = False
+        from repro.core.resilience import ResilienceConfig, RetryPolicy
+
         cfg = SolverConfig(
             seed=args.seed,
             n_trees=args.n_trees,
             slack=args.slack,
+            n_jobs=args.jobs,
             cache=CacheConfig(enabled=not args.no_cache),
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(
+                    max_attempts=1 + args.retries, base_delay=args.retry_delay
+                ),
+                member_timeout_s=args.member_timeout,
+                allow_partial=args.allow_partial,
+                min_members=args.min_members,
+            ),
         )
         result = run_pipeline(g, hier, d, cfg, path="batch", logger=logger)
         placement = result.placement
+        if result.degraded:
+            print(
+                f"warning: degraded run — {len(result.failures)} ensemble "
+                "member(s) lost (see the run report's failures section)",
+                file=sys.stderr,
+            )
         if args.report:
             report = result.report(graph=str(args.graph), method=args.method)
             Path(args.report).write_text(report.to_json() + "\n")
@@ -429,7 +489,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Exit codes: 0 success, 1 report-diff regression, 2 invalid input or
+    solver failure (:class:`repro.errors.ReproError`), 3 degraded run —
+    ensemble members were lost past their retry budget and the
+    resilience policy forbade completing on the survivors.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -440,6 +506,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "report":
             return _cmd_report(args)
         return _cmd_solve(args)
+    except DegradedRunError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

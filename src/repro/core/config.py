@@ -11,6 +11,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional, Sequence
 
 from repro.cache import CacheConfig
+from repro.core.resilience import ResilienceConfig
 from repro.errors import InvalidInputError
 from repro.hgpt.dp import DPConfig
 
@@ -64,6 +65,11 @@ class SolverConfig:
         size, incumbent-bound pruning, subtree parallelism.  All
         combinations return identical solution costs — these trade
         memory and wall-clock only.
+    resilience:
+        Fault-tolerance knobs (:class:`repro.core.resilience.ResilienceConfig`):
+        per-member retries and deadlines plus graceful degradation.  The
+        defaults are "off" — one attempt, no deadline, no partial runs —
+        so healthy runs behave exactly as before.
     """
 
     n_trees: int = 8
@@ -79,6 +85,7 @@ class SolverConfig:
     seed: Optional[int] = 0
     cache: CacheConfig = field(default_factory=CacheConfig)
     dp: DPConfig = field(default_factory=DPConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.n_trees < 1:

@@ -59,7 +59,12 @@ from repro.hgpt.dp import DPStats, solve_rhgpt
 from repro.hgpt.quantize import DemandGrid
 from repro.hgpt.repair import repair_to_placement
 from repro.core.config import SolverConfig
-from repro.core.telemetry import MemberRecord, RunReport, Telemetry
+from repro.core.telemetry import (
+    MemberFailure,
+    MemberRecord,
+    RunReport,
+    Telemetry,
+)
 from repro.obs.logging import NULL_LOGGER, StructuredLogger, new_run_id
 from repro.obs.metrics import get_registry
 from repro.utils.rng import ensure_rng
@@ -79,6 +84,8 @@ __all__ = [
     "Engine",
     "solve_member",
     "run_pipeline",
+    "validate_instance",
+    "check_instance",
 ]
 
 #: Canonical stage-span names, in pipeline order.  Every engine run emits
@@ -91,7 +98,9 @@ STAGE_NAMES = ("trees", "quantize", "dp", "repair", "refine")
 # ----------------------------------------------------------------------
 
 
-def check_instance(g: Graph, hierarchy: Hierarchy, demands: np.ndarray) -> None:
+def validate_instance(
+    g: Graph, hierarchy: Hierarchy, demands: np.ndarray
+) -> None:
     """Validate an HGP instance; raise on shape/feasibility violations."""
     if demands.shape != (g.n,):
         raise InvalidInputError(
@@ -112,6 +121,11 @@ def check_instance(g: Graph, hierarchy: Hierarchy, demands: np.ndarray) -> None:
             f"total demand {demands.sum():.4g} exceeds total capacity "
             f"{hierarchy.total_capacity:.4g}"
         )
+
+
+#: Pre-resilience name of :func:`validate_instance`, kept as an alias for
+#: callers written against the old engine API.
+check_instance = validate_instance
 
 
 def make_grid(
@@ -182,6 +196,7 @@ class RunContext:
     placement: Optional[Placement] = None
     run_id: Optional[str] = None
     logger: StructuredLogger = NULL_LOGGER
+    _gen_ref: Optional[object] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.rng is None:
@@ -190,6 +205,34 @@ class RunContext:
             self.run_id = new_run_id()
         if self.logger.run_id != self.run_id:
             self.logger = self.logger.bind(run_id=self.run_id)
+
+    def generation(self, worker_pool):
+        """This run's spooled generation payload, published lazily once.
+
+        Retry waves reuse the same spool file — the inputs are immutable
+        for the duration of the run, and a pool rebuilt after a crash can
+        still read it.  Balanced by :meth:`release_generation`.
+        """
+        if self._gen_ref is None:
+            self._gen_ref = worker_pool.publish_generation(
+                {
+                    "trees": self.trees,
+                    "hierarchy": self.hierarchy,
+                    "demands": self.demands,
+                    "config": self.config,
+                    "grid": self.grid,
+                    "run_id": self.run_id,
+                }
+            )
+        return self._gen_ref
+
+    def release_generation(self) -> None:
+        """Release the published generation payload, if any (idempotent)."""
+        if self._gen_ref is not None:
+            from repro.core import pool as worker_pool
+
+            worker_pool.release_generation(self._gen_ref)
+            self._gen_ref = None
 
     @property
     def tree_costs(self) -> List[float]:
@@ -436,6 +479,7 @@ def solve_member(
     index: int = 0,
     stats: Optional[DPStats] = None,
     run_id: Optional[str] = None,
+    attempt: int = 1,
 ) -> MemberOutcome:
     """Solve HGP on one decomposition tree: DP + repair, self-timed.
 
@@ -444,7 +488,10 @@ def solve_member(
     :class:`MemberOutcome` is picklable and carries its own stopwatch
     and log records (stamped with ``run_id`` and the worker's pid), so
     the parent can merge worker timings into its telemetry and replay
-    worker logs under the run's correlation id.
+    worker logs under the run's correlation id.  ``attempt`` is which
+    resilience-layer attempt this solve is (stamped into the member
+    record as ``attempts``); the solve itself is attempt-independent, so
+    retried members produce bit-identical placements and costs.
     """
     own_stats = DPStats()
     sw = Stopwatch()
@@ -467,6 +514,7 @@ def solve_member(
         dp_seconds=sw.total("dp"),
         repair_seconds=sw.total("repair"),
         beam_escalations=escalations,
+        attempts=attempt,
         dp_nodes=own_stats.nodes,
         dp_states_total=own_stats.states_total,
         dp_states_max=own_stats.states_max,
@@ -504,14 +552,6 @@ def solve_member(
     )
 
 
-def _member_job(args) -> MemberOutcome:
-    """Top-level process-pool worker (must be picklable)."""
-    index, tree, hierarchy, demands, config, grid, run_id = args
-    return solve_member(
-        tree, hierarchy, demands, config, grid, index=index, run_id=run_id
-    )
-
-
 # ----------------------------------------------------------------------
 # engine + result
 # ----------------------------------------------------------------------
@@ -519,7 +559,12 @@ def _member_job(args) -> MemberOutcome:
 
 @dataclass
 class EngineResult:
-    """What one engine run produced: placement, diagnostics, telemetry."""
+    """What one engine run produced: placement, diagnostics, telemetry.
+
+    ``failures`` is non-empty (and ``degraded`` True) only when the
+    resilience policy allowed the run to complete on a partial ensemble;
+    see :mod:`repro.core.resilience`.
+    """
 
     placement: Placement
     tree_costs: List[float]
@@ -528,6 +573,12 @@ class EngineResult:
     telemetry: Telemetry
     config: SolverConfig
     run_id: Optional[str] = None
+    failures: List[MemberFailure] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this run lost ensemble members past their retry budget."""
+        return bool(self.failures)
 
     @property
     def cost(self) -> float:
@@ -598,43 +649,13 @@ class Engine:
         assert ctx.trees is not None and ctx.grid is not None
 
         base = len(tel.members)
-        if ctx.config.n_jobs > 1 and len(ctx.trees) > 1:
-            # Persistent pool + one spooled generation payload: workers
-            # unpickle the shared instance once per generation instead of
-            # once per member job (see repro.core.pool).
-            from repro.core import pool as worker_pool
+        # All fan-out — pool submission, per-member deadlines, retries,
+        # crash recovery and graceful degradation — lives in the
+        # resilience runner.  With the default (off) policy it reduces to
+        # the plain pool/serial fan-out: one attempt, failures propagate.
+        from repro.core.resilience import run_members
 
-            executor = worker_pool.get_pool(
-                min(ctx.config.n_jobs, len(ctx.trees))
-            )
-            ref = worker_pool.publish_generation(
-                {
-                    "trees": ctx.trees,
-                    "hierarchy": ctx.hierarchy,
-                    "demands": ctx.demands,
-                    "config": ctx.config,
-                    "grid": ctx.grid,
-                    "run_id": ctx.run_id,
-                }
-            )
-            try:
-                jobs = [(ref, i, base + i) for i in range(len(ctx.trees))]
-                outcomes = list(executor.map(worker_pool.member_job, jobs))
-            finally:
-                worker_pool.release_generation(ref)
-        else:
-            outcomes = [
-                solve_member(
-                    tree,
-                    ctx.hierarchy,
-                    ctx.demands,
-                    ctx.config,
-                    ctx.grid,
-                    index=base + i,
-                    run_id=ctx.run_id,
-                )
-                for i, tree in enumerate(ctx.trees)
-            ]
+        outcomes, failures, _restarts = run_members(ctx, base)
 
         # Fold the members' self-measured phase timings (worker-side for
         # the pool path) into this run's span tree — this is the fix for
@@ -650,6 +671,8 @@ class Engine:
                     ctx.logger.emit(record)
         for name in (self.dp.name, self.repair.name):
             tel.add_seconds(name, merged.total(name), merged.counts.get(name, 0))
+        for failure in failures:
+            tel.record_failure(failure)
         ctx.outcomes.extend(outcomes)
         # Parent-side metric fold: member counters travelled back with the
         # records, so these totals are accurate even for pool runs.
@@ -683,6 +706,7 @@ class Engine:
             cost=ctx.placement.cost(),
             seconds=time.perf_counter() - started,
             members=len(outcomes),
+            failed_members=len(failures),
             beam_escalations=escalations,
         )
         return EngineResult(
@@ -693,6 +717,7 @@ class Engine:
             telemetry=tel,
             config=ctx.config,
             run_id=ctx.run_id,
+            failures=list(failures),
         )
 
 
@@ -747,7 +772,7 @@ def run_pipeline(
     persist a report for every engine run it triggers.
     """
     d = np.asarray(demands, dtype=np.float64)
-    check_instance(g, hierarchy, d)
+    validate_instance(g, hierarchy, d)
     ctx = RunContext(
         graph=g,
         hierarchy=hierarchy,

@@ -51,12 +51,23 @@ __all__ = [
     "get_pool",
     "pool_info",
     "shutdown_pool",
+    "restart_pool",
     "publish_generation",
     "release_generation",
+    "live_generations",
     "member_job",
     "dp_subtree_job",
     "in_worker",
 ]
+
+
+def _maybe_inject(site: str, **context) -> None:
+    """Env-gated chaos hook (no-op unless ``REPRO_FAULT_SPEC`` is set)."""
+    if not os.environ.get("REPRO_FAULT_SPEC"):
+        return
+    from repro.testing.faults import maybe_inject
+
+    maybe_inject(site, **context)
 
 _LOCK = threading.RLock()
 _POOL: Optional[cf.ProcessPoolExecutor] = None
@@ -130,12 +141,69 @@ def shutdown_pool() -> None:
             _POOL_WORKERS = 0
 
 
-atexit.register(shutdown_pool)
+def restart_pool() -> None:
+    """Forcibly tear the pool down — killing its workers — and rebuild it.
+
+    The resilience layer calls this when the pool is unusable: a worker
+    crashed (``BrokenProcessPool`` poisons every in-flight future) or a
+    member deadline expired with the worker still running (a hung worker
+    cannot be cancelled, only terminated).  Unlike :func:`shutdown_pool`
+    this never waits on the workers; it terminates them, drops the
+    executor, and eagerly builds a replacement of the same size so the
+    retry attempt that follows finds a healthy pool.  Counted by the
+    ``repro_pool_restarts_total`` metric.
+    """
+    global _POOL, _POOL_WORKERS
+    with _LOCK:
+        if _POOL is None:
+            return
+        workers = _POOL_WORKERS
+        for proc in list((getattr(_POOL, "_processes", None) or {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - racing process death
+                pass
+        try:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken executors may throw
+            pass
+        _POOL = None
+        _POOL_WORKERS = 0
+        get_registry().counter(
+            "repro_pool_restarts_total",
+            "Forced pool teardown/rebuilds after a worker crash or deadline",
+        ).inc()
+    get_pool(workers)
+
+
+def _cleanup_at_exit() -> None:
+    """Interpreter-exit sweep, in dependency order.
+
+    The pool must go down *before* the spool files: a worker mid-read on
+    a generation payload while the parent unlinks it would either crash
+    the worker or leave the unlink racing the worker's LRU cleanup.
+    Interrupted runs (KeyboardInterrupt mid-fan-out) can leave published
+    generations behind; whatever is still registered is released here,
+    tolerating files that were already removed.
+    """
+    try:
+        shutdown_pool()
+    finally:
+        for ref in list(_LIVE_GENS.values()):
+            release_generation(ref)
+
+
+atexit.register(_cleanup_at_exit)
 
 
 # ----------------------------------------------------------------------
 # generation payloads
 # ----------------------------------------------------------------------
+
+#: Published-but-unreleased generations (gen_id -> ref).  The atexit
+#: sweep releases whatever an interrupted run left here, *after* the
+#: pool is down — see :func:`_cleanup_at_exit`.
+_LIVE_GENS: Dict[str, GenerationRef] = {}
 
 
 def publish_generation(payload: Dict[str, Any]) -> GenerationRef:
@@ -144,7 +212,8 @@ def publish_generation(payload: Dict[str, Any]) -> GenerationRef:
     The payload dict is pickled to a private temp file; the returned
     :class:`GenerationRef` is what travels inside each (tiny) job tuple.
     Callers must :func:`release_generation` when the generation's jobs
-    have completed.
+    have completed; generations still live at interpreter exit are
+    swept by the atexit cleanup (pool first, then spool files).
     """
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     fd, path = tempfile.mkstemp(prefix="repro-gen-", suffix=".pkl")
@@ -161,15 +230,30 @@ def publish_generation(payload: Dict[str, Any]) -> GenerationRef:
         "repro_pool_generations_total",
         "Generation payloads published to the worker pool",
     ).inc()
-    return GenerationRef(gen_id=uuid.uuid4().hex, path=path, nbytes=len(blob))
+    ref = GenerationRef(gen_id=uuid.uuid4().hex, path=path, nbytes=len(blob))
+    with _LOCK:
+        _LIVE_GENS[ref.gen_id] = ref
+    return ref
 
 
 def release_generation(ref: GenerationRef) -> None:
-    """Delete a published generation's spool file (idempotent)."""
+    """Delete a published generation's spool file (idempotent).
+
+    Tolerates files that are already gone — a run interrupted between
+    the atexit sweep and an outer ``finally`` may release twice.
+    """
+    with _LOCK:
+        _LIVE_GENS.pop(ref.gen_id, None)
     try:
         os.unlink(ref.path)
     except OSError:
         pass
+
+
+def live_generations() -> int:
+    """How many published generations have not been released (tests)."""
+    with _LOCK:
+        return len(_LIVE_GENS)
 
 
 # ----------------------------------------------------------------------
@@ -203,17 +287,25 @@ def _load_generation(ref: GenerationRef) -> Dict[str, Any]:
     return payload
 
 
-def member_job(args: Tuple[GenerationRef, int, int]):
+def member_job(args: Tuple[GenerationRef, int, int, int]):
     """Pool worker entry point: solve one ensemble member.
 
-    ``args`` is ``(generation ref, member position, telemetry index)``.
+    ``args`` is ``(generation ref, member position, telemetry index,
+    attempt)``; a legacy 3-tuple without the attempt is accepted too.
     The shared inputs come from the generation payload, loaded at most
-    once per worker per generation.
+    once per worker per generation.  Both chaos sites (``spool`` before
+    the payload load, ``member`` before the solve) are no-ops unless
+    ``REPRO_FAULT_SPEC`` is set.
     """
     global _IN_WORKER
     _IN_WORKER = True
-    ref, member, index = args
+    if len(args) == 3:
+        (ref, member, index), attempt = args, 1
+    else:
+        ref, member, index, attempt = args
+    _maybe_inject("spool", member=member, attempt=attempt, in_worker=True)
     payload = _load_generation(ref)
+    _maybe_inject("member", member=member, attempt=attempt, in_worker=True)
     from repro.core.engine import solve_member
 
     return solve_member(
@@ -224,6 +316,7 @@ def member_job(args: Tuple[GenerationRef, int, int]):
         payload["grid"],
         index=index,
         run_id=payload["run_id"],
+        attempt=attempt,
     )
 
 

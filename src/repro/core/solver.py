@@ -37,7 +37,7 @@ from repro.decomposition.tree import DecompositionTree
 from repro.hgpt.dp import DPStats
 from repro.hgpt.quantize import DemandGrid
 from repro.core.config import SolverConfig
-from repro.core.engine import check_instance, make_grid, run_pipeline, solve_member
+from repro.core.engine import make_grid, run_pipeline, solve_member, validate_instance
 from repro.core.telemetry import RunReport, Telemetry
 from repro.utils.timing import Stopwatch
 
@@ -114,7 +114,7 @@ def solve_hgpt(
     """
     g = tree.graph
     d = np.asarray(demands, dtype=np.float64)
-    check_instance(g, hierarchy, d)
+    validate_instance(g, hierarchy, d)
     if grid is None:
         grid = make_grid(hierarchy, d, config)
     outcome = solve_member(tree, hierarchy, d, config, grid, stats=stats)

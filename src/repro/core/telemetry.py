@@ -31,7 +31,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.utils.timing import Stopwatch
 
-__all__ = ["Span", "MemberRecord", "Telemetry", "RunReport"]
+__all__ = ["Span", "MemberRecord", "MemberFailure", "Telemetry", "RunReport"]
 
 
 @dataclass
@@ -132,7 +132,9 @@ class MemberRecord:
 
     ``dp_nodes`` / ``dp_states_total`` / ``dp_states_max`` / ``dp_merges``
     mirror :class:`repro.hgpt.dp.DPStats`; ``beam_escalations`` counts how
-    often the beam had to widen before the DP found a feasible state.
+    often the beam had to widen before the DP found a feasible state;
+    ``attempts`` is which solve attempt produced this record (1 = first
+    try, >1 = the member was retried by the resilience layer).
     """
 
     index: int
@@ -142,6 +144,7 @@ class MemberRecord:
     dp_seconds: float = 0.0
     repair_seconds: float = 0.0
     beam_escalations: int = 0
+    attempts: int = 1
     dp_nodes: int = 0
     dp_states_total: int = 0
     dp_states_max: int = 0
@@ -160,6 +163,44 @@ class MemberRecord:
         return cls(**data)
 
 
+@dataclass
+class MemberFailure:
+    """One ensemble member's terminal failure (all retry attempts spent).
+
+    Attributes
+    ----------
+    index:
+        Member index within the run's telemetry (same numbering as
+        :class:`MemberRecord.index`).
+    kind:
+        Failure class: ``crash`` (the pool worker died), ``timeout``
+        (the member deadline expired), or ``error`` (the solve raised).
+    attempts:
+        How many attempts were made before giving up.
+    message:
+        The last attempt's exception message, truncated.
+    traceback_digest:
+        Short BLAKE2b digest of the last attempt's traceback text, so
+        identical failure signatures can be grouped across runs without
+        shipping whole tracebacks into reports.
+    """
+
+    index: int
+    kind: str
+    attempts: int
+    message: str = ""
+    traceback_digest: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready flat-dict view of this failure."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemberFailure":
+        """Rebuild a failure record from :meth:`to_dict` output."""
+        return cls(**data)
+
+
 class Telemetry:
     """Collector threaded through the engine stages.
 
@@ -175,6 +216,7 @@ class Telemetry:
         self.root = Span(path)
         self._stack: List[Span] = [self.root]
         self.members: List[MemberRecord] = []
+        self.failures: List[MemberFailure] = []
 
     @property
     def path(self) -> str:
@@ -212,6 +254,15 @@ class Telemetry:
         """Append one ensemble-member record."""
         self.members.append(member)
 
+    def record_failure(self, failure: MemberFailure) -> None:
+        """Append one terminal member-failure record (degraded runs)."""
+        self.failures.append(failure)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any ensemble member was lost past its retry budget."""
+        return bool(self.failures)
+
     def find_spans(self, name: str) -> List[Span]:
         """All spans called ``name`` anywhere in the tree (root included)."""
         hits = [self.root] if self.root.name == name else []
@@ -244,6 +295,8 @@ class Telemetry:
             spans=self.root,
             members=list(self.members),
             meta=dict(meta),
+            failures=list(self.failures),
+            degraded=self.degraded,
         )
 
 
@@ -262,8 +315,12 @@ class RunReport:
     spans: Span
     members: List[MemberRecord] = field(default_factory=list)
     meta: dict = field(default_factory=dict)
+    failures: List[MemberFailure] = field(default_factory=list)
+    degraded: bool = False
 
-    SCHEMA_VERSION = 1
+    #: v2 added ``degraded`` + ``failures`` (absent in v1 reports, which
+    #: still load — both default to "nothing failed").
+    SCHEMA_VERSION = 2
 
     def to_dict(self) -> dict:
         """JSON-ready dict view of the whole report (versioned schema)."""
@@ -275,6 +332,8 @@ class RunReport:
             "spans": self.spans.to_dict(),
             "members": [m.to_dict() for m in self.members],
             "meta": self.meta,
+            "failures": [f.to_dict() for f in self.failures],
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -287,6 +346,10 @@ class RunReport:
             spans=Span.from_dict(data["spans"]),
             members=[MemberRecord.from_dict(m) for m in data.get("members", [])],
             meta=dict(data.get("meta", {})),
+            failures=[
+                MemberFailure.from_dict(f) for f in data.get("failures", [])
+            ],
+            degraded=bool(data.get("degraded", False)),
         )
 
     def to_json(self, indent: int = 2) -> str:

@@ -27,3 +27,27 @@ class InfeasibleError(ReproError):
 
 class SolverError(ReproError):
     """An internal invariant of a solver was violated (a bug, not bad input)."""
+
+
+class DegradedRunError(SolverError):
+    """An ensemble run lost members it was not allowed to lose.
+
+    Raised by the engine when one or more ensemble members failed past
+    their retry budget and the run's resilience policy does not permit
+    completing on the survivors (``allow_partial=False``, or fewer than
+    ``min_members`` outcomes survived).  Carries whatever partial state
+    the run produced so callers can inspect or salvage it.
+
+    Attributes
+    ----------
+    outcomes:
+        The surviving ``MemberOutcome`` objects, in ensemble order.
+    failures:
+        One ``MemberFailure`` record per lost member (kind, attempts,
+        traceback digest).
+    """
+
+    def __init__(self, message: str, outcomes=None, failures=None):
+        super().__init__(message)
+        self.outcomes = list(outcomes or [])
+        self.failures = list(failures or [])

@@ -69,6 +69,8 @@ def render_report(report: RunReport) -> str:
     run_id = report.meta.get("run_id")
     if run_id:
         header += f"  run_id={run_id}"
+    if report.degraded:
+        header += "  DEGRADED"
     lines.append(header)
     lines.append("")
     lines.append("spans (total / self / entries):")
@@ -89,6 +91,17 @@ def render_report(report: RunReport) -> str:
             )
         best = min(report.members, key=lambda m: m.mapped_cost)
         lines.append(f"  winner: member {best.index} ({best.method})")
+    if report.failures:
+        lines.append("")
+        lines.append(
+            f"failed members ({len(report.failures)}): "
+            "index  kind     attempts  message"
+        )
+        for f in report.failures:
+            lines.append(
+                f"  {f.index:>5d}  {f.kind:<7s}  {f.attempts:>8d}  "
+                f"{f.message or '-'}"
+            )
     extra_meta = {k: v for k, v in sorted(report.meta.items()) if k != "run_id"}
     if extra_meta:
         lines.append("")

@@ -29,7 +29,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidInputError
+from repro.errors import DegradedRunError, InvalidInputError
 from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
@@ -56,7 +56,9 @@ class OnlineCounters:
     ``tree_cache_hits`` / ``tree_cache_misses`` count re-optimisation
     runs whose decomposition ensemble came from the solver cache versus
     being rebuilt — back-to-back calls on an unchanged live graph should
-    be all hits after the first.
+    be all hits after the first.  ``reopt_failures`` counts
+    re-optimisations abandoned because the engine run degraded past its
+    resilience policy — the placer keeps serving the current placement.
     """
 
     arrivals: int = 0
@@ -65,6 +67,7 @@ class OnlineCounters:
     migrations: int = 0
     reopt_calls: int = 0
     reopt_seconds: float = 0.0
+    reopt_failures: int = 0
     tree_cache_hits: int = 0
     tree_cache_misses: int = 0
 
@@ -309,7 +312,21 @@ class OnlinePlacer:
 
         tel = Telemetry("streaming")
         tel.counter("live_tasks", float(g.n))
-        result = run_pipeline(g, self.hierarchy, d, self.config, telemetry=tel)
+        try:
+            result = run_pipeline(
+                g, self.hierarchy, d, self.config, telemetry=tel
+            )
+        except DegradedRunError:
+            # A background re-optimisation is an *improvement* attempt:
+            # losing it must never take the placer down.  Keep serving
+            # the current placement and surface the failure through the
+            # counter + metric; the next call retries from scratch.
+            self.counters.reopt_failures += 1
+            get_registry().counter(
+                "repro_online_reopt_failures_total",
+                "Re-optimisations abandoned after a degraded engine run",
+            ).inc()
+            return 0
         self.last_report = result.report(live_tasks=g.n)
         trees_span = tel.root.lookup("trees")
         if trees_span is not None:

@@ -1,0 +1,23 @@
+"""Test-support utilities that ship with the library.
+
+Only :mod:`repro.testing.faults` lives here today: the env-gated fault
+injection harness the chaos tests (and the CI ``chaos`` job) use to
+exercise the resilience layer.  Everything in this package is inert in
+production — the hooks are no-ops unless ``REPRO_FAULT_SPEC`` is set.
+"""
+
+from repro.testing.faults import (
+    FaultSpec,
+    InjectedFaultError,
+    active_specs,
+    maybe_inject,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FaultSpec",
+    "InjectedFaultError",
+    "active_specs",
+    "maybe_inject",
+    "parse_fault_spec",
+]

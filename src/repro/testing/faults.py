@@ -1,0 +1,212 @@
+"""Deterministic, env-gated fault injection for chaos testing.
+
+The resilience layer (:mod:`repro.core.resilience`) promises recovery
+from crashed workers, hung solves and corrupt spool/cache entries.
+Those failures are hard to produce organically and impossible to produce
+*deterministically*, so the library's own fault sites call
+:func:`maybe_inject` at well-defined points and this module decides —
+purely from the ``REPRO_FAULT_SPEC`` environment variable — whether to
+fire a fault there.  With the variable unset every hook is a cheap
+no-op, so production runs pay one ``os.environ`` lookup per member.
+
+Spec grammar
+------------
+``REPRO_FAULT_SPEC`` holds one or more specs separated by ``;``::
+
+    spec     = kind [":" key "=" value]*
+    kind     = "worker_crash" | "worker_hang" | "member_error"
+             | "spool_corrupt" | "cache_corrupt"
+    key      = "member" | "attempt" | "seconds" | "exit" | "kind"
+
+Examples::
+
+    worker_crash:member=2:attempt=1      # kill the worker solving member 2,
+                                         # but only on its first attempt
+    worker_hang:member=1:seconds=60      # member 1's solve sleeps 60 s
+    member_error:member=0                # member 0 raises on every attempt
+    spool_corrupt:attempt=1              # generation payload reads fail once
+    cache_corrupt:kind=trees             # disk-cache reads of tree ensembles
+                                         # see garbage bytes
+
+Constraint keys restrict where a spec fires: ``member`` and ``attempt``
+must equal the site's context values when present; omitting a key means
+"any".  ``worker_crash`` and ``worker_hang`` additionally require the
+site to be inside a pool worker — they never fire on the engine's
+in-process (serial) attempts, which would take the parent down with
+them; use ``member_error`` to make a member unrecoverable across *all*
+attempts including the serial fallback.
+
+Injection sites
+---------------
+``member``
+    Entered once per member solve attempt (pool worker *and* serial
+    fallback).  ``worker_crash`` calls ``os._exit``, ``worker_hang``
+    sleeps, ``member_error`` raises :class:`InjectedFaultError`.
+``spool``
+    Entered in the pool worker just before the generation payload is
+    unpickled; ``spool_corrupt`` raises ``pickle.UnpicklingError`` as a
+    corrupted spool read would.
+``cache``
+    Entered in :meth:`repro.cache.cache.SolverCache._disk_load` before
+    an entry is unpickled; ``cache_corrupt`` overwrites the entry file
+    with garbage so the cache's *real* corrupt-entry recovery path runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping, Tuple
+
+__all__ = [
+    "ENV_FAULT_SPEC",
+    "FaultSpec",
+    "InjectedFaultError",
+    "parse_fault_spec",
+    "active_specs",
+    "maybe_inject",
+]
+
+ENV_FAULT_SPEC = "REPRO_FAULT_SPEC"
+
+#: Fault kind -> injection site it fires at.
+_SITE_OF = {
+    "worker_crash": "member",
+    "worker_hang": "member",
+    "member_error": "member",
+    "spool_corrupt": "spool",
+    "cache_corrupt": "cache",
+}
+
+#: Kinds that only make sense inside a pool worker process.
+_WORKER_ONLY = {"worker_crash", "worker_hang"}
+
+#: Constraint keys compared as integers against the site context.
+_INT_KEYS = {"member", "attempt"}
+
+
+class InjectedFaultError(RuntimeError):
+    """The exception ``member_error`` faults raise inside a member solve.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: injected
+    faults simulate unexpected failures, and the resilience layer must
+    classify them like any other foreign exception (kind ``error``).
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: a kind plus the constraints limiting where it fires."""
+
+    kind: str
+    constraints: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def site(self) -> str:
+        """The injection site this fault fires at."""
+        return _SITE_OF[self.kind]
+
+    def get(self, key: str, default: str = "") -> str:
+        """The raw value of constraint ``key`` (``default`` when absent)."""
+        for k, v in self.constraints:
+            if k == key:
+                return v
+        return default
+
+    def matches(self, context: Mapping[str, object]) -> bool:
+        """Whether this fault fires for one site visit's context."""
+        if self.kind in _WORKER_ONLY and not context.get("in_worker"):
+            return False
+        for key, raw in self.constraints:
+            if key in ("seconds", "exit"):
+                continue  # effect parameters, not constraints
+            if key not in context:
+                return False
+            actual = context[key]
+            if key in _INT_KEYS:
+                if int(actual) != int(raw):  # type: ignore[call-overload]
+                    return False
+            elif str(actual) != raw:
+                return False
+        return True
+
+
+def parse_fault_spec(text: str) -> Tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULT_SPEC`` value into :class:`FaultSpec` tuples.
+
+    Raises ``ValueError`` on unknown kinds or malformed ``key=value``
+    parts — a chaos run with a typo'd spec must fail loudly, not run
+    fault-free and report a false green.
+    """
+    specs = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        head, *parts = chunk.split(":")
+        kind = head.strip()
+        if kind not in _SITE_OF:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; choose from {sorted(_SITE_OF)}"
+            )
+        constraints = []
+        for part in parts:
+            if "=" not in part:
+                raise ValueError(f"malformed fault constraint {part!r} in {chunk!r}")
+            key, value = part.split("=", 1)
+            constraints.append((key.strip(), value.strip()))
+        specs.append(FaultSpec(kind=kind, constraints=tuple(constraints)))
+    return tuple(specs)
+
+
+@lru_cache(maxsize=8)
+def _parse_cached(text: str) -> Tuple[FaultSpec, ...]:
+    return parse_fault_spec(text)
+
+
+def active_specs() -> Tuple[FaultSpec, ...]:
+    """The faults currently enabled via ``REPRO_FAULT_SPEC`` (may be empty)."""
+    text = os.environ.get(ENV_FAULT_SPEC, "").strip()
+    if not text:
+        return ()
+    return _parse_cached(text)
+
+
+def _fire(spec: FaultSpec, context: Mapping[str, object]) -> None:
+    where = ", ".join(f"{k}={v}" for k, v in sorted(context.items()))
+    if spec.kind == "worker_crash":
+        os._exit(int(spec.get("exit", "23")))
+    if spec.kind == "worker_hang":
+        time.sleep(float(spec.get("seconds", "3600")))
+        return
+    if spec.kind == "member_error":
+        raise InjectedFaultError(f"injected member_error ({where})")
+    if spec.kind == "spool_corrupt":
+        raise pickle.UnpicklingError(f"injected spool corruption ({where})")
+    if spec.kind == "cache_corrupt":
+        path = context.get("path")
+        if path is not None:
+            try:
+                with open(str(path), "wb") as fh:
+                    fh.write(b"\x00injected cache corruption\x00")
+            except OSError:
+                pass
+        return
+    raise AssertionError(f"unhandled fault kind {spec.kind!r}")  # pragma: no cover
+
+
+def maybe_inject(site: str, **context: object) -> None:
+    """Fire every active fault matching ``site`` + ``context`` (usually none).
+
+    Call sites pass the facts a spec can constrain on: ``member`` and
+    ``attempt`` at the ``member``/``spool`` sites, ``kind`` and ``path``
+    at the ``cache`` site, plus ``in_worker`` wherever it is known.
+    """
+    for spec in active_specs():
+        if spec.site != site:
+            continue
+        if spec.matches(context):
+            _fire(spec, context)

@@ -1,0 +1,40 @@
+"""Fixtures for the resilience / chaos tests.
+
+Faults are enabled by setting ``REPRO_FAULT_SPEC`` in the environment.
+The pool uses the fork start method, so workers inherit the environment
+at fork time: the ``fault_env`` fixture always shuts the persistent pool
+down *before* changing the variable, and again on teardown so later
+tests never reuse workers with a fault spec baked in.
+"""
+
+import pytest
+
+from repro.core import pool as worker_pool
+from repro.graph.generators import planted_partition, random_demands
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.testing.faults import ENV_FAULT_SPEC
+
+
+@pytest.fixture
+def instance():
+    """The canonical clusterable instance the chaos tests solve."""
+    hier = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+    g = planted_partition(4, 6, 0.9, 0.05, seed=11)
+    d = random_demands(g.n, hier.total_capacity, fill=0.6, skew=0.3, seed=12)
+    return g, hier, d
+
+
+@pytest.fixture
+def fault_env(monkeypatch):
+    """Set (or clear) the fault spec with correct pool-lifecycle ordering."""
+
+    def _set(spec: str) -> None:
+        worker_pool.shutdown_pool()
+        if spec:
+            monkeypatch.setenv(ENV_FAULT_SPEC, spec)
+        else:
+            monkeypatch.delenv(ENV_FAULT_SPEC, raising=False)
+
+    _set("")  # start each test fault-free, even under the CI chaos matrix
+    yield _set
+    worker_pool.shutdown_pool()

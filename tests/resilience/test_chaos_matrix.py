@@ -1,0 +1,64 @@
+"""The chaos matrix: one recovery scenario per recoverable fault kind.
+
+Locally this parameterizes over the built-in matrix.  In the CI
+``chaos`` job the matrix comes from outside: the job sets
+``REPRO_FAULT_SPEC`` in the environment and this module tests exactly
+that spec (the ambient value must name a *recoverable* fault — the CI
+matrix uses crash, hang and spool corruption).
+
+Each scenario asserts the two halves of the resilience contract:
+
+* **Recovery** — the run completes despite the fault, with no degraded
+  flag and the full ensemble accounted for.
+* **Determinism** — cost and placement are bit-identical to a fault-free
+  run: retried members re-solve the same tree on the same grid.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import SolverConfig, solve_hgp
+from repro.core.resilience import ResilienceConfig, RetryPolicy
+from repro.testing.faults import ENV_FAULT_SPEC
+
+MATRIX = [
+    "worker_crash:member=2:attempt=1",
+    "worker_hang:member=1:attempt=1:seconds=600",
+    "spool_corrupt:attempt=1",
+]
+
+_AMBIENT = os.environ.get(ENV_FAULT_SPEC, "").strip()
+SPECS = [_AMBIENT] if _AMBIENT else MATRIX
+
+
+def _tolerant_config() -> SolverConfig:
+    """A policy that survives every matrix fault: retries + a deadline."""
+    return SolverConfig(
+        seed=3,
+        n_trees=8,
+        refine=False,
+        n_jobs=4,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            member_timeout_s=10.0,
+        ),
+    )
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_recovery_is_bit_identical(spec, instance, fault_env):
+    g, hier, d = instance
+    baseline = solve_hgp(g, hier, d, _tolerant_config())
+
+    fault_env(spec)
+    recovered = solve_hgp(g, hier, d, _tolerant_config())
+
+    assert recovered.cost == baseline.cost
+    assert np.array_equal(
+        recovered.placement.leaf_of, baseline.placement.leaf_of
+    )
+    report = recovered.report()
+    assert not report.degraded
+    assert len(report.members) == 8

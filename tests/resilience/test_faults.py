@@ -1,0 +1,113 @@
+"""Unit tests for the fault-injection harness itself."""
+
+import pickle
+
+import pytest
+
+from repro.testing.faults import (
+    ENV_FAULT_SPEC,
+    FaultSpec,
+    InjectedFaultError,
+    active_specs,
+    maybe_inject,
+    parse_fault_spec,
+)
+
+
+class TestParse:
+    def test_single_spec(self):
+        (spec,) = parse_fault_spec("worker_crash:member=2:attempt=1")
+        assert spec.kind == "worker_crash"
+        assert spec.site == "member"
+        assert spec.get("member") == "2"
+        assert spec.get("attempt") == "1"
+        assert spec.get("missing", "x") == "x"
+
+    def test_multiple_specs(self):
+        specs = parse_fault_spec("member_error:member=0; cache_corrupt:kind=trees")
+        assert [s.kind for s in specs] == ["member_error", "cache_corrupt"]
+        assert [s.site for s in specs] == ["member", "cache"]
+
+    def test_empty_chunks_skipped(self):
+        assert parse_fault_spec(";;worker_hang;;") == (
+            FaultSpec(kind="worker_hang"),
+        )
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault_spec("worker_explode")
+
+    def test_malformed_constraint_raises(self):
+        with pytest.raises(ValueError, match="malformed fault constraint"):
+            parse_fault_spec("worker_crash:member")
+
+
+class TestMatching:
+    def test_int_constraints_compare_numerically(self):
+        (spec,) = parse_fault_spec("member_error:member=02")
+        assert spec.matches({"member": 2, "attempt": 1})
+        assert not spec.matches({"member": 3, "attempt": 1})
+
+    def test_missing_context_key_never_matches(self):
+        (spec,) = parse_fault_spec("member_error:member=1")
+        assert not spec.matches({"attempt": 1})
+
+    def test_unconstrained_spec_matches_everything(self):
+        (spec,) = parse_fault_spec("member_error")
+        assert spec.matches({"member": 7, "attempt": 3, "in_worker": False})
+
+    def test_worker_only_kinds_need_a_worker(self):
+        (spec,) = parse_fault_spec("worker_crash:member=1")
+        assert not spec.matches({"member": 1, "in_worker": False})
+        assert not spec.matches({"member": 1})
+        assert spec.matches({"member": 1, "in_worker": True})
+
+    def test_effect_params_are_not_constraints(self):
+        (spec,) = parse_fault_spec("worker_hang:seconds=60:member=1")
+        assert spec.matches({"member": 1, "in_worker": True})
+
+
+class TestActiveSpecs:
+    def test_empty_without_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULT_SPEC, raising=False)
+        assert active_specs() == ()
+
+    def test_reads_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_SPEC, "member_error:member=3")
+        (spec,) = active_specs()
+        assert spec.kind == "member_error"
+
+
+class TestInjection:
+    def test_member_error_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_SPEC, "member_error:member=1")
+        with pytest.raises(InjectedFaultError):
+            maybe_inject("member", member=1, attempt=1, in_worker=False)
+        # Different member: silent.
+        maybe_inject("member", member=0, attempt=1, in_worker=False)
+        # Different site: silent.
+        maybe_inject("spool", member=1, attempt=1, in_worker=False)
+
+    def test_spool_corrupt_raises_unpickling_error(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULT_SPEC, "spool_corrupt:attempt=1")
+        with pytest.raises(pickle.UnpicklingError):
+            maybe_inject("spool", member=0, attempt=1, in_worker=True)
+        maybe_inject("spool", member=0, attempt=2, in_worker=True)
+
+    def test_cache_corrupt_overwrites_file(self, monkeypatch, tmp_path):
+        target = tmp_path / "entry.pkl"
+        target.write_bytes(pickle.dumps({"ok": True}))
+        monkeypatch.setenv(ENV_FAULT_SPEC, "cache_corrupt:kind=trees")
+        maybe_inject("cache", kind="trees", path=str(target))
+        with pytest.raises(Exception):
+            pickle.loads(target.read_bytes())
+        # Non-matching kind leaves the file alone.
+        good = tmp_path / "other.pkl"
+        good.write_bytes(pickle.dumps(1))
+        maybe_inject("cache", kind="demands", path=str(good))
+        assert pickle.loads(good.read_bytes()) == 1
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedFaultError, ReproError)

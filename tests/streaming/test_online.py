@@ -156,6 +156,7 @@ class TestCounters:
             "migrations",
             "reopt_calls",
             "reopt_seconds",
+            "reopt_failures",
             "tree_cache_hits",
             "tree_cache_misses",
         }
