@@ -30,7 +30,11 @@ from repro.graph.graph import Graph
 from repro.graph.spectral import fiedler_vector, sweep_cut
 from repro.baselines.fm import fm_refine
 from repro.baselines.kl import kl_refine
-from repro.decomposition.contraction import heavy_edge_matching
+from repro.decomposition.contraction import (
+    aggregate_unmatched,
+    heavy_edge_matching,
+    matching_labels,
+)
 from repro.utils.rng import SeedLike, ensure_rng
 
 __all__ = ["bisect", "partition_kway", "coarsen"]
@@ -47,32 +51,36 @@ def coarsen(
     Returns ``(graphs, weights, maps)`` where ``graphs[0]`` is the input,
     ``maps[i]`` sends level-``i`` vertices to level-``i+1`` supervertices,
     and the last graph has at most ``target_n`` vertices (or coarsening
-    stalled).
+    stalled).  Each level is one vectorised heavy-edge-matching pass —
+    no per-vertex Python loop anywhere on this path.
+
+    Supervertex weight is capped METIS-style at ``1.5 × total /
+    target_n`` so no cluster can swallow the graph (hub-heavy inputs
+    would otherwise leave one unsplittable mega-vertex and break the
+    bisection's balance), and stalled matchings fall back to
+    many-to-one aggregation of the unmatched vertices.
     """
     graphs = [g]
     weights = [np.asarray(vertex_weights, dtype=np.float64)]
     maps: List[np.ndarray] = []
+    max_weight = 1.5 * float(weights[0].sum()) / max(1, target_n)
     while graphs[-1].n > target_n:
         cur = graphs[-1]
-        match = heavy_edge_matching(cur, rng)
-        labels = np.full(cur.n, -1, dtype=np.int64)
-        nxt = 0
-        for v in range(cur.n):
-            if labels[v] >= 0:
-                continue
-            u = int(match[v])
-            if u >= 0 and labels[u] < 0:
-                labels[v] = labels[u] = nxt
-            else:
-                labels[v] = nxt
-            nxt += 1
-        if nxt >= cur.n:  # no progress (independent set remnant)
+        w = weights[-1]
+        match = heavy_edge_matching(
+            cur, rng, vertex_weights=w, max_weight=max_weight
+        )
+        labels = matching_labels(match)
+        n_super = int(labels.max()) + 1 if labels.size else 0
+        if n_super >= 0.98 * cur.n:  # stalled (hubs, independent remnants)
+            labels = aggregate_unmatched(
+                cur, match, vertex_weights=w, max_weight=max_weight
+            )
+            n_super = int(labels.max()) + 1 if labels.size else 0
+        if n_super >= cur.n:  # no progress at all
             break
-        coarse = cur.contract(labels)
-        w = np.zeros(nxt)
-        np.add.at(w, labels, weights[-1])
-        graphs.append(coarse)
-        weights.append(w)
+        graphs.append(cur.contract(labels))
+        weights.append(np.bincount(labels, weights=weights[-1], minlength=n_super))
         maps.append(labels)
     return graphs, weights, maps
 
@@ -84,6 +92,7 @@ def bisect(
     tol: float = 0.05,
     coarsen_to: int = 120,
     seed: SeedLike = None,
+    kl_polish_max_n: Optional[int] = 600,
 ) -> np.ndarray:
     """Multilevel weighted bisection.
 
@@ -101,6 +110,10 @@ def bisect(
         Coarsening stops at this many supervertices.
     seed:
         RNG seed.
+    kl_polish_max_n:
+        Largest ``g.n`` that still gets the final O(n²) KL polish on an
+        exactly-balanceable split (``None`` disables it).  Multilevel
+        callers lower or disable this on large levels.
 
     Returns
     -------
@@ -137,7 +150,11 @@ def bisect(
             tol=tol,
         )
     # A final KL polish when sides are exactly balanceable.
-    if abs(target_fraction - 0.5) < 1e-12 and g.n <= 600:
+    if (
+        kl_polish_max_n is not None
+        and abs(target_fraction - 0.5) < 1e-12
+        and g.n <= kl_polish_max_n
+    ):
         side = kl_refine(g, side, max_passes=2)
         side = fm_refine(
             g, side, vertex_weights=w, target_fraction=target_fraction, tol=tol
@@ -200,12 +217,13 @@ def partition_kway(
     vertex_weights: Optional[np.ndarray] = None,
     tol: float = 0.05,
     seed: SeedLike = None,
+    kl_polish_max_n: Optional[int] = 600,
 ) -> np.ndarray:
     """Balanced k-way partition by recursive multilevel bisection.
 
     Returns an integer label vector in ``[0, k)``; part weights are
     proportional (each ≈ ``1/k`` of the total within ``tol``-per-split
-    drift).
+    drift).  ``kl_polish_max_n`` is forwarded to every :func:`bisect`.
     """
     if k < 1:
         raise InvalidInputError(f"k must be >= 1, got {k}")
@@ -231,6 +249,7 @@ def partition_kway(
             target_fraction=frac,
             tol=min(tol, 0.5 / parts),
             seed=rng,
+            kl_polish_max_n=kl_polish_max_n,
         )
         rec(back[np.nonzero(mask)[0]], k1, first_label)
         rec(back[np.nonzero(~mask)[0]], k2, first_label + k1)

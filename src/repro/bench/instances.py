@@ -14,7 +14,9 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.graph.generators import (
+    barabasi_albert,
     grid_2d,
+    grid_3d,
     hypercube,
     layered_dag,
     planted_partition,
@@ -110,6 +112,15 @@ def _rmat(n_target: int, seed: int) -> Graph:
     return sub
 
 
+def _mesh3d(n_target: int, seed: int) -> Graph:
+    side = max(2, int(round(n_target ** (1.0 / 3.0))))
+    return grid_3d(side, side, side, weight_range=(0.5, 2.0), seed=seed)
+
+
+def _ba(n_target: int, seed: int) -> Graph:
+    return barabasi_albert(n_target, m_per_node=2, weight_range=(0.5, 2.0), seed=seed)
+
+
 #: Graph family name -> builder(n_target, seed).
 FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
     "grid": _grid,
@@ -119,6 +130,8 @@ FAMILIES: Dict[str, Callable[[int, int], Graph]] = {
     "dag": _dag,
     "hypercube": _hypercube,
     "rmat": _rmat,
+    "mesh3d": _mesh3d,
+    "ba": _ba,
 }
 
 

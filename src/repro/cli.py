@@ -73,7 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="write a synthetic workload graph")
-    gen.add_argument("--family", required=True, help="grid | expander | powerlaw | blocks | dag")
+    gen.add_argument(
+        "--family",
+        required=True,
+        help="grid | mesh3d | expander | powerlaw | ba | blocks | dag | "
+        "hypercube | rmat",
+    )
     gen.add_argument("--n", type=int, required=True, help="approximate vertex count")
     gen.add_argument("--seed", type=int, default=0)
     gen.add_argument("--out", required=True, help="output edge-list path")
@@ -188,6 +193,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the content-addressed solver cache for this run "
         "(always rebuild decomposition trees)",
+    )
+    solve.add_argument(
+        "--multilevel",
+        action="store_true",
+        help="coarsen–solve–refine front-end: coarsen to --coarsen-to "
+        "supervertices, run the engine there, refine on the way up "
+        "(hgp method only; for large graphs)",
+    )
+    solve.add_argument(
+        "--coarsen-to",
+        type=int,
+        default=160,
+        metavar="N",
+        help="multilevel coarsening target (supervertices)",
+    )
+    solve.add_argument(
+        "--refine-passes",
+        type=int,
+        default=2,
+        metavar="N",
+        help="hierarchy-aware FM passes per uncoarsening level",
     )
 
     cache = sub.add_parser("cache", help="inspect or wipe the solver cache")
@@ -308,6 +334,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             # must not populate or consult it either.
             get_cache().enabled = False
         from repro.core.resilience import ResilienceConfig, RetryPolicy
+        from repro.core.config import MultilevelConfig
 
         cfg = SolverConfig(
             seed=args.seed,
@@ -323,8 +350,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 allow_partial=args.allow_partial,
                 min_members=args.min_members,
             ),
+            multilevel=MultilevelConfig(
+                enabled=args.multilevel,
+                coarsen_to=args.coarsen_to,
+                refine_passes=args.refine_passes,
+            ),
         )
-        result = run_pipeline(g, hier, d, cfg, path="batch", logger=logger)
+        if args.multilevel:
+            from repro.multilevel import solve_multilevel
+
+            result = solve_multilevel(g, hier, d, cfg, logger=logger)
+        else:
+            result = run_pipeline(g, hier, d, cfg, path="batch", logger=logger)
         placement = result.placement
         if result.degraded:
             print(

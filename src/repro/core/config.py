@@ -15,7 +15,67 @@ from repro.core.resilience import ResilienceConfig
 from repro.errors import InvalidInputError
 from repro.hgpt.dp import DPConfig
 
-__all__ = ["SolverConfig"]
+__all__ = ["MultilevelConfig", "SolverConfig"]
+
+
+@dataclass(frozen=True)
+class MultilevelConfig:
+    """Knobs of the coarsen–solve–refine front-end (:mod:`repro.multilevel`).
+
+    Attributes
+    ----------
+    enabled:
+        Route :func:`repro.core.solver.solve_hgp` through
+        :func:`repro.multilevel.solve_multilevel` instead of handing the
+        full graph to the engine.  Off by default — small instances
+        solve exactly without coarsening.
+    coarsen_to:
+        Stop coarsening once the graph has at most this many
+        supervertices.  The default keeps the coarsest instance inside
+        the DP's comfortable regime (E4 sizes).
+    refine_passes:
+        Hierarchy-aware FM passes per uncoarsening level
+        (:func:`repro.baselines.fm.fm_refine_hierarchy`); ``0`` projects
+        the coarse placement without refinement.
+    max_levels:
+        Hard cap on coarsening levels (a stall backstop; heavy-edge
+        matching roughly halves the graph per level, so 64 covers any
+        practical instance).
+    stall_ratio:
+        Declare a stall (and stop coarsening) when one matching round
+        shrinks the graph by less than this factor.
+    match_rounds:
+        Proposal rounds per heavy-edge-matching call.
+    """
+
+    enabled: bool = False
+    coarsen_to: int = 160
+    refine_passes: int = 2
+    max_levels: int = 64
+    stall_ratio: float = 0.98
+    match_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if self.coarsen_to < 2:
+            raise InvalidInputError(
+                f"coarsen_to must be >= 2, got {self.coarsen_to}"
+            )
+        if self.refine_passes < 0:
+            raise InvalidInputError(
+                f"refine_passes must be >= 0, got {self.refine_passes}"
+            )
+        if self.max_levels < 1:
+            raise InvalidInputError(
+                f"max_levels must be >= 1, got {self.max_levels}"
+            )
+        if not (0 < self.stall_ratio <= 1):
+            raise InvalidInputError(
+                f"stall_ratio must be in (0, 1], got {self.stall_ratio}"
+            )
+        if self.match_rounds < 1:
+            raise InvalidInputError(
+                f"match_rounds must be >= 1, got {self.match_rounds}"
+            )
 
 
 @dataclass(frozen=True)
@@ -70,6 +130,12 @@ class SolverConfig:
         per-member retries and deadlines plus graceful degradation.  The
         defaults are "off" — one attempt, no deadline, no partial runs —
         so healthy runs behave exactly as before.
+    multilevel:
+        Coarsen–solve–refine front-end knobs (:class:`MultilevelConfig`).
+        When ``multilevel.enabled`` is set, :func:`repro.core.solver.solve_hgp`
+        coarsens the graph to ``coarsen_to`` supervertices, runs this
+        very engine configuration on the coarsest instance, and projects
+        the placement back up with hierarchy-aware FM refinement.
     """
 
     n_trees: int = 8
@@ -86,6 +152,7 @@ class SolverConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     dp: DPConfig = field(default_factory=DPConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    multilevel: MultilevelConfig = field(default_factory=MultilevelConfig)
 
     def __post_init__(self) -> None:
         if self.n_trees < 1:

@@ -151,7 +151,29 @@ def solve_hgp(
     InfeasibleError
         If a vertex exceeds leaf capacity or total demand exceeds total
         capacity.
+
+    Notes
+    -----
+    When ``config.multilevel.enabled`` is set the instance is routed
+    through the coarsen–solve–refine front-end
+    (:func:`repro.multilevel.solve_multilevel`): the engine runs on the
+    coarsest graph only, and the returned ``tree_costs`` / ``dp_costs`` /
+    ``grid`` describe that coarse solve while ``placement`` (and
+    ``cost``) are the fine-level result.
     """
+    if config.multilevel.enabled:
+        # Local import: repro.multilevel sits on top of the engine.
+        from repro.multilevel import solve_multilevel
+
+        res = solve_multilevel(g, hierarchy, demands, config)
+        return HGPResult(
+            res.placement,
+            res.coarse.tree_costs,
+            res.coarse.dp_costs,
+            res.telemetry.to_stopwatch(),
+            res.coarse.grid,
+            telemetry=res.telemetry,
+        )
     result = run_pipeline(g, hierarchy, demands, config, path="batch")
     return HGPResult(
         result.placement,

@@ -13,7 +13,7 @@ match, the tree has O(log n) expected depth on bounded-degree graphs.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -21,33 +21,158 @@ from repro.graph.graph import Graph
 from repro.decomposition.tree import DecompositionTree, TreeAssembler
 from repro.utils.rng import SeedLike, ensure_rng
 
-__all__ = ["contraction_decomposition_tree", "heavy_edge_matching"]
+__all__ = [
+    "contraction_decomposition_tree",
+    "heavy_edge_matching",
+    "matching_labels",
+    "aggregate_unmatched",
+]
 
 
-def heavy_edge_matching(g: Graph, rng: np.random.Generator) -> np.ndarray:
-    """Randomized greedy heavy-edge matching.
+def heavy_edge_matching(
+    g: Graph,
+    rng: np.random.Generator,
+    *,
+    vertex_weights: Optional[np.ndarray] = None,
+    max_weight: Optional[float] = None,
+    rounds: int = 8,
+) -> np.ndarray:
+    """Vectorised randomized heavy-edge matching (the METIS coarsening step).
 
-    Visits vertices in random order; each unmatched vertex grabs its
-    heaviest unmatched neighbour.  Returns ``match[v]`` = partner id or
-    ``-1``.  This is the classic METIS coarsening step.
+    Runs proposal rounds over the CSR adjacency: each free vertex
+    proposes to its heaviest *eligible* free neighbour (ties broken by a
+    seeded random vertex priority, so results are deterministic given
+    ``rng``), and mutual proposals become matches.  A handful of rounds
+    reaches a maximal-ish matching — each round matches a constant
+    fraction of the surviving proposal graph in expectation — without any
+    per-vertex Python loop.
+
+    When ``vertex_weights`` and ``max_weight`` are given, a pair is only
+    eligible if the merged supervertex stays within ``max_weight``.  The
+    multilevel front-end uses this with ``max_weight = leaf_capacity`` so
+    every coarse level remains a feasible HGP instance.
+
+    Returns ``match[v]`` = partner id or ``-1`` (unmatched).
     """
-    match = np.full(g.n, -1, dtype=np.int64)
-    for v in rng.permutation(g.n):
-        if match[v] >= 0:
-            continue
-        nbrs = g.neighbors(v)
-        ws = g.neighbor_weights(v)
-        free = match[nbrs] < 0
-        # Exclude self-matching artifacts (cannot happen: no self-loops).
+    n = g.n
+    match = np.full(n, -1, dtype=np.int64)
+    if n == 0 or g.m == 0:
+        return match
+    deg = np.diff(g.indptr)
+    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
+    # Static per-call entry order: within each vertex's CSR segment,
+    # heaviest edge first, then lowest random priority of the neighbour.
+    tie = rng.permutation(n).astype(np.int64)
+    order = np.lexsort((tie[g.indices], -g.adj_weights, owner))
+    nbr = g.indices[order]
+    if vertex_weights is not None and max_weight is not None:
+        vw = np.asarray(vertex_weights, dtype=np.float64)
+        fits = (vw[owner] + vw[g.indices]) <= max_weight * (1 + 1e-9)
+        fits = fits[order]
+    else:
+        fits = np.ones(nbr.size, dtype=bool)
+    n_entries = nbr.size
+    entry_pos = np.arange(n_entries, dtype=np.int64)
+    seg_start = g.indptr[:-1]
+    nonempty = deg > 0
+    ids = np.arange(n, dtype=np.int64)
+    for _ in range(max(1, rounds)):
+        free = match < 0
         if not free.any():
-            continue
-        cand_ws = np.where(free, ws, -np.inf)
-        u = int(nbrs[int(np.argmax(cand_ws))])
-        if u == v or match[u] >= 0:
-            continue
-        match[v] = u
-        match[u] = v
+            break
+        elig = fits & free[nbr]
+        # First eligible entry per CSR segment (min position, reduceat
+        # over the non-empty segments only; an empty reduce is invalid).
+        pos = np.where(elig, entry_pos, n_entries)
+        first = np.full(n, n_entries, dtype=np.int64)
+        if nonempty.any():
+            first[nonempty] = np.minimum.reduceat(pos, seg_start[nonempty])
+        proposal = np.full(n, -1, dtype=np.int64)
+        has = free & (first < n_entries)
+        proposal[has] = nbr[first[has]]
+        # Conflict resolution: only mutual proposals match this round.
+        target = np.where(proposal >= 0, proposal, 0)
+        mutual = (proposal >= 0) & (proposal[target] == ids)
+        if not mutual.any():
+            break
+        match[mutual] = proposal[mutual]
     return match
+
+
+def matching_labels(match: np.ndarray) -> np.ndarray:
+    """Dense supervertex labels from a matching vector.
+
+    Matched pairs share the label of their smaller endpoint; unmatched
+    vertices keep their own.  Labels are re-numbered ``0..L-1`` in
+    representative order, so the output is deterministic given ``match``
+    and directly consumable by :meth:`repro.graph.Graph.contract`.
+    """
+    match = np.asarray(match, dtype=np.int64)
+    n = match.size
+    ids = np.arange(n, dtype=np.int64)
+    rep = np.where(match >= 0, np.minimum(ids, match), ids)
+    _, labels = np.unique(rep, return_inverse=True)
+    return labels.astype(np.int64, copy=False)
+
+
+def aggregate_unmatched(
+    g: Graph,
+    match: np.ndarray,
+    *,
+    vertex_weights: Optional[np.ndarray] = None,
+    max_weight: Optional[float] = None,
+) -> np.ndarray:
+    """Merge unmatched vertices into their heaviest neighbour's cluster.
+
+    Matching alone coarsens star-like regions one leaf per level (a hub
+    can match only one spoke), so heavy-tailed graphs stall.  This is the
+    standard escape hatch: every vertex the matching left single joins
+    the cluster of its heaviest neighbour, *many-to-one*, lightest
+    joiners first, subject to the same ``max_weight`` cap as matching.
+    Returns dense supervertex labels (a drop-in replacement for
+    :func:`matching_labels` output).
+
+    Chains are resolved conservatively: a single vertex whose heaviest
+    neighbour also moves may end up alone in the neighbour's abandoned
+    cluster — still a valid labelling, just no shrink for that vertex.
+    """
+    labels = matching_labels(match)
+    n = g.n
+    if n == 0 or g.m == 0:
+        return labels
+    deg = np.diff(g.indptr)
+    free = (np.asarray(match) < 0) & (deg > 0)
+    if not free.any():
+        return labels
+    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
+    order = np.lexsort((-g.adj_weights, owner))
+    # Sorted stably by owner, each vertex's segment keeps its CSR
+    # position, so the segment's first sorted entry is its heaviest edge.
+    heavy_nbr = np.full(n, -1, dtype=np.int64)
+    nz = deg > 0
+    heavy_nbr[nz] = g.indices[order[g.indptr[:-1][nz]]]
+    fv = np.nonzero(free)[0]
+    target = labels[heavy_nbr[fv]]
+    if vertex_weights is None or max_weight is None:
+        labels[fv] = target
+    else:
+        vw = np.asarray(vertex_weights, dtype=np.float64)
+        base = np.bincount(labels, weights=vw, minlength=int(labels.max()) + 1)
+        ord2 = np.lexsort((vw[fv], target))
+        fv_s = fv[ord2]
+        t_s = target[ord2]
+        w_s = vw[fv_s]
+        # Per-target prefix sums: accept joiners while the cluster stays
+        # under the cap (segment-local cumsum via a forward-filled offset).
+        cs = np.cumsum(w_s)
+        starts = np.nonzero(np.diff(t_s))[0] + 1
+        offset = np.zeros(fv_s.size, dtype=np.float64)
+        offset[starts] = cs[starts - 1]
+        np.maximum.accumulate(offset, out=offset)
+        ok = base[t_s] + (cs - offset) <= max_weight * (1 + 1e-9)
+        labels[fv_s[ok]] = t_s[ok]
+    _, labels = np.unique(labels, return_inverse=True)
+    return labels.astype(np.int64, copy=False)
 
 
 def contraction_decomposition_tree(

@@ -10,7 +10,9 @@ from repro.graph.ops import (
     minimum_spanning_tree,
 )
 from repro.graph.generators import (
+    barabasi_albert,
     grid_2d,
+    grid_3d,
     hypercube,
     layered_dag,
     planted_partition,
@@ -40,7 +42,9 @@ __all__ = [
     "dijkstra",
     "largest_component",
     "minimum_spanning_tree",
+    "barabasi_albert",
     "grid_2d",
+    "grid_3d",
     "hypercube",
     "layered_dag",
     "planted_partition",

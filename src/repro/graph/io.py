@@ -9,6 +9,7 @@ weights (fmt codes ``0``, ``1``, ``10``, ``11``).
 
 from __future__ import annotations
 
+from itertools import chain
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
@@ -33,7 +34,7 @@ def write_metis(
     demands: Optional[np.ndarray] = None,
     weight_scale: float = 1000.0,
 ) -> None:
-    """Write ``g`` in METIS format.
+    """Write ``g`` in METIS format (vectorised; no per-edge Python loop).
 
     METIS requires *integer* edge and vertex weights, so floats are scaled
     by ``weight_scale`` and rounded (a documented, lossy step; use
@@ -43,33 +44,64 @@ def write_metis(
     ----------
     path: destination file.
     g: graph to serialize.
-    demands: optional per-vertex demand vector written as vertex weights.
+    demands:
+        Optional vertex weights: shape ``(n,)``, or ``(n, ncon)`` for the
+        multi-constraint variant (``ncon`` weight columns per vertex,
+        declared in the header's fourth field).
     weight_scale: multiplier applied before integer rounding.
     """
-    if demands is not None and np.asarray(demands).shape != (g.n,):
-        raise InvalidInputError("demands must have shape (n,)")
-    fmt = "11" if demands is not None else "1"
-    lines = [f"{g.n} {g.m} {fmt}"]
-    # Build per-vertex adjacency strings from CSR (1-indexed per METIS).
-    for v in range(g.n):
-        parts: list[str] = []
-        if demands is not None:
-            parts.append(str(max(1, int(round(float(demands[v]) * weight_scale)))))
-        nbrs = g.neighbors(v)
-        ws = g.neighbor_weights(v)
-        for u, w in zip(nbrs, ws):
-            parts.append(str(int(u) + 1))
-            parts.append(str(max(1, int(round(float(w) * weight_scale)))))
-        lines.append(" ".join(parts))
+    vw = None
+    ncon = 1
+    if demands is not None:
+        vw = np.asarray(demands, dtype=np.float64)
+        if vw.ndim == 1:
+            vw = vw[:, None]
+        if vw.ndim != 2 or vw.shape[0] != g.n:
+            raise InvalidInputError(
+                f"demands must have shape ({g.n},) or ({g.n}, ncon), got "
+                f"{np.asarray(demands).shape}"
+            )
+        ncon = vw.shape[1]
+    header = f"{g.n} {g.m} 11" if vw is not None else f"{g.n} {g.m} 1"
+    if ncon > 1:
+        header += f" {ncon}"
+    # All integer formatting happens on whole arrays; the only Python
+    # loop joins one pre-formatted token slice per line.
+    nbr_s = np.char.mod("%d", g.indices + 1)
+    w_int = np.maximum(
+        1, np.rint(g.adj_weights * weight_scale).astype(np.int64)
+    )
+    w_s = np.char.mod("%d", w_int)
+    width = max(
+        nbr_s.dtype.itemsize, w_s.dtype.itemsize
+    ) // np.dtype("U1").itemsize
+    inter = np.empty(2 * g.indices.size, dtype=f"<U{max(1, width)}")
+    inter[0::2] = nbr_s
+    inter[1::2] = w_s
+    adj_parts = np.split(inter, 2 * g.indptr[1:-1])
+    if vw is not None:
+        vw_int = np.maximum(1, np.rint(vw * weight_scale).astype(np.int64))
+        vw_lines = [" ".join(row) for row in np.char.mod("%d", vw_int)]
+        lines = [header]
+        lines.extend(
+            f"{p} {a}" if a else p
+            for p, a in zip(vw_lines, (" ".join(part) for part in adj_parts))
+        )
+    else:
+        lines = [header]
+        lines.extend(" ".join(part) for part in adj_parts)
     Path(path).write_text("\n".join(lines) + "\n")
 
 
 def read_metis(path: PathLike) -> Tuple[Graph, Optional[np.ndarray]]:
-    """Read a METIS ``.graph`` file.
+    """Read a METIS ``.graph`` file (vectorised single-pass tokenizer).
 
-    Returns the graph and the vertex-weight vector (or ``None``).  Comment
-    lines starting with ``%`` are skipped.  Edge weights are returned as
-    the raw integers (callers rescale if they wrote scaled floats).
+    Returns the graph and the vertex-weight array — ``None`` when the
+    file has no vertex weights, shape ``(n,)`` for ``ncon = 1``, and
+    shape ``(n, ncon)`` for the multi-constraint variant (all ``ncon``
+    columns are consumed, not just the first).  Comment lines starting
+    with ``%`` are skipped.  Edge weights are returned as the raw
+    integers (callers rescale if they wrote scaled floats).
     """
     raw = [
         ln
@@ -86,37 +118,63 @@ def read_metis(path: PathLike) -> Tuple[Graph, Optional[np.ndarray]]:
     has_vwgt = len(fmt) >= 2 and fmt[-2] == "1"
     has_ewgt = fmt[-1] == "1"
     ncon = int(header[3]) if len(header) >= 4 else 1
+    if ncon < 1:
+        raise InvalidInputError(f"{path}: ncon must be >= 1, got {ncon}")
     if len(raw) - 1 != n:
         raise InvalidInputError(
             f"{path}: header declares {n} vertices but file has {len(raw) - 1} adjacency lines"
         )
-    vwgts = np.zeros(n, dtype=np.float64) if has_vwgt else None
-    eus: list[int] = []
-    evs: list[int] = []
-    ews: list[float] = []
-    for v, line in enumerate(raw[1:]):
-        tokens = line.split()
-        pos = 0
-        if has_vwgt:
-            vwgts[v] = float(tokens[0])  # type: ignore[index]
-            pos = ncon
-        while pos < len(tokens):
-            u = int(tokens[pos]) - 1
-            pos += 1
-            if has_ewgt:
-                w = float(tokens[pos])
-                pos += 1
-            else:
-                w = 1.0
-            if u > v:  # each edge appears twice; keep canonical direction
-                eus.append(v)
-                evs.append(u)
-                ews.append(w)
+    # One tokenization pass: split each line once, then parse the whole
+    # token stream as one float64 array and slice it positionally.
+    tok_lists = [ln.split() for ln in raw[1:]]
+    counts = np.fromiter(map(len, tok_lists), dtype=np.int64, count=n)
+    total = int(counts.sum())
+    try:
+        flat = np.fromiter(
+            chain.from_iterable(tok_lists), dtype=np.float64, count=total
+        )
+    except ValueError as exc:
+        raise InvalidInputError(f"{path}: non-numeric token ({exc})") from exc
+    n_vw = ncon if has_vwgt else 0
+    adj_counts = counts - n_vw
+    if (adj_counts < 0).any():
+        v = int(np.argmax(adj_counts < 0))
+        raise InvalidInputError(
+            f"{path}: vertex {v + 1} line has fewer than ncon={ncon} tokens"
+        )
+    if has_ewgt and (adj_counts % 2).any():
+        v = int(np.argmax(adj_counts % 2))
+        raise InvalidInputError(
+            f"{path}: vertex {v + 1} line has a neighbour without a weight"
+        )
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    owner = np.repeat(np.arange(n, dtype=np.int64), counts)
+    in_line = np.arange(total, dtype=np.int64) - offsets[owner]
+    vwgts: Optional[np.ndarray] = None
+    if has_vwgt:
+        vwgts = flat[in_line < n_vw].reshape(n, ncon)
+        if ncon == 1:
+            vwgts = vwgts[:, 0]
+    adj_mask = in_line >= n_vw
+    adj = flat[adj_mask]
+    adj_owner = owner[adj_mask]
+    if has_ewgt:
+        # Per-line adjacency token counts are even (checked above), so
+        # the concatenated stream alternates neighbour/weight globally.
+        nbrs = adj[0::2]
+        ws = adj[1::2]
+        nbr_owner = adj_owner[0::2]
+    else:
+        nbrs = adj
+        ws = np.ones(adj.size, dtype=np.float64)
+        nbr_owner = adj_owner
+    u = nbrs.astype(np.int64) - 1
+    if u.size and (u.min() < 0 or u.max() >= n):
+        raise InvalidInputError(f"{path}: neighbour id out of range [1, {n}]")
+    keep = u > nbr_owner  # each edge appears twice; keep canonical direction
     g = Graph.from_edge_arrays(
-        n,
-        np.asarray(eus, dtype=np.int64),
-        np.asarray(evs, dtype=np.int64),
-        np.asarray(ews, dtype=np.float64),
+        n, nbr_owner[keep], u[keep], ws[keep].astype(np.float64)
     )
     if g.m != m:
         raise InvalidInputError(

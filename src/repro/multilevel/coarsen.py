@@ -1,0 +1,185 @@
+"""Vectorised coarsening for the multilevel front-end.
+
+Builds the level stack the coarsen–solve–refine scheme walks: iterated
+heavy-edge matching (the vectorised kernel in
+:mod:`repro.decomposition.contraction`) contracts the graph towards
+``target_n`` supervertices while summing per-vertex demands and merged
+edge weights, capping every supervertex's demand at the hierarchy's leaf
+capacity so **each coarse level remains a feasible HGP instance** — the
+coarsest graph feeds straight into the staged engine.
+
+Progress per level is monitored: when a matching round shrinks the graph
+by less than ``stall_ratio`` (disconnected remnants, demand caps binding
+everywhere), coarsening stops and the stall is recorded in
+:class:`CoarsenStats` instead of looping forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.decomposition.contraction import (
+    aggregate_unmatched,
+    heavy_edge_matching,
+    matching_labels,
+)
+from repro.errors import InvalidInputError
+from repro.graph.graph import Graph
+from repro.utils.rng import SeedLike, ensure_rng
+
+__all__ = ["CoarsenStats", "CoarseningHierarchy", "coarsen_graph"]
+
+
+@dataclass(frozen=True)
+class CoarsenStats:
+    """Diagnostics of one coarsening run.
+
+    Attributes
+    ----------
+    levels:
+        Number of graphs in the hierarchy, including the finest.
+    n_fine, n_coarsest, m_coarsest:
+        Vertex count of the input, and vertex/edge counts of the
+        coarsest graph.
+    shrink_factor:
+        ``n_fine / n_coarsest`` — how much the whole stack shrank.
+    level_shrinks:
+        Per-level ``n_coarse / n_fine`` ratios (one entry per contraction).
+    stalled:
+        Whether coarsening stopped above ``target_n`` because a matching
+        round made no (or too little) progress.
+    """
+
+    levels: int
+    n_fine: int
+    n_coarsest: int
+    m_coarsest: int
+    shrink_factor: float
+    level_shrinks: tuple
+    stalled: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready flat view (``level_shrinks`` as a list)."""
+        out = asdict(self)
+        out["level_shrinks"] = list(self.level_shrinks)
+        return out
+
+
+@dataclass
+class CoarseningHierarchy:
+    """The level stack: graphs, summed demands, and level-to-level maps.
+
+    ``graphs[0]`` is the input; ``maps[i]`` sends level-``i`` vertices to
+    level-``i+1`` supervertices; ``demands[i]`` are the per-supervertex
+    demand sums at level ``i`` (conserved exactly across levels).
+    """
+
+    graphs: List[Graph]
+    demands: List[np.ndarray]
+    maps: List[np.ndarray]
+    stats: CoarsenStats
+
+    @property
+    def coarsest(self) -> Graph:
+        """The deepest (smallest) graph in the stack."""
+        return self.graphs[-1]
+
+    def compose(self) -> np.ndarray:
+        """Fine→coarsest labelling: the composition of all level maps."""
+        labels = np.arange(self.graphs[0].n, dtype=np.int64)
+        for mp in self.maps:
+            labels = mp[labels]
+        return labels
+
+    def project(self, coarse_labels: np.ndarray) -> np.ndarray:
+        """Pull a coarsest-level labelling back to the finest level."""
+        coarse_labels = np.asarray(coarse_labels, dtype=np.int64)
+        if coarse_labels.shape != (self.coarsest.n,):
+            raise InvalidInputError(
+                f"labels must have shape ({self.coarsest.n},), got "
+                f"{coarse_labels.shape}"
+            )
+        return coarse_labels[self.compose()]
+
+
+def coarsen_graph(
+    g: Graph,
+    demands: np.ndarray,
+    *,
+    target_n: int,
+    max_weight: Optional[float] = None,
+    rng: SeedLike = None,
+    max_levels: int = 64,
+    stall_ratio: float = 0.98,
+    rounds: int = 8,
+) -> CoarseningHierarchy:
+    """Coarsen ``g`` towards ``target_n`` supervertices.
+
+    Parameters
+    ----------
+    g:
+        Input graph (level 0).
+    demands:
+        Per-vertex demands, summed into supervertices at every level.
+    target_n:
+        Stop once the current level has at most this many vertices.
+    max_weight:
+        Cap on a merged supervertex's demand (pass the hierarchy's leaf
+        capacity so coarse instances stay feasible); ``None`` = no cap.
+    rng:
+        Seed or generator — the only randomness is the matching's
+        tie-break priority, so the whole hierarchy is bit-deterministic
+        given a seed.
+    max_levels:
+        Hard cap on contraction levels.
+    stall_ratio:
+        Stop when a level shrinks by less than this factor.
+    rounds:
+        Proposal rounds per matching.
+    """
+    if target_n < 1:
+        raise InvalidInputError(f"target_n must be >= 1, got {target_n}")
+    d0 = np.asarray(demands, dtype=np.float64)
+    if d0.shape != (g.n,):
+        raise InvalidInputError(f"demands must have shape ({g.n},), got {d0.shape}")
+    rng = ensure_rng(rng)
+    graphs: List[Graph] = [g]
+    dems: List[np.ndarray] = [d0]
+    maps: List[np.ndarray] = []
+    shrinks: List[float] = []
+    stalled = False
+    while graphs[-1].n > target_n and len(maps) < max_levels:
+        cur, d = graphs[-1], dems[-1]
+        match = heavy_edge_matching(
+            cur, rng, vertex_weights=d, max_weight=max_weight, rounds=rounds
+        )
+        labels = matching_labels(match)
+        n_super = int(labels.max()) + 1 if labels.size else 0
+        if n_super >= cur.n * stall_ratio:
+            # Matching stalled (hubs match one spoke per level): fall
+            # back to many-to-one aggregation of the unmatched vertices.
+            labels = aggregate_unmatched(
+                cur, match, vertex_weights=d, max_weight=max_weight
+            )
+            n_super = int(labels.max()) + 1 if labels.size else 0
+        if n_super >= cur.n * stall_ratio:
+            stalled = True
+            break
+        graphs.append(cur.contract(labels))
+        dems.append(np.bincount(labels, weights=d, minlength=n_super))
+        maps.append(labels)
+        shrinks.append(n_super / cur.n)
+    coarsest = graphs[-1]
+    stats = CoarsenStats(
+        levels=len(graphs),
+        n_fine=g.n,
+        n_coarsest=coarsest.n,
+        m_coarsest=coarsest.m,
+        shrink_factor=g.n / max(1, coarsest.n),
+        level_shrinks=tuple(shrinks),
+        stalled=stalled or coarsest.n > target_n,
+    )
+    return CoarseningHierarchy(graphs, dems, maps, stats)

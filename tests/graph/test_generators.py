@@ -220,3 +220,69 @@ class TestRmat:
             rmat(5, probs=(0.5, 0.5, 0.5, 0.5))
         with pytest.raises(InvalidInputError):
             rmat(1)
+
+
+class TestGrid3d:
+    def test_size_and_degrees(self):
+        from repro.graph.generators import grid_3d
+
+        g = grid_3d(4, 5, 6)
+        assert g.n == 120
+        # m = 3*nx*ny*nz - ny*nz - nx*nz - nx*ny
+        assert g.m == 3 * 120 - 5 * 6 - 4 * 6 - 4 * 5
+        degs = np.array([g.degree(v) for v in range(g.n)])
+        assert degs.max() == 6
+        assert degs.min() == 3  # corners
+
+    def test_neighbours_are_adjacent_cells(self):
+        from repro.graph.generators import grid_3d
+
+        nx, ny, nz = 3, 4, 5
+        g = grid_3d(nx, ny, nz)
+        for u, v, _ in g.iter_edges():
+            xu, r = divmod(u, ny * nz)
+            yu, zu = divmod(r, nz)
+            xv, r = divmod(v, ny * nz)
+            yv, zv = divmod(r, nz)
+            assert abs(xu - xv) + abs(yu - yv) + abs(zu - zv) == 1
+
+    def test_validates(self):
+        from repro.graph.generators import grid_3d
+
+        with pytest.raises(InvalidInputError):
+            grid_3d(0, 2, 2)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_heavy_tail(self):
+        from repro.graph.generators import barabasi_albert
+
+        g = barabasi_albert(4000, 2, seed=0)
+        assert g.n == 4000
+        # Each of n - d new vertices adds d edges (a few merge/self-drop).
+        assert g.m <= 2 * (4000 - 2)
+        assert g.m >= int(0.95 * 2 * (4000 - 2))
+        degs = np.array([g.degree(v) for v in range(g.n)])
+        pos = degs[degs > 0]
+        assert degs.max() >= 10 * np.median(pos)
+
+    def test_connected_like_power_law(self):
+        from repro.graph.generators import barabasi_albert
+        from repro.graph.ops import largest_component
+
+        g = barabasi_albert(500, 2, seed=1)
+        sub, _ = largest_component(g)
+        assert sub.n >= 0.99 * g.n
+
+    def test_deterministic(self):
+        from repro.graph.generators import barabasi_albert
+
+        assert barabasi_albert(300, 3, seed=5) == barabasi_albert(300, 3, seed=5)
+
+    def test_validates(self):
+        from repro.graph.generators import barabasi_albert
+
+        with pytest.raises(InvalidInputError):
+            barabasi_albert(3, 3)
+        with pytest.raises(InvalidInputError):
+            barabasi_albert(10, 0)

@@ -81,3 +81,81 @@ class TestMetis:
         g, vw = read_metis(p)
         assert g.m == 2
         assert np.allclose(g.edges_w, 1.0)
+
+    def test_vertex_weight_only_format(self, tmp_path):
+        # fmt "10": vertex weights, unweighted edges.
+        p = tmp_path / "vw.graph"
+        p.write_text("3 2 10\n7 2\n3 1 3\n9 2\n")
+        g, vw = read_metis(p)
+        assert g.m == 2
+        assert np.allclose(g.edges_w, 1.0)
+        assert np.allclose(vw, [7.0, 3.0, 9.0])
+
+    def test_multi_constraint_vertex_weights(self, tmp_path):
+        # ncon = 2: two weight columns per vertex, all consumed.
+        p = tmp_path / "mc.graph"
+        p.write_text("3 2 11 2\n7 1 2 5\n3 2 1 5 3 5\n9 3 2 5\n")
+        g, vw = read_metis(p)
+        assert g.m == 2
+        assert vw.shape == (3, 2)
+        assert np.allclose(vw, [[7, 1], [3, 2], [9, 3]])
+        assert g.edge_weight(0, 1) == 5.0
+        assert g.edge_weight(1, 2) == 5.0
+
+    def test_multi_constraint_round_trip(self, tmp_path, path3):
+        demands = np.array([[0.5, 1.0], [0.25, 2.0], [1.0, 3.0]])
+        p = tmp_path / "mc2.graph"
+        write_metis(p, path3, demands=demands, weight_scale=100.0)
+        header = p.read_text().splitlines()[0].split()
+        assert header[2:] == ["11", "2"]
+        back, vw = read_metis(p)
+        assert back.n == path3.n and back.m == path3.m
+        assert vw.shape == (3, 2)
+        assert np.allclose(vw / 100.0, demands)
+
+    def test_truncated_vertex_weight_line_rejected(self, tmp_path):
+        p = tmp_path / "trunc.graph"
+        p.write_text("2 1 11 3\n1 2\n1 1 1 1 2\n")
+        with pytest.raises(InvalidInputError):
+            read_metis(p)
+
+    def test_missing_edge_weight_rejected(self, tmp_path):
+        p = tmp_path / "odd.graph"
+        p.write_text("2 1 1\n2 3\n1\n")
+        with pytest.raises(InvalidInputError):
+            read_metis(p)
+
+    def test_neighbour_out_of_range_rejected(self, tmp_path):
+        p = tmp_path / "oor.graph"
+        p.write_text("2 1 1\n3 1\n1 1\n")
+        with pytest.raises(InvalidInputError):
+            read_metis(p)
+
+    def test_isolated_vertex_round_trip(self, tmp_path):
+        g = Graph(3, [(0, 1, 2.0)])  # vertex 2 has an empty line
+        p = tmp_path / "iso.graph"
+        write_metis(p, g, demands=np.array([0.5, 0.5, 0.5]), weight_scale=2.0)
+        back, vw = read_metis(p)
+        assert back.n == 3 and back.m == 1
+        assert np.allclose(vw, 1.0)
+
+    def test_large_round_trip(self, tmp_path):
+        # ~10^5-edge instance through write→read, integer weights so the
+        # trip is lossless at scale 1.
+        from repro.graph.generators import grid_2d
+
+        g = grid_2d(230, 230)  # 52 900 vertices, 105 340 edges
+        rng = np.random.default_rng(0)
+        g = Graph.from_edge_arrays(
+            g.n,
+            g.edges_u,
+            g.edges_v,
+            rng.integers(1, 100, size=g.m).astype(np.float64),
+        )
+        demands = rng.integers(1, 50, size=g.n).astype(np.float64)
+        p = tmp_path / "big.graph"
+        write_metis(p, g, demands=demands, weight_scale=1.0)
+        back, vw = read_metis(p)
+        assert back.n == g.n and back.m == g.m
+        assert back == g
+        assert np.array_equal(vw, demands)
