@@ -43,3 +43,31 @@ def _persist_run_reports():
             os.environ.pop("REPRO_RUN_REPORT_DIR", None)
         else:
             os.environ["REPRO_RUN_REPORT_DIR"] = previous
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _dump_session_metrics():
+    """Dump the registry to ``$REPRO_METRICS_DUMP`` at session end.
+
+    The file carries both the JSON snapshot (machine-readable; what
+    ``tools/bench_regress.py --metrics-dump`` validates) and the
+    Prometheus text rendering (human-greppable in a CI artifact).
+    Unset variable = no dump, zero overhead.
+    """
+    yield
+    path = os.environ.get("REPRO_METRICS_DUMP")
+    if not path:
+        return
+    import json
+
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(
+        json.dumps(
+            {"snapshot": registry.snapshot(), "rendered": registry.render()},
+            indent=2,
+        )
+        + "\n"
+    )

@@ -19,8 +19,10 @@ Three subcommands cover the operator workflow end-to-end:
 ``report``
     Analyse saved run reports: ``show`` pretty-prints the span tree and
     member table, ``diff`` compares two reports with an optional
-    ``--fail-above PCT`` regression gate (non-zero exit on breach), and
-    ``trace`` exports Chrome trace-event JSON for Perfetto.
+    ``--fail-above PCT`` regression gate (non-zero exit on breach),
+    ``trace`` exports Chrome trace-event JSON for Perfetto, and
+    ``flame`` emits the collapsed-stack profile of a ``--profile`` run
+    for flamegraph.pl / speedscope.
 
 Examples
 --------
@@ -215,6 +217,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="hierarchy-aware FM passes per uncoarsening level",
     )
+    solve.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="run the continuous sampling profiler and write the "
+        "collapsed-stack (flamegraph-compatible) profile here; the run "
+        "report gains a 'profile' section (hgp methods only)",
+    )
+    solve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=97.0,
+        metavar="HZ",
+        help="profiler sampling rate (with --profile; default 97)",
+    )
+    solve.add_argument(
+        "--profile-mem",
+        action="store_true",
+        help="also record per-stage tracemalloc allocation deltas "
+        "(with --profile; adds overhead)",
+    )
+    solve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /debug/profile on this port "
+        "for the duration of the solve (0 = OS-assigned)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or wipe the solver cache")
     csub = cache.add_subparsers(dest="cache_command", required=True)
@@ -269,6 +300,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker-lane count (default: n_jobs from the report's config)",
     )
+
+    flame = rsub.add_parser(
+        "flame",
+        help="emit the collapsed-stack profile of a profiled run "
+        "(pipe into flamegraph.pl / paste into speedscope)",
+    )
+    flame.add_argument(
+        "report", help="run-report JSON file (from solve --profile --report)"
+    )
+    flame.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the collapsed stacks here instead of stdout",
+    )
     return parser
 
 
@@ -298,6 +344,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    exporter = None
+    if args.metrics_port is not None:
+        from repro.obs.exporter import start_exporter
+
+        exporter = start_exporter(port=args.metrics_port)
+        print(
+            f"metrics exporter listening on {exporter.url}/metrics",
+            file=sys.stderr,
+        )
+    try:
+        return _run_solve(args)
+    finally:
+        if exporter is not None:
+            exporter.stop()
+
+
+def _run_solve(args: argparse.Namespace) -> int:
     g = _load_graph(args.graph, args.format)
     hier = Hierarchy(args.degrees, args.cm, leaf_capacity=args.leaf_capacity)
     if args.demands is not None:
@@ -335,6 +398,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             get_cache().enabled = False
         from repro.core.resilience import ResilienceConfig, RetryPolicy
         from repro.core.config import MultilevelConfig
+        from repro.obs.profile import ProfileConfig
 
         cfg = SolverConfig(
             seed=args.seed,
@@ -355,6 +419,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 coarsen_to=args.coarsen_to,
                 refine_passes=args.refine_passes,
             ),
+            profile=ProfileConfig(
+                enabled=args.profile is not None,
+                hz=args.profile_hz,
+                memory=args.profile_mem,
+                path=args.profile,
+            ),
         )
         if args.multilevel:
             from repro.multilevel import solve_multilevel
@@ -369,6 +439,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 "member(s) lost (see the run report's failures section)",
                 file=sys.stderr,
             )
+        if args.profile:
+            print(f"collapsed-stack profile written to {args.profile}")
         if args.report:
             report = result.report(graph=str(args.graph), method=args.method)
             Path(args.report).write_text(report.to_json() + "\n")
@@ -384,6 +456,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if args.report:
             raise InvalidInputError(
                 "--report requires an engine method (hgp or hgp_feasible)"
+            )
+        if args.profile:
+            raise InvalidInputError(
+                "--profile requires an engine method (hgp or hgp_feasible)"
             )
         from repro.baselines import placement_baselines
 
@@ -508,6 +584,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
             _load(args.report), args.out, workers=args.workers
         )
         print(f"chrome trace written to {trace_path} (load in ui.perfetto.dev)")
+        return 0
+    if args.report_command == "flame":
+        report = _load(args.report)
+        profile = report.profile
+        if not profile or not profile.get("collapsed"):
+            raise InvalidInputError(
+                f"{args.report} has no profile section — re-run the solve "
+                "with --profile (needs report schema v3)"
+            )
+        collapsed = "\n".join(profile["collapsed"]) + "\n"
+        if args.out:
+            Path(args.out).write_text(collapsed)
+            n = len(profile["collapsed"])
+            suffix = " (truncated)" if profile.get("collapsed_truncated") else ""
+            print(f"{n} collapsed stacks{suffix} written to {args.out}")
+        else:
+            print(collapsed, end="")
         return 0
     # diff
     diff = diff_reports(_load(args.baseline), _load(args.fresh))

@@ -14,6 +14,7 @@ from repro.cache import CacheConfig
 from repro.core.resilience import ResilienceConfig
 from repro.errors import InvalidInputError
 from repro.hgpt.dp import DPConfig
+from repro.obs.profile import ProfileConfig
 
 __all__ = ["MultilevelConfig", "SolverConfig"]
 
@@ -136,6 +137,12 @@ class SolverConfig:
         coarsens the graph to ``coarsen_to`` supervertices, runs this
         very engine configuration on the coarsest instance, and projects
         the placement back up with hierarchy-aware FM refinement.
+    profile:
+        Continuous-profiler knobs (:class:`repro.obs.profile.ProfileConfig`):
+        when ``profile.enabled`` is set, the run is bracketed by the
+        sampling flight-recorder + per-stage resource monitor and the
+        run report (schema v3) carries the ``profile`` payload.  Off by
+        default — zero overhead for unprofiled solves.
     """
 
     n_trees: int = 8
@@ -153,6 +160,7 @@ class SolverConfig:
     dp: DPConfig = field(default_factory=DPConfig)
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     multilevel: MultilevelConfig = field(default_factory=MultilevelConfig)
+    profile: ProfileConfig = field(default_factory=ProfileConfig)
 
     def __post_init__(self) -> None:
         if self.n_trees < 1:

@@ -64,6 +64,7 @@ from repro.core.telemetry import (
     MemberRecord,
     RunReport,
     Telemetry,
+    mark_active,
 )
 from repro.obs.logging import NULL_LOGGER, StructuredLogger, new_run_id
 from repro.obs.metrics import get_registry
@@ -495,11 +496,14 @@ def solve_member(
     """
     own_stats = DPStats()
     sw = Stopwatch()
-    with sw.section("dp"):
+    # mark_active gives the sampling profiler span attribution for these
+    # phases; the Stopwatch (picklable, worker-side) stays the timing
+    # source of truth.
+    with sw.section("dp"), mark_active("dp"):
         solution, escalations = _DP_STAGE.run_member(
             tree, hierarchy, demands, config, grid, stats=own_stats
         )
-    with sw.section("repair"):
+    with sw.section("repair"), mark_active("repair"):
         placement = _REPAIR_STAGE.run_member(
             tree, hierarchy, demands, solution, grid
         )
@@ -660,15 +664,38 @@ class Engine:
         # Fold the members' self-measured phase timings (worker-side for
         # the pool path) into this run's span tree — this is the fix for
         # the old parallel path reporting empty dp/repair sections.
+        metrics = get_registry()
+        process_label = bool(os.environ.get("REPRO_METRICS_PROCESS_LABEL"))
         merged = Stopwatch()
         escalations = 0
+        worker_merges = 0
         for outcome in outcomes:
             merged.merge(outcome.timings)
+            # Pool workers bracket their solve with registry snapshots
+            # and ship the per-job delta home on the record; fold it in
+            # (counters sum, gauges last-write, histograms bucket-wise)
+            # so repro_dp_*/repro_flow_* totals are correct for parallel
+            # runs.  Serial members incremented this registry directly
+            # and carry no delta.  The delta is nulled afterwards so run
+            # reports stay lean.
+            delta = outcome.record.metrics_delta
+            if delta:
+                proc = delta.get("pid") if process_label else None
+                metrics.merge_snapshot(
+                    delta, process=None if proc is None else str(proc)
+                )
+                worker_merges += 1
+                outcome.record.metrics_delta = None
             tel.record_member(outcome.record)
             escalations += outcome.record.beam_escalations
             if ctx.logger.enabled:
                 for record in outcome.log_records:
                     ctx.logger.emit(record)
+        if worker_merges:
+            metrics.counter(
+                "repro_metrics_worker_merges_total",
+                "Worker metric deltas merged into the parent registry",
+            ).inc(worker_merges)
         for name in (self.dp.name, self.repair.name):
             tel.add_seconds(name, merged.total(name), merged.counts.get(name, 0))
         for failure in failures:
@@ -676,7 +703,6 @@ class Engine:
         ctx.outcomes.extend(outcomes)
         # Parent-side metric fold: member counters travelled back with the
         # records, so these totals are accurate even for pool runs.
-        metrics = get_registry()
         if escalations:
             metrics.counter(
                 "repro_dp_beam_escalations_total",
@@ -784,7 +810,19 @@ def run_pipeline(
         run_id=run_id,
         logger=logger if logger is not None else NULL_LOGGER,
     )
-    result = (engine or Engine()).run(ctx)
+    prof_cfg = getattr(config, "profile", None)
+    session = None
+    if prof_cfg is not None and prof_cfg.enabled:
+        from repro.obs.profile import ProfileSession
+
+        session = ProfileSession(prof_cfg, ctx.telemetry).start()
+    try:
+        result = (engine or Engine()).run(ctx)
+    finally:
+        if session is not None:
+            # Stamp the profile before the report below is written, so
+            # persisted reports carry it (RunReport schema v3).
+            ctx.telemetry.profile = session.finish()
     report_dir = os.environ.get("REPRO_RUN_REPORT_DIR")
     if report_dir:
         out = Path(report_dir)

@@ -44,7 +44,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, snapshot_delta
 
 __all__ = [
     "GenerationRef",
@@ -73,6 +73,23 @@ _LOCK = threading.RLock()
 _POOL: Optional[cf.ProcessPoolExecutor] = None
 _POOL_WORKERS = 0
 _POOL_CREATES = 0  # how many executors this process has ever built
+
+
+def _update_live_workers() -> int:
+    """Refresh the ``repro_pool_live_workers`` gauge (best effort).
+
+    The executor spawns workers lazily, so this samples the *actual*
+    process table (``_processes``) rather than the configured size —
+    0 right after creation, the real count once jobs have run, and 0
+    again after shutdown.  Callers hold ``_LOCK``.
+    """
+    procs = getattr(_POOL, "_processes", None) if _POOL is not None else None
+    live = sum(1 for p in (procs or {}).values() if p.is_alive())
+    get_registry().gauge(
+        "repro_pool_live_workers",
+        "Worker processes currently alive in the persistent pool",
+    ).set(live)
+    return live
 
 
 @dataclass(frozen=True)
@@ -118,6 +135,7 @@ def get_pool(workers: int) -> cf.ProcessPoolExecutor:
         reg.gauge("repro_pool_workers", "Workers in the persistent pool").set(
             _POOL_WORKERS
         )
+        _update_live_workers()
         return _POOL
 
 
@@ -128,6 +146,7 @@ def pool_info() -> Dict[str, int]:
             "workers": _POOL_WORKERS,
             "creates": _POOL_CREATES,
             "alive": int(_POOL is not None),
+            "live_workers": _update_live_workers(),
         }
 
 
@@ -139,6 +158,7 @@ def shutdown_pool() -> None:
             _POOL.shutdown(wait=True)
             _POOL = None
             _POOL_WORKERS = 0
+            _update_live_workers()
 
 
 def restart_pool() -> None:
@@ -173,6 +193,7 @@ def restart_pool() -> None:
             "repro_pool_restarts_total",
             "Forced pool teardown/rebuilds after a worker crash or deadline",
         ).inc()
+        _update_live_workers()
     get_pool(workers)
 
 
@@ -308,7 +329,15 @@ def member_job(args: Tuple[GenerationRef, int, int, int]):
     _maybe_inject("member", member=member, attempt=attempt, in_worker=True)
     from repro.core.engine import solve_member
 
-    return solve_member(
+    # Bracket the solve with registry snapshots: fork workers inherit
+    # the parent's registry state, so the shippable quantity is the
+    # *per-job* delta, not the worker's absolute totals.  The delta
+    # rides home on the outcome's MemberRecord and the parent engine
+    # merges it — without this, everything the hot paths increment in
+    # a worker dies with the fork.
+    registry = get_registry()
+    base = registry.snapshot()
+    outcome = solve_member(
         payload["trees"][member],
         payload["hierarchy"],
         payload["demands"],
@@ -318,6 +347,11 @@ def member_job(args: Tuple[GenerationRef, int, int, int]):
         run_id=payload["run_id"],
         attempt=attempt,
     )
+    try:
+        outcome.record.metrics_delta = snapshot_delta(registry.snapshot(), base)
+    except Exception:
+        pass  # a malformed delta must never fail the member solve
+    return outcome
 
 
 def dp_subtree_job(args: Tuple[GenerationRef, int]):

@@ -179,6 +179,12 @@ def _pool_attempt(
     position to ``(kind, exception)`` for this wave only.  The pool is
     force-restarted (workers terminated, executor rebuilt) when a crash
     broke it or the wave deadline expired with futures still running.
+
+    Metric semantics: each solved outcome carries the worker's per-job
+    registry delta (attached by ``member_job``).  Failed attempts return
+    no outcome, so whatever a crashed/hung worker incremented before
+    dying is deliberately dropped — the successful retry's delta is the
+    single source of truth for that member.
     """
     assert ctx.trees is not None
     executor = worker_pool.get_pool(min(ctx.config.n_jobs, len(ctx.trees)))
@@ -245,6 +251,16 @@ def _serial_attempt(
     With ``catch=False`` (single-attempt policy, no partial completion)
     exceptions propagate raw, preserving the pre-resilience serial
     behaviour exactly.
+
+    Metric semantics: this path increments the parent registry
+    *directly*, so the outcomes it returns carry no ``metrics_delta`` —
+    the engine's delta-merge loop skips them and totals stay exact.
+    Deltas only ever cross a process boundary (attached by
+    :func:`repro.core.pool.member_job`); attaching one here too would
+    double-count.  Pool waves retried after :func:`restart_pool` go
+    through ``member_job`` in the fresh pool and keep their deltas, so
+    every recovery route lands in the same merge path exactly once —
+    asserted by the chaos-matrix metric-total tests.
     """
     from repro.core.engine import solve_member
 

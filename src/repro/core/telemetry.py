@@ -24,14 +24,67 @@ persist; reports round-trip losslessly through JSON.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.utils.timing import Stopwatch
 
-__all__ = ["Span", "MemberRecord", "MemberFailure", "Telemetry", "RunReport"]
+__all__ = [
+    "Span",
+    "MemberRecord",
+    "MemberFailure",
+    "Telemetry",
+    "RunReport",
+    "active_spans",
+    "mark_active",
+]
+
+#: Thread ident -> stack of open span names, maintained by
+#: :meth:`Telemetry.span`.  The sampling profiler
+#: (:mod:`repro.obs.profile`) reads this from its sampler thread to
+#: attribute stack samples to the telemetry span the sampled thread was
+#: inside — which is why it lives at module level rather than on one
+#: collector instance: ``sys._current_frames`` is process-wide too.
+_ACTIVE_SPANS: Dict[int, List[str]] = {}
+
+
+def active_spans() -> Dict[int, str]:
+    """Innermost open span name per thread ident (profiler attribution).
+
+    Safe to call from any thread: iterates over a point-in-time copy,
+    skipping threads whose stack empties mid-iteration.
+    """
+    out: Dict[int, str] = {}
+    for ident, stack in list(_ACTIVE_SPANS.items()):
+        if stack:
+            out[ident] = stack[-1]
+    return out
+
+
+@contextmanager
+def mark_active(name: str) -> Iterator[None]:
+    """Tag the calling thread as "inside ``name``" for the profiler only.
+
+    A zero-cost sibling of :meth:`Telemetry.span` for code that times
+    itself some other way (``solve_member`` uses a Stopwatch so its
+    timings stay picklable): no Span node is created and nothing shows
+    up in reports, but stack samples taken while the block runs are
+    attributed to ``name``.  Works identically in pool workers, where
+    no Telemetry instance exists at all.
+    """
+    ident = threading.get_ident()
+    _ACTIVE_SPANS.setdefault(ident, []).append(name)
+    try:
+        yield
+    finally:
+        stack = _ACTIVE_SPANS.get(ident)
+        if stack:
+            stack.pop()
+            if not stack:
+                _ACTIVE_SPANS.pop(ident, None)
 
 
 @dataclass
@@ -152,14 +205,23 @@ class MemberRecord:
     dp_tiles: int = 0
     dp_bound_pruned: int = 0
     dp_table_peak_bytes: int = 0
+    #: Per-job metrics-registry delta captured in the pool worker
+    #: (:func:`repro.obs.metrics.snapshot_delta` format).  The engine
+    #: merges it into the parent registry and nulls it out before the
+    #: record lands in a run report, so persisted reports stay lean.
+    metrics_delta: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        """JSON-ready flat-dict view of this record."""
-        return asdict(self)
+        """JSON-ready flat-dict view of this record (delta excluded)."""
+        data = asdict(self)
+        data.pop("metrics_delta", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "MemberRecord":
         """Rebuild a record from :meth:`to_dict` output."""
+        data = dict(data)
+        data.pop("metrics_delta", None)
         return cls(**data)
 
 
@@ -217,6 +279,38 @@ class Telemetry:
         self._stack: List[Span] = [self.root]
         self.members: List[MemberRecord] = []
         self.failures: List[MemberFailure] = []
+        #: Profiler payload (:meth:`repro.obs.profile.SamplingProfiler.
+        #: summary` shape) stamped by the pipeline when profiling is on;
+        #: flows into :attr:`RunReport.profile`.
+        self.profile: Optional[dict] = None
+        self._observers: List[Callable[[str, str, float], None]] = []
+
+    def add_span_observer(self, observer: Callable[[str, str, float], None]) -> None:
+        """Register ``observer(event, name, seconds)`` span callbacks.
+
+        ``event`` is ``"enter"`` (``seconds == 0.0``) or ``"exit"``
+        (``seconds`` = the block's duration).  Used by the profiler's
+        stage resource monitor to bracket RSS/CPU/tracemalloc per stage.
+        Observer exceptions are swallowed — observability must never
+        fail a solve.
+        """
+        self._observers.append(observer)
+
+    def remove_span_observer(
+        self, observer: Callable[[str, str, float], None]
+    ) -> None:
+        """Unregister a span observer (no-op when absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify(self, event: str, name: str, seconds: float) -> None:
+        for obs in self._observers:
+            try:
+                obs(event, name, seconds)
+            except Exception:
+                pass
 
     @property
     def path(self) -> str:
@@ -233,13 +327,23 @@ class Telemetry:
         """Open (or re-enter) the child span ``name`` and time the block."""
         sp = self.current.child(name)
         self._stack.append(sp)
+        ident = threading.get_ident()
+        _ACTIVE_SPANS.setdefault(ident, []).append(name)
+        self._notify("enter", name, 0.0)
         start = time.perf_counter()
         try:
             yield sp
         finally:
-            sp.seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            sp.seconds += elapsed
             sp.count += 1
             self._stack.pop()
+            stack = _ACTIVE_SPANS.get(ident)
+            if stack:
+                stack.pop()
+                if not stack:
+                    _ACTIVE_SPANS.pop(ident, None)
+            self._notify("exit", name, elapsed)
 
     def counter(self, name: str, value: float = 1.0) -> None:
         """Add ``value`` to counter ``name`` on the current span."""
@@ -297,6 +401,7 @@ class Telemetry:
             meta=dict(meta),
             failures=list(self.failures),
             degraded=self.degraded,
+            profile=self.profile,
         )
 
 
@@ -317,10 +422,15 @@ class RunReport:
     meta: dict = field(default_factory=dict)
     failures: List[MemberFailure] = field(default_factory=list)
     degraded: bool = False
+    #: Profiler payload when the run was profiled: sample counts per
+    #: span, collapsed stacks, per-stage RSS/CPU/tracemalloc deltas
+    #: (see :mod:`repro.obs.profile`).  ``None`` for unprofiled runs.
+    profile: Optional[dict] = None
 
-    #: v2 added ``degraded`` + ``failures`` (absent in v1 reports, which
-    #: still load — both default to "nothing failed").
-    SCHEMA_VERSION = 2
+    #: v2 added ``degraded`` + ``failures``; v3 added ``profile``
+    #: (absent in older reports, which still load — all default to
+    #: "nothing failed / not profiled").
+    SCHEMA_VERSION = 3
 
     def to_dict(self) -> dict:
         """JSON-ready dict view of the whole report (versioned schema)."""
@@ -334,6 +444,7 @@ class RunReport:
             "meta": self.meta,
             "failures": [f.to_dict() for f in self.failures],
             "degraded": self.degraded,
+            "profile": self.profile,
         }
 
     @classmethod
@@ -350,6 +461,7 @@ class RunReport:
                 MemberFailure.from_dict(f) for f in data.get("failures", [])
             ],
             degraded=bool(data.get("degraded", False)),
+            profile=data.get("profile"),
         )
 
     def to_json(self, indent: int = 2) -> str:

@@ -160,6 +160,17 @@ def solve_multilevel(
         "repro_multilevel_runs_total", "Multilevel front-end solves started."
     ).inc()
 
+    # Profile the whole front-end (coarsen + solve + refine), not just
+    # the embedded engine run: the session wraps everything below and
+    # profile.enabled is cleared on the inner config so run_pipeline
+    # does not start a second, nested profiler.
+    prof_cfg = getattr(config, "profile", None)
+    profile_session = None
+    if prof_cfg is not None and prof_cfg.enabled:
+        from repro.obs.profile import ProfileSession
+
+        profile_session = ProfileSession(prof_cfg, tel).start()
+
     with tel.span("coarsen"):
         levels = coarsen_graph(
             g,
@@ -198,6 +209,10 @@ def solve_multilevel(
     # solve.  Sharing ``tel`` nests the engine's stage spans under
     # ``coarse_solve``.
     inner_cfg = replace(config, multilevel=replace(ml, enabled=False))
+    if profile_session is not None:
+        inner_cfg = replace(
+            inner_cfg, profile=replace(inner_cfg.profile, enabled=False)
+        )
     with tel.span("coarse_solve"):
         coarse = run_pipeline(
             levels.coarsest,
@@ -259,6 +274,10 @@ def solve_multilevel(
             "refine_gain": gain_total,
         },
     )
+    if profile_session is not None:
+        # Stamp before the report below is written so persisted reports
+        # carry the profile (RunReport schema v3).
+        tel.profile = profile_session.finish()
     result = MultilevelResult(
         placement, coarse, levels, refine_stats, tel, config, run_id=run_id
     )

@@ -11,10 +11,16 @@ Turns the engine's write-only telemetry into operator-facing artifacts:
   reconstructed per-worker lanes (view in Perfetto).
 * :mod:`repro.obs.report` — pretty rendering and regression-gating
   diffs behind the ``repro report`` CLI family.
+* :mod:`repro.obs.profile` — continuous sampling profiler with
+  telemetry-span attribution, collapsed-stack output, and per-stage
+  RSS/CPU/tracemalloc deltas (``repro solve --profile``).
+* :mod:`repro.obs.exporter` — embedded ``/metrics`` + ``/healthz`` +
+  ``/debug/profile`` HTTP endpoint (``repro solve --metrics-port``).
 
 See ``docs/observability.md`` for the metrics catalog and workflows.
 """
 
+from repro.obs.exporter import MetricsExporter, maybe_start_from_env, start_exporter
 from repro.obs.logging import (
     ListSink,
     NULL_LOGGER,
@@ -29,6 +35,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    snapshot_delta,
+)
+from repro.obs.profile import (
+    ProfileConfig,
+    ProfileSession,
+    SamplingProfiler,
+    StageResourceMonitor,
 )
 from repro.obs.report import (
     ReportDiff,
@@ -45,6 +58,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "snapshot_delta",
+    "ProfileConfig",
+    "ProfileSession",
+    "SamplingProfiler",
+    "StageResourceMonitor",
+    "MetricsExporter",
+    "start_exporter",
+    "maybe_start_from_env",
     "StructuredLogger",
     "ListSink",
     "NULL_LOGGER",

@@ -18,17 +18,23 @@ endpoint or for dumping next to a run report.
 
 The library instruments its hot paths against the default registry
 (:func:`get_registry`): the signature DP, the flow substrate and the
-online placer all publish here.  One caveat for process pools: metrics
-are *process-local*, so members solved in pool workers increment the
-worker's registry, not the parent's.  Counters whose values travel back
-with :class:`repro.core.telemetry.MemberRecord` (states, merges, beam
-escalations) are folded into the parent registry by the engine, which
-keeps the parent's totals accurate either way.
+online placer all publish here.  Metrics are *process-local*, but the
+registry supports **cross-process aggregation**: a pool worker calls
+:meth:`MetricsRegistry.snapshot` before and after a job, computes the
+picklable per-job delta with :func:`snapshot_delta`, ships it back with
+the job result, and the parent folds it in with
+:meth:`MetricsRegistry.merge_snapshot` — counters sum, gauges are
+last-write-wins, histograms add bucket-wise.  The engine does exactly
+this for ensemble members solved in pool workers, so ``repro_dp_*`` /
+``repro_flow_*`` totals in the parent registry are accurate for
+parallel runs too.  Merging can optionally tag the merged series with a
+``process`` label (the worker pid) to keep per-worker series apart.
 """
 
 from __future__ import annotations
 
 import math
+import os
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -38,6 +44,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_registry",
+    "snapshot_delta",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "DEFAULT_BYTE_BUCKETS",
@@ -107,6 +114,23 @@ class _Family:
         if self.labelnames:
             raise ValueError(f"{self.name}: labelled family needs .labels(...)")
         return self.labels()
+
+    def _child_for_key(self, key: Tuple[Tuple[str, str], ...]):
+        """Find-or-create a child by raw label-key tuple.
+
+        Unlike :meth:`labels` this does **not** validate the key against
+        ``labelnames`` — it is the merge path's backdoor that lets
+        :meth:`MetricsRegistry.merge_snapshot` append a ``process``
+        label to series shipped back from pool workers without
+        re-registering every family with an extra label name.
+        """
+        key = tuple((str(k), str(v)) for k, v in key)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
 
     def _make_child(self):  # pragma: no cover - overridden
         raise NotImplementedError
@@ -234,6 +258,18 @@ class _HistogramValue:
             out.append(running)
         return out
 
+    def add_counts(self, bucket_counts: Sequence[int], sum: float, count: int) -> None:
+        """Fold another series' raw buckets into this one (merge path)."""
+        if len(bucket_counts) != len(self.bucket_counts):
+            raise ValueError(
+                f"bucket mismatch: {len(bucket_counts)} vs {len(self.bucket_counts)}"
+            )
+        with self._lock:
+            for i, c in enumerate(bucket_counts):
+                self.bucket_counts[i] += int(c)
+            self.sum += float(sum)
+            self.count += int(count)
+
 
 class Histogram(_Family):
     """Bounded cumulative-bucket distribution (Prometheus semantics).
@@ -280,6 +316,35 @@ class Histogram(_Family):
             "sum": child.sum,
             "count": child.count,
         }
+
+    def quantile(self, q: float, **labelvalues: str) -> float:
+        """Estimate the ``q``-quantile (0..1) of the (labelled) series.
+
+        Classic bucketed estimator: find the bucket holding the target
+        rank, then interpolate linearly within its edges.  The first
+        bucket interpolates from 0.0; ranks landing in the implicit
+        ``+Inf`` overflow bucket clamp to the last finite edge (there is
+        no upper bound to interpolate toward).  Returns ``nan`` when the
+        series has no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        child = self.labels(**labelvalues) if labelvalues else self._default_child()
+        cum = child.cumulative()
+        total = cum[-1]
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        for i, edge in enumerate(self.buckets):
+            if cum[i] >= rank:
+                lo = 0.0 if i == 0 else self.buckets[i - 1]
+                below = 0 if i == 0 else cum[i - 1]
+                in_bucket = cum[i] - below
+                if in_bucket == 0:  # pragma: no cover - cum[i] >= rank > below
+                    return float(edge)
+                frac = (rank - below) / in_bucket
+                return float(lo + (edge - lo) * min(max(frac, 0.0), 1.0))
+        return float(self.buckets[-1])
 
     def _render_child(self, key, child) -> List[str]:
         lines = []
@@ -365,6 +430,173 @@ class MetricsRegistry:
         """Drop every family (tests; never called by library code)."""
         with self._lock:
             self._families.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Picklable point-in-time dump of every family and series.
+
+        The format is plain lists/dicts/floats so it survives both
+        pickling across the pool boundary and a round-trip through JSON
+        (label keys become lists of ``[name, value]`` pairs)::
+
+            {"pid": 1234, "families": [
+                {"name": ..., "kind": "counter"|"gauge"|"histogram",
+                 "help": ..., "labelnames": [...],
+                 "buckets": [...],            # histograms only
+                 "series": [[[["k","v"], ...], value_or_hist_dict], ...]},
+            ]}
+
+        Counter/gauge series carry a float; histogram series carry
+        ``{"bucket_counts": [...], "sum": ..., "count": ...}`` (raw
+        per-bucket counts, *not* cumulative).
+        """
+        fams: List[Dict[str, object]] = []
+        for family in self.families():
+            entry: Dict[str, object] = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+            }
+            if isinstance(family, Histogram):
+                entry["buckets"] = list(family.buckets)
+            series = []
+            for key, child in family._series():
+                if isinstance(family, Histogram):
+                    value: object = {
+                        "bucket_counts": list(child.bucket_counts),
+                        "sum": float(child.sum),
+                        "count": int(child.count),
+                    }
+                else:
+                    value = float(child.value)
+                series.append([[list(kv) for kv in key], value])
+            entry["series"] = series
+            fams.append(entry)
+        return {"pid": os.getpid(), "families": fams}
+
+    def merge_snapshot(
+        self, delta: Dict[str, object], process: Optional[str] = None
+    ) -> int:
+        """Fold a snapshot/delta (from another process) into this registry.
+
+        Counters sum, gauges are last-write-wins, histograms add
+        bucket-wise.  Families and series absent here are created on the
+        fly with the shipped help/labelnames/buckets.  When ``process``
+        is given, every merged series additionally carries a
+        ``process="<value>"`` label, keeping per-worker series apart
+        (aggregate by summing over the label, as Prometheus would).
+
+        Histogram series whose bucket layout disagrees with the
+        registered family are skipped — merging them would corrupt the
+        distribution.  Returns the number of series merged.
+        """
+        merged = 0
+        for entry in delta.get("families", ()):
+            name = str(entry["name"])
+            kind = entry.get("kind", "untyped")
+            help_ = str(entry.get("help", ""))
+            labelnames = tuple(entry.get("labelnames", ()))
+            if kind == "counter":
+                family: _Family = self.counter(name, help_, labelnames=labelnames)
+            elif kind == "gauge":
+                family = self.gauge(name, help_, labelnames=labelnames)
+            elif kind == "histogram":
+                family = self.histogram(
+                    name,
+                    help_,
+                    labelnames=labelnames,
+                    buckets=entry.get("buckets", DEFAULT_LATENCY_BUCKETS),
+                )
+            else:
+                continue
+            for raw_key, value in entry.get("series", ()):
+                key = tuple((str(k), str(v)) for k, v in raw_key)
+                if process is not None:
+                    key = key + (("process", str(process)),)
+                if isinstance(family, Histogram):
+                    counts = list(value.get("bucket_counts", ()))
+                    if len(counts) != len(family.buckets) + 1:
+                        continue
+                    child = family._child_for_key(key)
+                    child.add_counts(counts, value.get("sum", 0.0),
+                                     value.get("count", 0))
+                elif isinstance(family, Counter):
+                    family._child_for_key(key).inc(float(value))
+                else:
+                    family._child_for_key(key).set(float(value))
+                merged += 1
+        return merged
+
+
+def snapshot_delta(
+    current: Dict[str, object], base: Dict[str, object]
+) -> Dict[str, object]:
+    """The picklable difference ``current - base`` of two snapshots.
+
+    This is what a pool worker ships home: counters become the amount
+    added since ``base``, histograms the per-bucket observations added,
+    and gauges travel only if their value changed (last-write
+    semantics — the delta carries the *new* value, not a difference).
+    Series and families with no activity are dropped, so the common
+    case (a member solve touching a handful of DP/flow series) is a
+    small dict.
+    """
+
+    def _index(snap: Dict[str, object]) -> Dict[str, Dict[tuple, object]]:
+        out: Dict[str, Dict[tuple, object]] = {}
+        for entry in snap.get("families", ()):
+            series = {
+                tuple((str(k), str(v)) for k, v in raw_key): value
+                for raw_key, value in entry.get("series", ())
+            }
+            out[str(entry["name"])] = series
+        return out
+
+    base_idx = _index(base)
+    fams: List[Dict[str, object]] = []
+    for entry in current.get("families", ()):
+        name = str(entry["name"])
+        kind = entry.get("kind", "untyped")
+        old = base_idx.get(name, {})
+        series = []
+        for raw_key, value in entry.get("series", ()):
+            key = tuple((str(k), str(v)) for k, v in raw_key)
+            prev = old.get(key)
+            if kind == "counter":
+                diff = float(value) - (float(prev) if prev is not None else 0.0)
+                if diff > 0:
+                    series.append([[list(kv) for kv in key], diff])
+            elif kind == "gauge":
+                if prev is None or float(prev) != float(value):
+                    series.append([[list(kv) for kv in key], float(value)])
+            elif kind == "histogram":
+                pc = prev or {"bucket_counts": (), "sum": 0.0, "count": 0}
+                old_counts = list(pc.get("bucket_counts", ()))
+                new_counts = list(value.get("bucket_counts", ()))
+                if len(old_counts) != len(new_counts):
+                    old_counts = [0] * len(new_counts)
+                dcounts = [n - o for n, o in zip(new_counts, old_counts)]
+                dcount = int(value.get("count", 0)) - int(pc.get("count", 0))
+                if dcount > 0 or any(dcounts):
+                    series.append([
+                        [list(kv) for kv in key],
+                        {
+                            "bucket_counts": dcounts,
+                            "sum": float(value.get("sum", 0.0))
+                            - float(pc.get("sum", 0.0)),
+                            "count": dcount,
+                        },
+                    ])
+        if series:
+            fams.append({
+                "name": name,
+                "kind": kind,
+                "help": entry.get("help", ""),
+                "labelnames": list(entry.get("labelnames", ())),
+                **({"buckets": list(entry["buckets"])} if "buckets" in entry else {}),
+                "series": series,
+            })
+    return {"pid": current.get("pid"), "families": fams}
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

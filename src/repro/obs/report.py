@@ -60,6 +60,51 @@ def _render_span(span: Span, depth: int, lines: List[str]) -> None:
         _render_span(child, depth + 1, lines)
 
 
+def _member_latency_line(report: RunReport) -> str:
+    """p50/p99 member solve latency via the bucketed histogram estimator.
+
+    The member dp+repair seconds are folded into a
+    :class:`repro.obs.metrics.Histogram` with the default latency
+    buckets and read back through :meth:`Histogram.quantile` — the same
+    estimator a Prometheus ``histogram_quantile`` would apply to the
+    live ``repro_dp_seconds`` series, so report numbers and dashboards
+    agree about what "p99" means.
+    """
+    from repro.obs.metrics import Histogram
+
+    hist = Histogram("member_seconds")
+    for m in report.members:
+        hist.observe(m.dp_seconds + m.repair_seconds)
+    p50, p99 = hist.quantile(0.5), hist.quantile(0.99)
+    return f"latency (dp+repair): p50 {p50 * 1e3:.1f} ms  p99 {p99 * 1e3:.1f} ms"
+
+
+def _render_profile(profile: dict, lines: List[str]) -> None:
+    """Append the profile section (schema-v3 reports) to ``lines``."""
+    lines.append("")
+    lines.append(
+        f"profile: {profile.get('samples', 0)} samples @ "
+        f"{profile.get('hz', 0):g} Hz over "
+        f"{profile.get('duration_seconds', 0.0):.2f} s"
+    )
+    shares = profile.get("span_shares") or {}
+    if shares:
+        ranked = sorted(shares.items(), key=lambda kv: -kv[1])
+        lines.append(
+            "  span shares: "
+            + "  ".join(f"{name} {share:.0%}" for name, share in ranked)
+        )
+    stages = profile.get("stages") or {}
+    for name, st in stages.items():
+        extra = ""
+        if "alloc_peak_bytes" in st:
+            extra = f"  alloc_peak {st['alloc_peak_bytes'] / 1e6:.1f} MB"
+        lines.append(
+            f"  {name:<12s} cpu {st.get('cpu_seconds', 0.0) * 1e3:8.1f} ms  "
+            f"rss {st.get('rss_delta_bytes', 0) / 1e6:+7.1f} MB{extra}"
+        )
+
+
 def render_report(report: RunReport) -> str:
     """Pretty multi-line rendering of one run report."""
     lines: List[str] = []
@@ -91,6 +136,7 @@ def render_report(report: RunReport) -> str:
             )
         best = min(report.members, key=lambda m: m.mapped_cost)
         lines.append(f"  winner: member {best.index} ({best.method})")
+        lines.append("  " + _member_latency_line(report))
     if report.failures:
         lines.append("")
         lines.append(
@@ -102,6 +148,8 @@ def render_report(report: RunReport) -> str:
                 f"  {f.index:>5d}  {f.kind:<7s}  {f.attempts:>8d}  "
                 f"{f.message or '-'}"
             )
+    if report.profile:
+        _render_profile(report.profile, lines)
     extra_meta = {k: v for k, v in sorted(report.meta.items()) if k != "run_id"}
     if extra_meta:
         lines.append("")

@@ -328,3 +328,139 @@ class TestCacheCommands:
         out = capsys.readouterr().out
         assert str(target) in out
         assert "1 files" in out
+
+
+class TestProfileFlags:
+    def _solve(self, graph_file, tmp_path, extra):
+        path, _g = graph_file
+        return main(
+            [
+                "solve", "--graph", str(path),
+                "--degrees", "2,2", "--cm", "5,1,0",
+                "--n-trees", "2", "--quiet",
+            ]
+            + extra
+        )
+
+    def test_profile_writes_collapsed_and_report_section(
+        self, graph_file, tmp_path, capsys
+    ):
+        collapsed = tmp_path / "run.collapsed"
+        report = tmp_path / "run.json"
+        rc = self._solve(
+            graph_file,
+            tmp_path,
+            [
+                "--profile", str(collapsed),
+                "--profile-hz", "300",
+                "--report", str(report),
+            ],
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"collapsed-stack profile written to {collapsed}" in out
+        assert collapsed.exists()
+        for line in collapsed.read_text().splitlines():
+            assert line.startswith("span:")
+        data = json.loads(report.read_text())
+        assert data["schema_version"] == 3
+        assert data["profile"]["hz"] == 300.0
+
+    def test_profile_rejected_for_baselines(self, graph_file, tmp_path, capsys):
+        path, _g = graph_file
+        rc = main(
+            [
+                "solve", "--graph", str(path),
+                "--degrees", "2,2", "--cm", "5,1,0",
+                "--method", "greedy",
+                "--profile", str(tmp_path / "x.collapsed"),
+            ]
+        )
+        assert rc == 2
+        assert "--profile requires an engine method" in capsys.readouterr().err
+
+    def test_report_flame_prints_collapsed(self, graph_file, tmp_path, capsys):
+        collapsed = tmp_path / "run.collapsed"
+        report = tmp_path / "run.json"
+        assert (
+            self._solve(
+                graph_file,
+                tmp_path,
+                ["--profile", str(collapsed), "--report", str(report)],
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(["report", "flame", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()
+        assert all(ln.startswith("span:") for ln in out.splitlines())
+
+    def test_report_flame_out_file(self, graph_file, tmp_path, capsys):
+        collapsed = tmp_path / "run.collapsed"
+        report = tmp_path / "run.json"
+        self._solve(
+            graph_file,
+            tmp_path,
+            ["--profile", str(collapsed), "--report", str(report)],
+        )
+        capsys.readouterr()
+        dest = tmp_path / "flame.collapsed"
+        rc = main(["report", "flame", str(report), "--out", str(dest)])
+        assert rc == 0
+        assert "written to" in capsys.readouterr().out
+        assert dest.read_text().splitlines()
+
+    def test_report_flame_without_profile_errors(
+        self, graph_file, tmp_path, capsys
+    ):
+        report = tmp_path / "plain.json"
+        self._solve(graph_file, tmp_path, ["--report", str(report)])
+        capsys.readouterr()
+        rc = main(["report", "flame", str(report)])
+        assert rc == 2
+        assert "no profile section" in capsys.readouterr().err
+
+    def test_report_show_includes_latency_and_profile(
+        self, graph_file, tmp_path, capsys
+    ):
+        collapsed = tmp_path / "run.collapsed"
+        report = tmp_path / "run.json"
+        self._solve(
+            graph_file,
+            tmp_path,
+            ["--profile", str(collapsed), "--report", str(report)],
+        )
+        capsys.readouterr()
+        rc = main(["report", "show", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency (dp+repair): p50" in out
+        assert "profile:" in out
+        assert "span shares:" in out
+
+
+class TestMetricsPortFlag:
+    def test_exporter_announced_and_scrapeable_port_freed(
+        self, graph_file, tmp_path, capsys
+    ):
+        import socket
+
+        path, _g = graph_file
+        rc = main(
+            [
+                "solve", "--graph", str(path),
+                "--degrees", "2,2", "--cm", "5,1,0",
+                "--n-trees", "2", "--quiet",
+                "--metrics-port", "0",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "metrics exporter listening on http://127.0.0.1:" in err
+        # The exporter must be torn down with the solve: its port is free.
+        url = [w for w in err.split() if w.startswith("http://")][0]
+        port = int(url.rsplit(":", 1)[1].split("/")[0])
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", port))

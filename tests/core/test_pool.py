@@ -88,7 +88,12 @@ class TestPersistentPool:
         assert worker_pool.pool_info()["workers"] == 3
         assert worker_pool.pool_info()["creates"] == creates + 1
         worker_pool.shutdown_pool()
-        assert worker_pool.pool_info() == {"workers": 0, "creates": creates + 1, "alive": 0}
+        assert worker_pool.pool_info() == {
+            "workers": 0,
+            "creates": creates + 1,
+            "alive": 0,
+            "live_workers": 0,
+        }
 
     def test_get_pool_rejects_bad_size(self):
         with pytest.raises(ValueError):

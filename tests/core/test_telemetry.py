@@ -144,3 +144,78 @@ class TestSerialization:
     def test_report_schema_version_serialized(self):
         report = Telemetry("x").report()
         assert report.to_dict()["schema_version"] == RunReport.SCHEMA_VERSION
+
+
+class TestSpanObservers:
+    def test_enter_exit_events_fire(self):
+        tel = Telemetry("x")
+        events = []
+        tel.add_span_observer(lambda ev, name, s: events.append((ev, name, s)))
+        with tel.span("outer"):
+            with tel.span("inner"):
+                pass
+        assert [(e, n) for e, n, _s in events] == [
+            ("enter", "outer"),
+            ("enter", "inner"),
+            ("exit", "inner"),
+            ("exit", "outer"),
+        ]
+        assert events[0][2] == 0.0  # enter carries no duration
+        assert events[3][2] >= events[2][2] >= 0.0
+
+    def test_remove_observer(self):
+        tel = Telemetry("x")
+        events = []
+        obs = lambda ev, name, s: events.append(ev)  # noqa: E731
+        tel.add_span_observer(obs)
+        tel.remove_span_observer(obs)
+        with tel.span("a"):
+            pass
+        assert events == []
+
+    def test_observer_exceptions_swallowed(self):
+        tel = Telemetry("x")
+
+        def bad(ev, name, s):
+            raise RuntimeError("observer bug")
+
+        tel.add_span_observer(bad)
+        with tel.span("a"):  # must not raise
+            pass
+        assert tel.root.child("a").count == 1
+
+    def test_span_timing_survives_observer(self):
+        tel = Telemetry("x")
+        tel.add_span_observer(lambda *a: None)
+        with tel.span("a"):
+            time.sleep(0.01)
+        assert tel.root.child("a").seconds >= 0.005
+
+
+class TestSchemaV3:
+    def test_version_is_3(self):
+        assert RunReport.SCHEMA_VERSION == 3
+
+    def test_profile_roundtrips(self):
+        tel = Telemetry("x")
+        tel.profile = {"samples": 5, "span_shares": {"dp": 1.0}}
+        report = tel.report(cost=1.0)
+        again = RunReport.from_json(report.to_json())
+        assert again.profile == {"samples": 5, "span_shares": {"dp": 1.0}}
+
+    def test_profile_defaults_none(self):
+        report = Telemetry("x").report()
+        assert report.profile is None
+        assert RunReport.from_json(report.to_json()).profile is None
+
+    def test_metrics_delta_never_serialized(self):
+        rec = MemberRecord(
+            index=0,
+            method="frt",
+            dp_cost=1.0,
+            metrics_delta={"pid": 1, "families": []},
+        )
+        data = rec.to_dict()
+        assert "metrics_delta" not in data
+        rebuilt = MemberRecord.from_dict({**data, "metrics_delta": {"x": 1}})
+        assert rebuilt.metrics_delta is None

@@ -235,3 +235,75 @@ class TestCheckedInBaselines:
             ]
         )
         assert rc == 0
+
+
+class TestMetricsDump:
+    def _dump(self, tmp_path, families):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for name, value in families:
+            registry.counter(name).inc(value)
+        path = tmp_path / "metrics.json"
+        path.write_text(
+            json.dumps(
+                {"snapshot": registry.snapshot(), "rendered": registry.render()}
+            )
+        )
+        return path
+
+    def _argv(self, tmp_path, dump_path):
+        base = make_bench_file(tmp_path, "base.json", [make_point()])
+        fresh = make_bench_file(tmp_path, "fresh.json", [make_point()])
+        return [
+            "--baseline", str(base),
+            "--fresh", str(fresh),
+            "--metrics-dump", str(dump_path),
+        ]
+
+    def test_valid_dump_passes_and_summarises(
+        self, bench_regress, tmp_path, capsys
+    ):
+        dump = self._dump(tmp_path, [("repro_dp_solves_total", 12)])
+        rc = bench_regress.main(self._argv(tmp_path, dump))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 repro_* families" in out
+        assert "repro_dp_solves_total 12" in out
+
+    def test_missing_dump_fails(self, bench_regress, tmp_path, capsys):
+        rc = bench_regress.main(self._argv(tmp_path, tmp_path / "nope.json"))
+        assert rc == 1
+        assert "metrics dump not found" in capsys.readouterr().err
+
+    def test_dump_without_repro_families_fails(
+        self, bench_regress, tmp_path, capsys
+    ):
+        dump = self._dump(tmp_path, [("other_total", 1)])
+        rc = bench_regress.main(self._argv(tmp_path, dump))
+        assert rc == 1
+        assert "no repro_* families" in capsys.readouterr().err
+
+    def test_corrupt_dump_fails(self, bench_regress, tmp_path, capsys):
+        dump = tmp_path / "metrics.json"
+        dump.write_text("{not json")
+        rc = bench_regress.main(self._argv(tmp_path, dump))
+        assert rc == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_conftest_dump_shape_is_accepted(self, bench_regress, tmp_path):
+        """The dump written by benchmarks/conftest.py round-trips into
+        the gate: same {"snapshot", "rendered"} shape."""
+        from repro.obs.metrics import get_registry
+
+        get_registry().counter("repro_dp_solves_total", "x").inc(0)
+        registry = get_registry()
+        path = tmp_path / "session.json"
+        path.write_text(
+            json.dumps(
+                {"snapshot": registry.snapshot(), "rendered": registry.render()}
+            )
+        )
+        failures, summary = bench_regress.check_metrics_dump(path)
+        assert failures == []
+        assert summary

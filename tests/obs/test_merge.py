@@ -1,0 +1,312 @@
+"""Cross-process metric aggregation: snapshot, delta, merge, quantile.
+
+The tentpole regression here is :class:`TestParallelRunAggregation` —
+before the delta-merge path existed, a pool run (``n_jobs > 1``) left
+``repro_dp_solves_total`` flat in the parent registry because the
+increments happened in worker processes and died with them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    snapshot_delta,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self, registry):
+        registry.counter("c_total", "help").inc(3)
+        registry.gauge("g", "").set(7)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        snap = registry.snapshot()
+        assert isinstance(snap["pid"], int)
+        by_name = {f["name"]: f for f in snap["families"]}
+        assert by_name["c_total"]["kind"] == "counter"
+        assert by_name["c_total"]["series"][0][1] == pytest.approx(3.0)
+        assert by_name["g"]["series"][0][1] == pytest.approx(7.0)
+        hist = by_name["h"]
+        assert hist["buckets"] == [1.0, 2.0]
+        value = hist["series"][0][1]
+        # Raw per-bucket counts, not cumulative: (<=1, <=2, +Inf).
+        assert value["bucket_counts"] == [0, 1, 0]
+        assert value["count"] == 1
+        assert value["sum"] == pytest.approx(1.5)
+
+    def test_snapshot_is_picklable_and_json_safe(self, registry):
+        registry.counter("c_total", labelnames=("path",)).inc(2, path="batch")
+        registry.histogram("h").observe(0.1)
+        snap = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_labelled_series_keys_survive(self, registry):
+        registry.counter("c_total", labelnames=("kind",)).inc(1, kind="x")
+        snap = registry.snapshot()
+        (key, value), = snap["families"][0]["series"]
+        assert key == [["kind", "x"]]
+        assert value == pytest.approx(1.0)
+
+
+class TestSnapshotDelta:
+    def test_counter_diff_only_positive(self, registry):
+        c = registry.counter("c_total")
+        c.inc(5)
+        base = registry.snapshot()
+        c.inc(3)
+        delta = snapshot_delta(registry.snapshot(), base)
+        assert delta["families"][0]["series"][0][1] == pytest.approx(3.0)
+
+    def test_inactive_series_dropped(self, registry):
+        registry.counter("quiet_total").inc(5)
+        registry.gauge("quiet_gauge").set(1)
+        registry.histogram("quiet_hist").observe(0.5)
+        base = registry.snapshot()
+        delta = snapshot_delta(registry.snapshot(), base)
+        assert delta["families"] == []
+
+    def test_gauge_ships_new_value_when_changed(self, registry):
+        g = registry.gauge("g")
+        g.set(4)
+        base = registry.snapshot()
+        g.set(9)
+        delta = snapshot_delta(registry.snapshot(), base)
+        # Last-write semantics: the delta carries the new value itself.
+        assert delta["families"][0]["series"][0][1] == pytest.approx(9.0)
+
+    def test_histogram_raw_bucket_diffs(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        base = registry.snapshot()
+        h.observe(1.5)
+        h.observe(100.0)
+        delta = snapshot_delta(registry.snapshot(), base)
+        value = delta["families"][0]["series"][0][1]
+        assert value["bucket_counts"] == [0, 1, 1]
+        assert value["count"] == 2
+        assert value["sum"] == pytest.approx(101.5)
+
+    def test_new_series_diffed_from_zero(self, registry):
+        base = registry.snapshot()
+        registry.counter("fresh_total").inc(2)
+        delta = snapshot_delta(registry.snapshot(), base)
+        assert delta["families"][0]["name"] == "fresh_total"
+        assert delta["families"][0]["series"][0][1] == pytest.approx(2.0)
+
+    def test_delta_preserves_buckets_and_help(self, registry):
+        base = registry.snapshot()
+        registry.histogram("h", "Help!", buckets=(1.0, 4.0)).observe(2.0)
+        delta = snapshot_delta(registry.snapshot(), base)
+        fam = delta["families"][0]
+        assert fam["buckets"] == [1.0, 4.0]
+        assert fam["help"] == "Help!"
+
+
+class TestMergeSnapshot:
+    def _delta_from(self, build) -> dict:
+        """Run ``build`` against a scratch registry, return its delta."""
+        worker = MetricsRegistry()
+        base = worker.snapshot()
+        build(worker)
+        return snapshot_delta(worker.snapshot(), base)
+
+    def test_counters_sum(self, registry):
+        registry.counter("c_total", "parent help").inc(10)
+        delta = self._delta_from(lambda w: w.counter("c_total").inc(4))
+        merged = registry.merge_snapshot(delta)
+        assert merged == 1
+        assert registry.get("c_total").value() == pytest.approx(14.0)
+
+    def test_gauges_last_write(self, registry):
+        registry.gauge("g").set(1)
+        delta = self._delta_from(lambda w: w.gauge("g").set(42))
+        registry.merge_snapshot(delta)
+        assert registry.get("g").value() == pytest.approx(42.0)
+
+    def test_histograms_add_bucketwise(self, registry):
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+
+        def build(w):
+            h = w.histogram("h", buckets=(1.0, 2.0))
+            h.observe(1.5)
+            h.observe(50.0)
+
+        registry.merge_snapshot(self._delta_from(build))
+        snap = registry.get("h").snapshot()
+        assert snap["count"] == 3
+        assert snap["buckets"][1.0] == 1
+        assert snap["buckets"][2.0] == 2
+        assert snap["buckets"][math.inf] == 3
+        assert snap["sum"] == pytest.approx(52.0)
+
+    def test_unknown_family_created_on_the_fly(self, registry):
+        delta = self._delta_from(
+            lambda w: w.counter("only_in_worker_total", "from worker").inc(1)
+        )
+        registry.merge_snapshot(delta)
+        fam = registry.get("only_in_worker_total")
+        assert fam is not None
+        assert fam.help == "from worker"
+        assert fam.value() == pytest.approx(1.0)
+
+    def test_bucket_layout_mismatch_skipped(self, registry):
+        registry.histogram("h", buckets=(1.0, 2.0, 3.0)).observe(0.5)
+        delta = self._delta_from(
+            lambda w: w.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        )
+        merged = registry.merge_snapshot(delta)
+        assert merged == 0
+        assert registry.get("h").snapshot()["count"] == 1  # unchanged
+
+    def test_process_label_keeps_workers_apart(self, registry):
+        d1 = self._delta_from(lambda w: w.counter("c_total").inc(2))
+        d2 = self._delta_from(lambda w: w.counter("c_total").inc(5))
+        registry.merge_snapshot(d1, process="101")
+        registry.merge_snapshot(d2, process="202")
+        text = registry.render()
+        assert 'c_total{process="101"} 2' in text
+        assert 'c_total{process="202"} 5' in text
+
+    def test_merge_twice_double_counts_by_design(self, registry):
+        """Counters sum on every merge: callers must merge a delta once."""
+        delta = self._delta_from(lambda w: w.counter("c_total").inc(3))
+        registry.merge_snapshot(delta)
+        registry.merge_snapshot(delta)
+        assert registry.get("c_total").value() == pytest.approx(6.0)
+
+    def test_labelled_series_merge_into_right_child(self, registry):
+        registry.counter("c_total", labelnames=("kind",)).inc(1, kind="a")
+
+        def build(w):
+            c = w.counter("c_total", labelnames=("kind",))
+            c.inc(2, kind="a")
+            c.inc(7, kind="b")
+
+        registry.merge_snapshot(self._delta_from(build))
+        fam = registry.get("c_total")
+        assert fam.value(kind="a") == pytest.approx(3.0)
+        assert fam.value(kind="b") == pytest.approx(7.0)
+
+
+class TestHistogramQuantile:
+    def test_empty_series_is_nan(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_out_of_range_rejected(self):
+        h = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(4):
+            h.observe(1.5)  # all mass in the (1, 2] bucket
+        # rank = 0.5 * 4 = 2 -> halfway through the bucket's 4 counts.
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(1.0) == pytest.approx(2.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        h = Histogram("h", buckets=(2.0, 4.0))
+        h.observe(1.0)
+        h.observe(1.0)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+
+    def test_overflow_clamps_to_last_edge(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_matches_prometheus_shape_on_default_buckets(self):
+        h = Histogram("h", buckets=DEFAULT_LATENCY_BUCKETS)
+        for v in (0.001, 0.002, 0.003, 0.2, 0.21):
+            h.observe(v)
+        p50 = h.quantile(0.5)
+        assert 0.0025 < p50 <= 0.005  # rank 2.5 lands in the (0.0025, 0.005] bucket
+        assert h.quantile(0.99) <= 0.25
+
+    def test_labelled_quantile(self):
+        h = Histogram("h", labelnames=("kind",), buckets=(1.0, 2.0))
+        h.observe(1.5, kind="x")
+        assert h.quantile(0.5, kind="x") == pytest.approx(1.5)
+        assert math.isnan(h.quantile(0.5, kind="y"))
+
+
+class TestParallelRunAggregation:
+    """The acceptance-critical regression: pool workers' counters must
+    reach the parent registry.  Before the delta-merge path these
+    asserts failed — worker-side ``repro_dp_solves_total`` increments
+    died with the worker process."""
+
+    def _run(self, clustered_instance, n_jobs, monkeypatch=None, **cfg_kw):
+        from repro.core.config import SolverConfig
+        from repro.core.engine import run_pipeline
+
+        g, h, d = clustered_instance
+        cfg = SolverConfig(n_trees=4, n_jobs=n_jobs, refine=False, seed=3, **cfg_kw)
+        return run_pipeline(g, h, d, cfg, path=f"merge-test-{n_jobs}")
+
+    def test_parallel_run_increases_parent_dp_total(self, clustered_instance):
+        reg = get_registry()
+        before = _value(reg, "repro_dp_solves_total")
+        before_merges = _value(reg, "repro_metrics_worker_merges_total")
+        result = self._run(clustered_instance, n_jobs=2)
+        assert result.placement is not None
+        # Every ensemble member solved in a worker must land here: at
+        # least n_trees new DP solves, merged from >= 1 worker delta.
+        assert _value(reg, "repro_dp_solves_total") >= before + 4
+        assert _value(reg, "repro_metrics_worker_merges_total") >= before_merges + 4
+
+    def test_serial_and_parallel_totals_agree(self, clustered_instance):
+        reg = get_registry()
+        before = _value(reg, "repro_dp_solves_total")
+        self._run(clustered_instance, n_jobs=1)
+        serial_added = _value(reg, "repro_dp_solves_total") - before
+        before = _value(reg, "repro_dp_solves_total")
+        self._run(clustered_instance, n_jobs=2)
+        parallel_added = _value(reg, "repro_dp_solves_total") - before
+        assert serial_added == pytest.approx(parallel_added)
+
+    def test_process_label_env_flag(self, clustered_instance, monkeypatch):
+        monkeypatch.setenv("REPRO_METRICS_PROCESS_LABEL", "1")
+        reg = get_registry()
+        self._run(clustered_instance, n_jobs=2)
+        fam = reg.get("repro_dp_solves_total")
+        labelled = [
+            key
+            for key, _ in fam._series()
+            if any(k == "process" for k, _v in key)
+        ]
+        assert labelled, "expected per-process dp series under the env flag"
+
+    def test_serial_records_carry_no_delta(self, clustered_instance):
+        """Serial solves increment the parent directly; a delta on top
+        would double-count when the engine merges it."""
+        result = self._run(clustered_instance, n_jobs=1)
+        records = result.report().members
+        assert records
+        for record in records:
+            assert record.metrics_delta is None
+
+
+def _value(registry, name, **labels):
+    family = registry.get(name)
+    if family is None:
+        return 0.0
+    return family.value(**labels)

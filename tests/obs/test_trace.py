@@ -135,6 +135,85 @@ class TestWorkerLanes:
                 assert e["ts"] >= dp_stage["ts"] - 1e-9
 
 
+class TestMultilevelTrace:
+    """The coarsen–solve–refine front-end must export cleanly: its stage
+    spans nest, the engine skeleton sits under coarse_solve, and pool
+    members still get worker lanes."""
+
+    @pytest.fixture(scope="class")
+    def ml_report(self, request):
+        import numpy as np
+
+        from repro.core.config import MultilevelConfig, SolverConfig
+        from repro.graph import planted_partition, random_demands
+        from repro.hierarchy.hierarchy import Hierarchy
+        from repro.multilevel.frontend import solve_multilevel
+
+        h = Hierarchy([2, 4], [10.0, 3.0, 0.0])
+        g = planted_partition(4, 6, 0.9, 0.05, seed=11)
+        d = random_demands(g.n, h.total_capacity, fill=0.6, skew=0.3, seed=12)
+        cfg = SolverConfig(
+            n_trees=2,
+            n_jobs=2,
+            refine=False,
+            seed=3,
+            multilevel=MultilevelConfig(enabled=True, coarsen_to=12),
+        )
+        result = solve_multilevel(g, h, np.asarray(d), cfg)
+        return result.report()
+
+    def test_frontend_stage_events_present(self, ml_report):
+        trace = report_to_trace(ml_report)
+        names = {
+            e["name"] for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 0
+        }
+        assert {"coarsen", "coarse_solve", "uncoarsen"} <= names
+        assert any(n.startswith("level_") for n in names)
+
+    def test_engine_skeleton_nests_under_coarse_solve(self, ml_report):
+        trace = report_to_trace(ml_report)
+        engine = {
+            e["name"]: e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 0
+        }
+        cs = engine["coarse_solve"]
+        for stage in ("trees", "dp"):
+            assert stage in engine, f"engine stage {stage} missing from trace"
+            ev = engine[stage]
+            assert ev["ts"] >= cs["ts"] - 1e-9
+            assert ev["ts"] + ev["dur"] <= cs["ts"] + cs["dur"] + 1e-9
+
+    def test_level_spans_nest_under_uncoarsen(self, ml_report):
+        trace = report_to_trace(ml_report)
+        lane0 = {
+            e["name"]: e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 0
+        }
+        un = lane0["uncoarsen"]
+        levels = [e for n, e in lane0.items() if n.startswith("level_")]
+        assert levels
+        for ev in levels:
+            assert ev["ts"] >= un["ts"] - 1e-9
+            assert ev["ts"] + ev["dur"] <= un["ts"] + un["dur"] + 1e-9
+
+    def test_pool_members_get_worker_lanes(self, ml_report):
+        trace = report_to_trace(ml_report)
+        worker_events = [
+            e for e in trace["traceEvents"] if e["ph"] == "X" and e["tid"] > 0
+        ]
+        assert {e["tid"] for e in worker_events} == {1, 2}
+        assert {e["name"] for e in worker_events} >= {"dp[0]", "dp[1]"}
+
+    def test_roundtrips_through_disk(self, ml_report, tmp_path):
+        out = write_trace(ml_report, tmp_path / "ml.trace.json")
+        data = json.loads(out.read_text())
+        assert data["otherData"]["cost"] == pytest.approx(ml_report.cost)
+        assert any(
+            e.get("name") == "coarse_solve" for e in data["traceEvents"]
+        )
+
+
 class TestDegenerateReports:
     def test_memberless_report_has_engine_lane_only(self):
         tel = Telemetry("empty")

@@ -1,0 +1,74 @@
+"""Metric-total exactness under faults.
+
+The resilience contract for observability: a run that recovers from
+injected faults must leave the parent registry's ``repro_dp_*`` totals
+identical to a fault-free run.  That pins down two design decisions in
+the delta-merge path:
+
+* failed attempts' worker-side increments are deliberately dropped (the
+  crashed/hung worker's delta never reaches the parent; the successful
+  retry's delta is the single source of truth), and
+* the serial in-process fallback increments the parent registry
+  directly and ships no delta, so nothing is counted twice.
+"""
+
+import pytest
+
+from repro import SolverConfig, solve_hgp
+from repro.core.resilience import ResilienceConfig, RetryPolicy
+from repro.obs.metrics import get_registry
+
+
+def _dp_solves() -> float:
+    family = get_registry().get("repro_dp_solves_total")
+    return 0.0 if family is None else family.value()
+
+
+def _config(max_attempts: int, timeout=None) -> SolverConfig:
+    return SolverConfig(
+        seed=3,
+        n_trees=8,
+        refine=False,
+        n_jobs=4,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=max_attempts, base_delay=0.0),
+            member_timeout_s=timeout,
+        ),
+    )
+
+
+def _solve_counting(instance, cfg) -> float:
+    g, hier, d = instance
+    before = _dp_solves()
+    solve_hgp(g, hier, d, cfg)
+    return _dp_solves() - before
+
+
+class TestMetricTotalsUnderFaults:
+    def test_pool_run_counts_every_member(self, instance, fault_env):
+        added = _solve_counting(instance, _config(max_attempts=1))
+        assert added >= 8  # one DP solve per ensemble member, minimum
+
+    def test_crash_recovery_totals_match_fault_free(self, instance, fault_env):
+        """restart_pool recovery: the retried wave's deltas still arrive."""
+        cfg = _config(max_attempts=3)
+        clean = _solve_counting(instance, cfg)
+        fault_env("worker_crash:member=2:attempt=1")
+        faulted = _solve_counting(instance, cfg)
+        assert faulted == pytest.approx(clean)
+
+    def test_serial_fallback_totals_match_fault_free(self, instance, fault_env):
+        """max_attempts=2 sends the retry through the serial in-process
+        fallback, which must count once (directly), not twice."""
+        cfg = _config(max_attempts=2)
+        clean = _solve_counting(instance, cfg)
+        fault_env("worker_crash:member=2:attempt=1")
+        faulted = _solve_counting(instance, cfg)
+        assert faulted == pytest.approx(clean)
+
+    def test_hang_recovery_totals_match_fault_free(self, instance, fault_env):
+        cfg = _config(max_attempts=3, timeout=10.0)
+        clean = _solve_counting(instance, cfg)
+        fault_env("worker_hang:member=1:attempt=1:seconds=600")
+        faulted = _solve_counting(instance, cfg)
+        assert faulted == pytest.approx(clean)

@@ -20,6 +20,12 @@ file, point by point:
   flags assert that the fresh file's top-level ``meta`` dict carries
   ``KEY`` with a value of at least ``FLOAT`` (e.g. E17's cache
   effectiveness: ``--min-meta hit_rate=0.5 --min-meta warm_speedup=2``).
+* **Metrics dumps are gated hard** — ``--metrics-dump PATH`` points at
+  the registry dump the benchmark session wrote (see
+  ``benchmarks/conftest.py`` and the ``REPRO_METRICS_DUMP`` variable);
+  the file must exist, parse, and carry at least one ``repro_*``
+  family.  A summary of the hot counters is printed so the CI log
+  doubles as a coarse metrics artifact.
 
 Usage (CI runs this against the small E4 instance)::
 
@@ -89,6 +95,33 @@ def check_meta_floors(path: Path, floors: list) -> list:
                 f"meta {key} = {float(value):g} below required floor {floor:g}"
             )
     return failures
+
+
+def check_metrics_dump(path: Path) -> Tuple[list, list]:
+    """Validate a session metrics dump; return (failures, summary lines).
+
+    The dump is what ``benchmarks/conftest.py`` writes when
+    ``REPRO_METRICS_DUMP`` is set: ``{"snapshot": <registry snapshot>,
+    "rendered": <Prometheus text>}``.
+    """
+    if not path.exists():
+        return [f"metrics dump not found: {path}"], []
+    try:
+        dump = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"metrics dump {path} is not valid JSON: {exc}"], []
+    families = (dump.get("snapshot") or {}).get("families") or []
+    repro = [f for f in families if str(f.get("name", "")).startswith("repro_")]
+    if not repro:
+        return [f"metrics dump {path} carries no repro_* families"], []
+    summary = [f"metrics dump: {len(repro)} repro_* families in {path}"]
+    for fam in repro:
+        if fam.get("kind") != "counter":
+            continue
+        total = sum(float(v) for _key, v in fam.get("series", ()))
+        if total:
+            summary.append(f"  {fam['name']} {total:g}")
+    return [], summary
 
 
 def point_cost(point: dict) -> float:
@@ -186,6 +219,13 @@ def main(argv=None) -> int:
         metavar="KEY=FLOAT",
         help="fail unless the fresh file's meta[KEY] >= FLOAT (repeatable)",
     )
+    parser.add_argument(
+        "--metrics-dump",
+        default=None,
+        metavar="PATH",
+        help="validate and summarise the benchmark session's registry "
+        "dump (written when REPRO_METRICS_DUMP is set)",
+    )
     args = parser.parse_args(argv)
 
     for path in (args.baseline, args.fresh):
@@ -198,6 +238,11 @@ def main(argv=None) -> int:
         baseline, fresh, args.time_warn, args.cost_tol, args.time_fail
     )
     failures.extend(check_meta_floors(Path(args.fresh), args.min_meta))
+    if args.metrics_dump:
+        dump_failures, dump_summary = check_metrics_dump(Path(args.metrics_dump))
+        failures.extend(dump_failures)
+        for line in dump_summary:
+            print(line)
 
     for msg in warnings:
         print(f"WARN: {msg}")

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Keep the metric catalog in docs/observability.md honest.
+
+Scans the library source for metric registrations — string literals of
+the form ``repro_*`` passed to ``.counter(`` / ``.gauge(`` /
+``.histogram(`` — and cross-checks them against the catalog table in
+``docs/observability.md``:
+
+* a **registered metric without a catalog row** fails the check (new
+  instrumentation must be documented before it ships), and
+* a **catalog row without a registration** fails too (stale rows make
+  operators hunt for series that no longer exist).
+
+CI runs this in the lint job::
+
+    python tools/check_metric_catalog.py
+
+Exit code 0 when the catalog and the source agree, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_ROOT = REPO_ROOT / "src"
+CATALOG_DOC = REPO_ROOT / "docs" / "observability.md"
+
+#: A metric registration: the family name literal directly following a
+#: registry method call (possibly across a line break).
+REGISTRATION_RE = re.compile(
+    r"\.(?:counter|gauge|histogram)\(\s*[\"'](repro_[a-z0-9_]+)[\"']"
+)
+
+#: A catalog row: a markdown table line whose first cell is the metric
+#: name in backticks, with optional ``{label,...}`` suffix.
+CATALOG_ROW_RE = re.compile(r"^\|\s*`(repro_[a-z0-9_]+)(?:\{[^}]*\})?`\s*\|")
+
+
+def registered_metrics(source_root: Path) -> Dict[str, List[str]]:
+    """Map of metric name -> source files registering it."""
+    found: Dict[str, List[str]] = {}
+    for path in sorted(source_root.rglob("*.py")):
+        text = path.read_text()
+        try:
+            shown = str(path.relative_to(REPO_ROOT))
+        except ValueError:  # scanning a tree outside the repo (tests)
+            shown = str(path)
+        for name in REGISTRATION_RE.findall(text):
+            found.setdefault(name, []).append(shown)
+    return found
+
+
+def catalogued_metrics(doc: Path) -> Set[str]:
+    names = set()
+    for line in doc.read_text().splitlines():
+        match = CATALOG_ROW_RE.match(line.strip())
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cross-check metric registrations against the catalog"
+    )
+    parser.add_argument(
+        "--source", default=str(SOURCE_ROOT), help="library source root"
+    )
+    parser.add_argument(
+        "--catalog", default=str(CATALOG_DOC), help="markdown file with the catalog"
+    )
+    args = parser.parse_args(argv)
+
+    source_root, catalog_doc = Path(args.source), Path(args.catalog)
+    if not catalog_doc.exists():
+        print(f"check_metric_catalog: no such file: {catalog_doc}", file=sys.stderr)
+        return 1
+    registered = registered_metrics(source_root)
+    catalogued = catalogued_metrics(catalog_doc)
+
+    failures = []
+    for name in sorted(set(registered) - catalogued):
+        files = ", ".join(sorted(set(registered[name])))
+        failures.append(f"{name} registered in {files} but has no catalog row")
+    for name in sorted(catalogued - set(registered)):
+        failures.append(f"{name} has a catalog row but no registration in source")
+
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    print(
+        f"check_metric_catalog: {len(registered)} registered, "
+        f"{len(catalogued)} catalogued, {len(failures)} failure(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
