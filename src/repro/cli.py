@@ -239,6 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(with --profile; adds overhead)",
     )
     solve.add_argument(
+        "--kernel-backend",
+        choices=("auto", "python", "numba"),
+        default="auto",
+        help="hot-path kernel backend: 'auto' (default) uses the numba "
+        "JIT backend when importable and falls back to the bit-identical "
+        "pure-python reference (hgp methods only)",
+    )
+    solve.add_argument(
         "--metrics-port",
         type=int,
         default=None,
@@ -398,6 +406,7 @@ def _run_solve(args: argparse.Namespace) -> int:
             get_cache().enabled = False
         from repro.core.resilience import ResilienceConfig, RetryPolicy
         from repro.core.config import MultilevelConfig
+        from repro.kernels import KernelConfig
         from repro.obs.profile import ProfileConfig
 
         cfg = SolverConfig(
@@ -425,6 +434,7 @@ def _run_solve(args: argparse.Namespace) -> int:
                 memory=args.profile_mem,
                 path=args.profile,
             ),
+            kernel=KernelConfig(backend=args.kernel_backend),
         )
         if args.multilevel:
             from repro.multilevel import solve_multilevel

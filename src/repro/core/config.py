@@ -14,6 +14,7 @@ from repro.cache import CacheConfig
 from repro.core.resilience import ResilienceConfig
 from repro.errors import InvalidInputError
 from repro.hgpt.dp import DPConfig
+from repro.kernels import KernelConfig
 from repro.obs.profile import ProfileConfig
 
 __all__ = ["MultilevelConfig", "SolverConfig"]
@@ -143,6 +144,13 @@ class SolverConfig:
         sampling flight-recorder + per-stage resource monitor and the
         run report (schema v3) carries the ``profile`` payload.  Off by
         default — zero overhead for unprofiled solves.
+    kernel:
+        Hot-path kernel backend selection
+        (:class:`repro.kernels.KernelConfig`): ``"auto"`` (default)
+        prefers the numba JIT backend when importable and falls back to
+        the pure-python reference, which returns bit-identical results.
+        The resolved backend is stamped into the run report as
+        ``kernel_backend``.
     """
 
     n_trees: int = 8
@@ -161,6 +169,7 @@ class SolverConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     multilevel: MultilevelConfig = field(default_factory=MultilevelConfig)
     profile: ProfileConfig = field(default_factory=ProfileConfig)
+    kernel: KernelConfig = field(default_factory=KernelConfig)
 
     def __post_init__(self) -> None:
         if self.n_trees < 1:

@@ -47,6 +47,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+import repro.kernels as kernels
 from repro.cache import resolve_cache
 from repro.errors import InfeasibleError, InvalidInputError, SolverError
 from repro.graph.graph import Graph
@@ -496,18 +497,21 @@ def solve_member(
     """
     own_stats = DPStats()
     sw = Stopwatch()
+    kcfg = getattr(config, "kernel", None)
     # mark_active gives the sampling profiler span attribution for these
     # phases; the Stopwatch (picklable, worker-side) stays the timing
-    # source of truth.
-    with sw.section("dp"), mark_active("dp"):
-        solution, escalations = _DP_STAGE.run_member(
-            tree, hierarchy, demands, config, grid, stats=own_stats
-        )
-    with sw.section("repair"), mark_active("repair"):
-        placement = _REPAIR_STAGE.run_member(
-            tree, hierarchy, demands, solution, grid
-        )
-        mapped = placement.cost()
+    # source of truth.  The kernel scope makes pool workers (which see
+    # only this function) dispatch on the run's configured backend.
+    with kernels.use_backend(kcfg.backend if kcfg is not None else "auto"):
+        with sw.section("dp"), mark_active("dp"):
+            solution, escalations = _DP_STAGE.run_member(
+                tree, hierarchy, demands, config, grid, stats=own_stats
+            )
+        with sw.section("repair"), mark_active("repair"):
+            placement = _REPAIR_STAGE.run_member(
+                tree, hierarchy, demands, solution, grid
+            )
+            mapped = placement.cost()
     if stats is not None:
         stats.update(own_stats)
     record = MemberRecord(
@@ -578,6 +582,7 @@ class EngineResult:
     config: SolverConfig
     run_id: Optional[str] = None
     failures: List[MemberFailure] = field(default_factory=list)
+    kernel_backend: Optional[str] = None
 
     @property
     def degraded(self) -> bool:
@@ -597,10 +602,14 @@ class EngineResult:
         """Freeze the run into a JSON-serialisable :class:`RunReport`.
 
         The run's correlation id is stamped into ``meta["run_id"]`` so
-        reports, traces and JSON-lines logs cross-reference.
+        reports, traces and JSON-lines logs cross-reference, and the
+        resolved kernel backend into ``meta["kernel_backend"]``
+        (schema-compatible additive field).
         """
         if self.run_id is not None:
             meta.setdefault("run_id", self.run_id)
+        if self.kernel_backend is not None:
+            meta.setdefault("kernel_backend", self.kernel_backend)
         return self.telemetry.report(
             config=self.config.describe(), cost=self.cost, **meta
         )
@@ -816,8 +825,16 @@ def run_pipeline(
         from repro.obs.profile import ProfileSession
 
         session = ProfileSession(prof_cfg, ctx.telemetry).start()
+    kcfg = getattr(config, "kernel", None)
     try:
-        result = (engine or Engine()).run(ctx)
+        with kernels.use_backend(
+            kcfg.backend if kcfg is not None else "auto"
+        ) as kernel_backend:
+            # Span attr: which backend served this run (report meta gets
+            # the same name via EngineResult.kernel_backend).
+            ctx.telemetry.counter(f"kernel_backend_{kernel_backend.name}", 1)
+            result = (engine or Engine()).run(ctx)
+        result.kernel_backend = kernel_backend.name
     finally:
         if session is not None:
             # Stamp the profile before the report below is written, so

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 import numpy as np
 
+import repro.kernels as kernels
 from repro.graph.graph import Graph
 from repro.decomposition.tree import DecompositionTree, TreeAssembler
 from repro.utils.rng import SeedLike, ensure_rng
@@ -26,6 +27,7 @@ __all__ = [
     "heavy_edge_matching",
     "matching_labels",
     "aggregate_unmatched",
+    "two_hop_matching",
 ]
 
 
@@ -53,50 +55,26 @@ def heavy_edge_matching(
     every coarse level remains a feasible HGP instance.
 
     Returns ``match[v]`` = partner id or ``-1`` (unmatched).
+
+    The proposal rounds themselves are the ``heavy_edge_match`` kernel
+    dispatched through :mod:`repro.kernels`; this wrapper draws the
+    random tie-break priority (before anything else, preserving the rng
+    stream) and precomputes the per-CSR-entry weight-cap mask.
     """
     n = g.n
-    match = np.full(n, -1, dtype=np.int64)
     if n == 0 or g.m == 0:
-        return match
-    deg = np.diff(g.indptr)
-    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
-    # Static per-call entry order: within each vertex's CSR segment,
-    # heaviest edge first, then lowest random priority of the neighbour.
+        return np.full(n, -1, dtype=np.int64)
     tie = rng.permutation(n).astype(np.int64)
-    order = np.lexsort((tie[g.indices], -g.adj_weights, owner))
-    nbr = g.indices[order]
     if vertex_weights is not None and max_weight is not None:
         vw = np.asarray(vertex_weights, dtype=np.float64)
+        deg = np.diff(g.indptr)
+        owner = np.repeat(np.arange(n, dtype=np.int64), deg)
         fits = (vw[owner] + vw[g.indices]) <= max_weight * (1 + 1e-9)
-        fits = fits[order]
     else:
-        fits = np.ones(nbr.size, dtype=bool)
-    n_entries = nbr.size
-    entry_pos = np.arange(n_entries, dtype=np.int64)
-    seg_start = g.indptr[:-1]
-    nonempty = deg > 0
-    ids = np.arange(n, dtype=np.int64)
-    for _ in range(max(1, rounds)):
-        free = match < 0
-        if not free.any():
-            break
-        elig = fits & free[nbr]
-        # First eligible entry per CSR segment (min position, reduceat
-        # over the non-empty segments only; an empty reduce is invalid).
-        pos = np.where(elig, entry_pos, n_entries)
-        first = np.full(n, n_entries, dtype=np.int64)
-        if nonempty.any():
-            first[nonempty] = np.minimum.reduceat(pos, seg_start[nonempty])
-        proposal = np.full(n, -1, dtype=np.int64)
-        has = free & (first < n_entries)
-        proposal[has] = nbr[first[has]]
-        # Conflict resolution: only mutual proposals match this round.
-        target = np.where(proposal >= 0, proposal, 0)
-        mutual = (proposal >= 0) & (proposal[target] == ids)
-        if not mutual.any():
-            break
-        match[mutual] = proposal[mutual]
-    return match
+        fits = np.ones(g.indices.size, dtype=bool)
+    return kernels.heavy_edge_match(
+        g.indptr, g.indices, g.adj_weights, tie, fits, max(1, rounds)
+    )
 
 
 def matching_labels(match: np.ndarray) -> np.ndarray:
@@ -173,6 +151,69 @@ def aggregate_unmatched(
         labels[fv_s[ok]] = t_s[ok]
     _, labels = np.unique(labels, return_inverse=True)
     return labels.astype(np.int64, copy=False)
+
+
+def two_hop_matching(
+    g: Graph,
+    match: np.ndarray,
+    *,
+    vertex_weights: Optional[np.ndarray] = None,
+    max_weight: Optional[float] = None,
+) -> np.ndarray:
+    """Cap-aware 2-hop matching: pair unmatched vertices sharing a hub.
+
+    On star-like graphs both the matching (hub pairs one spoke) and the
+    many-to-one aggregation (the hub cluster rides the ``max_weight``
+    cap) stall, leaving thousands of singleton spokes per level.  The
+    standard multilevel escape is to match such vertices *with each
+    other* through their common heaviest neighbour: two spokes of one
+    hub are 2-hop neighbours and merging them needs no hub capacity.
+
+    Unmatched vertices are grouped by heaviest neighbour and paired
+    greedily lightest-first within each group, subject to the same
+    ``max_weight`` cap as matching.  Returns a copy of ``match`` with
+    the new pairs filled in (feed it to :func:`aggregate_unmatched` /
+    :func:`matching_labels`).  Deterministic given ``match``; the
+    per-vertex loop only runs on the stalled remainder, so the cost is
+    bounded by the stall itself.
+    """
+    match = np.asarray(match, dtype=np.int64).copy()
+    n = g.n
+    if n == 0 or g.m == 0:
+        return match
+    deg = np.diff(g.indptr)
+    free = (match < 0) & (deg > 0)
+    if not free.any():
+        return match
+    owner = np.repeat(np.arange(n, dtype=np.int64), deg)
+    order = np.lexsort((-g.adj_weights, owner))
+    heavy_nbr = np.full(n, -1, dtype=np.int64)
+    nz = deg > 0
+    heavy_nbr[nz] = g.indices[order[g.indptr[:-1][nz]]]
+    fv = np.nonzero(free)[0]
+    key = heavy_nbr[fv]
+    if vertex_weights is not None and max_weight is not None:
+        vw = np.asarray(vertex_weights, dtype=np.float64)
+        limit = float(max_weight) * (1 + 1e-9)
+    else:
+        vw = np.zeros(n, dtype=np.float64)
+        limit = np.inf
+    ord2 = np.lexsort((fv, vw[fv], key))
+    pending = -1
+    pending_key = -1
+    for v, k in zip(fv[ord2].tolist(), key[ord2].tolist()):
+        if k != pending_key or pending < 0:
+            pending, pending_key = v, k
+            continue
+        if vw[pending] + vw[v] <= limit:
+            match[pending] = v
+            match[v] = pending
+            pending = -1
+        else:
+            # Weights ascend within the group: if the lightest pending
+            # cannot pair with v, no later pair in this group fits either.
+            pending = v
+    return match
 
 
 def contraction_decomposition_tree(

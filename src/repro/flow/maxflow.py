@@ -1,11 +1,12 @@
 """Dinic's maximum-flow algorithm on undirected capacity networks.
 
 Used by the Gomory–Hu tree builder and by the flow-based decomposition
-tree heuristics.  The implementation keeps the residual network in flat
-numpy-backed arrays (arc lists with paired reverse arcs) and runs the
-level-graph BFS / blocking-flow DFS loop with explicit stacks, which is
-the standard way to make Dinic tolerable in pure Python: no recursion, no
-per-arc object allocation inside the loop.
+tree heuristics.  The residual network lives in flat numpy arrays (arc
+lists with paired reverse arcs, CSR-style per-vertex arc segments), and
+the level-graph BFS / blocking-flow DFS loop dispatches through the
+:mod:`repro.kernels` backend seam — the pure-python reference kernels
+are the original explicit-stack implementations, and the numba backend
+JIT-compiles the same loops with bit-identical results.
 
 Complexity: ``O(V^2 E)`` in general, ``O(E sqrt(V))`` on unit networks —
 ample for the instance sizes the decomposition builders feed it.
@@ -14,15 +15,43 @@ ample for the instance sizes the decomposition builders feed it.
 from __future__ import annotations
 
 import time
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+import repro.kernels as kernels
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
 from repro.obs.metrics import get_registry
 
 __all__ = ["DinicMaxFlow", "max_flow"]
+
+
+#: Hoisted metric handles: the Gomory–Hu builder runs ``n − 1`` solves,
+#: so the per-call registry find-or-create lookups were measurable hot-
+#: path overhead.  Lazily built (the registry may not exist at import)
+#: and keyed on ``(registry, generation)`` so a test-side ``reset()``
+#: invalidates the cache instead of leaving orphaned families.
+_METRIC_HANDLES: Optional[tuple] = None
+
+
+def _metric_handles() -> tuple:
+    global _METRIC_HANDLES
+    metrics = get_registry()
+    cached = _METRIC_HANDLES
+    if cached is not None and cached[0] is metrics and cached[1] == metrics.generation:
+        return cached[2]
+    handles = (
+        metrics.counter(
+            "repro_flow_maxflow_calls_total", "Completed Dinic max-flow solves"
+        ),
+        metrics.histogram(
+            "repro_flow_maxflow_seconds",
+            "Wall-clock seconds of one max-flow solve",
+        ),
+    )
+    _METRIC_HANDLES = (metrics, metrics.generation, handles)
+    return handles
 
 
 class DinicMaxFlow:
@@ -96,6 +125,16 @@ class DinicMaxFlow:
         self._caps0 = np.asarray(self._caps, dtype=np.float64)
         self._caps0.setflags(write=False)
         self.caps = self._caps0.copy()
+        # Flat per-vertex arc segments (CSR over arc ids) — the layout
+        # the kernel ABI consumes; preserves _adj's append order.
+        counts = np.fromiter(
+            (len(arcs) for arcs in self._adj), dtype=np.int64, count=self.n
+        )
+        self.arc_indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.arc_indptr[1:])
+        self.arc_ids = np.asarray(
+            [a for arcs in self._adj for a in arcs], dtype=np.int64
+        )
         self._frozen = True
 
     def solve(self, s: int, t: int) -> float:
@@ -109,75 +148,24 @@ class DinicMaxFlow:
             # restore from the frozen master without an O(m) list pass.
             np.copyto(self.caps, self._caps0)
         t0 = time.perf_counter()
-        heads, caps, adj = self.heads, self.caps, self._adj
-        n = self.n
+        heads, caps = self.heads, self.caps
+        arc_indptr, arc_ids = self.arc_indptr, self.arc_ids
+        backend = kernels.get_backend()
+        s, t = int(s), int(t)
         total = 0.0
-        INF = float("inf")
         while True:
-            # --- BFS: build level graph -------------------------------
-            level = np.full(n, -1, dtype=np.int64)
-            level[s] = 0
-            queue = [s]
-            qi = 0
-            while qi < len(queue):
-                v = queue[qi]
-                qi += 1
-                for a in adj[v]:
-                    u = heads[a]
-                    if caps[a] > 1e-12 and level[u] < 0:
-                        level[u] = level[v] + 1
-                        queue.append(int(u))
+            level = kernels.dinic_bfs_levels(
+                heads, caps, arc_indptr, arc_ids, s, backend=backend
+            )
             if level[t] < 0:
                 break
-            # --- DFS: blocking flow with iteration pointers ------------
-            it = [0] * n
-            while True:
-                pushed = self._dfs_push(s, t, INF, level, it)
-                if pushed <= 1e-12:
-                    break
-                total += pushed
-        metrics = get_registry()
-        metrics.counter(
-            "repro_flow_maxflow_calls_total", "Completed Dinic max-flow solves"
-        ).inc()
-        metrics.histogram(
-            "repro_flow_maxflow_seconds", "Wall-clock seconds of one max-flow solve"
-        ).observe(time.perf_counter() - t0)
+            total += kernels.dinic_blocking_flow(
+                heads, caps, arc_indptr, arc_ids, level, s, t, backend=backend
+            )
+        calls, seconds = _metric_handles()
+        calls.inc()
+        seconds.observe(time.perf_counter() - t0)
         return total
-
-    def _dfs_push(
-        self, s: int, t: int, limit: float, level: np.ndarray, it: List[int]
-    ) -> float:
-        """One augmenting path in the level graph (explicit stack DFS)."""
-        heads, caps, adj = self.heads, self.caps, self._adj
-        path: List[int] = []  # arc ids along the current path
-        v = s
-        while True:
-            if v == t:
-                bottleneck = min(limit, min(caps[a] for a in path)) if path else 0.0
-                for a in path:
-                    caps[a] -= bottleneck
-                    caps[a ^ 1] += bottleneck
-                return bottleneck
-            advanced = False
-            while it[v] < len(adj[v]):
-                a = adj[v][it[v]]
-                u = int(heads[a])
-                if caps[a] > 1e-12 and level[u] == level[v] + 1:
-                    path.append(a)
-                    v = u
-                    advanced = True
-                    break
-                it[v] += 1
-            if advanced:
-                continue
-            # Dead end: retreat.
-            level[v] = -1
-            if not path:
-                return 0.0
-            a = path.pop()
-            v = int(heads[a ^ 1])
-            it[v] += 1
 
     def min_cut_side(self, s: int) -> np.ndarray:
         """Source side of a min cut: vertices reachable in the residual graph.

@@ -93,6 +93,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.kernels as kernels
 from repro.errors import InvalidInputError, SolverError
 from repro.hgpt.binarize import BinaryTree
 from repro.hgpt.solution import LevelSet, TreeSolution
@@ -191,41 +192,80 @@ _LEGACY_CONFIG = DPConfig(
 )
 
 
+#: Hoisted metric-family handles (lazy — the registry may be reset or
+#: absent at import): one tuple lookup per solve instead of nine
+#: registry find-or-create calls.  Keyed on ``(registry, generation)``
+#: so a test-side ``reset()`` invalidates the cache instead of leaving
+#: orphaned families.
+_DP_METRIC_HANDLES: Optional[tuple] = None
+
+
+def _dp_metric_handles() -> tuple:
+    global _DP_METRIC_HANDLES
+    metrics = get_registry()
+    cached = _DP_METRIC_HANDLES
+    if cached is not None and cached[0] is metrics and cached[1] == metrics.generation:
+        return cached[2]
+    handles = (
+            metrics.counter(
+                "repro_dp_solves_total", "Completed signature-DP solves"
+            ),
+            metrics.counter(
+                "repro_dp_nodes_total", "Binary-tree nodes processed by the DP"
+            ),
+            metrics.counter(
+                "repro_dp_states_total", "DP states created across all nodes"
+            ),
+            metrics.counter(
+                "repro_dp_merges_total", "Pairwise signature merges evaluated"
+            ),
+            metrics.counter(
+                "repro_dp_tiles_total", "Merge tiles streamed by the DP kernel"
+            ),
+            metrics.counter(
+                "repro_dp_bound_pruned_total",
+                "States dropped by incumbent-bound pruning",
+            ),
+            metrics.histogram(
+                "repro_dp_states_max",
+                "Largest per-node state table of one DP solve",
+                buckets=DEFAULT_SIZE_BUCKETS,
+            ),
+            metrics.histogram(
+                "repro_dp_table_peak_bytes",
+                "Peak live merge-table bytes of one DP solve",
+                buckets=DEFAULT_BYTE_BUCKETS,
+            ),
+            metrics.histogram(
+                "repro_dp_seconds", "Wall-clock seconds of one DP solve"
+            ),
+        )
+    _DP_METRIC_HANDLES = (metrics, metrics.generation, handles)
+    return handles
+
+
 def _publish_dp_metrics(stats: "DPStats", seconds: float) -> None:
     """Fold one DP run's counters into the process-local metrics registry."""
-    metrics = get_registry()
-    metrics.counter(
-        "repro_dp_solves_total", "Completed signature-DP solves"
-    ).inc()
-    metrics.counter(
-        "repro_dp_nodes_total", "Binary-tree nodes processed by the DP"
-    ).inc(stats.nodes)
-    metrics.counter(
-        "repro_dp_states_total", "DP states created across all nodes"
-    ).inc(stats.states_total)
-    metrics.counter(
-        "repro_dp_merges_total", "Pairwise signature merges evaluated"
-    ).inc(stats.merges)
-    metrics.counter(
-        "repro_dp_tiles_total", "Merge tiles streamed by the DP kernel"
-    ).inc(stats.tiles)
-    metrics.counter(
-        "repro_dp_bound_pruned_total",
-        "States dropped by incumbent-bound pruning",
-    ).inc(stats.bound_pruned)
-    metrics.histogram(
-        "repro_dp_states_max",
-        "Largest per-node state table of one DP solve",
-        buckets=DEFAULT_SIZE_BUCKETS,
-    ).observe(stats.states_max)
-    metrics.histogram(
-        "repro_dp_table_peak_bytes",
-        "Peak live merge-table bytes of one DP solve",
-        buckets=DEFAULT_BYTE_BUCKETS,
-    ).observe(stats.table_peak_bytes)
-    metrics.histogram(
-        "repro_dp_seconds", "Wall-clock seconds of one DP solve"
-    ).observe(seconds)
+    (
+        solves,
+        nodes,
+        states,
+        merges,
+        tiles,
+        bound_pruned,
+        states_max,
+        peak_bytes,
+        dp_seconds,
+    ) = _dp_metric_handles()
+    solves.inc()
+    nodes.inc(stats.nodes)
+    states.inc(stats.states_total)
+    merges.inc(stats.merges)
+    tiles.inc(stats.tiles)
+    bound_pruned.inc(stats.bound_pruned)
+    states_max.observe(stats.states_max)
+    peak_bytes.observe(stats.table_peak_bytes)
+    dp_seconds.observe(seconds)
 
 
 class DPStats:
@@ -399,10 +439,6 @@ def _project(
     return uniq, min_costs, porig[winners], pj[winners]
 
 
-#: Candidate rows per vectorised dominance block (h >= 3 scan).
-_DOM_BLOCK = 256
-
-
 def _dominance_prune(
     sigs: np.ndarray,
     costs: np.ndarray,
@@ -412,106 +448,31 @@ def _dominance_prune(
 
     States are scanned in ascending (cost, signature) order; a state
     survives unless a previously kept signature is ≤ it componentwise.
-    Because survivors are scanned cheapest-first, the kept signatures
-    form an antichain — for ``h ≤ 2`` that is a monotone staircase, so
-    dominance queries become binary searches (O(m log m) total) instead
-    of the generic O(m · kept) scan.  For ``h ≥ 3`` the scan is blocked:
-    a whole block is checked against every previously kept signature in
-    one vectorised comparison, and only rows that survive it (final
-    survivors plus rows dominated solely inside their own block —
-    transitivity guarantees nothing else slips through) reach the
-    sequential pass, which then compares against block-local keeps
-    only.  Under beam truncation the most-closed state (minimal
-    component sum) is always re-inserted — see the module docstring.
+    The scan itself is the ``dp_dominance_prune`` kernel dispatched
+    through :mod:`repro.kernels` (the python backend keeps the original
+    staircase / blocked specialisations, the numba backend JIT-compiles
+    an equivalent sequential scan — identical kept sets by construction).
+    Under beam truncation the most-closed state (minimal component sum)
+    is always re-inserted — see the module docstring.
     """
     m = costs.size
     h = sigs.shape[1]
     if m <= 1:
         return np.arange(m, dtype=np.int64)
     order = np.lexsort(tuple(sigs[:, i] for i in range(h - 1, -1, -1)) + (costs,))
-
-    kept_idx: List[int] = []
-    truncated = False
-    if h == 1:
-        # Survivor iff its signature is a new minimum.
-        best = np.iinfo(np.int64).max
-        for pos in order:
-            s = int(sigs[pos, 0])
-            if s >= best:
-                continue
-            best = s
-            kept_idx.append(int(pos))
-            if beam_width is not None and len(kept_idx) >= beam_width:
-                truncated = True
-                break
-    elif h == 2:
-        # Maintain the Pareto frontier of kept signatures as a staircase
-        # (xs strictly increasing, ys strictly decreasing): (a, b) is
-        # dominated iff the frontier point with the largest x <= a has
-        # y <= b.  Kept states themselves need not be an antichain (a
-        # later, more expensive state may be componentwise smaller), so
-        # insertion evicts frontier points the new signature covers.
-        import bisect
-
-        xs: List[int] = []
-        ys: List[int] = []
-        for pos in order:
-            a, b = int(sigs[pos, 0]), int(sigs[pos, 1])
-            k = bisect.bisect_right(xs, a)
-            if k > 0 and ys[k - 1] <= b:
-                continue
-            # Evict frontier points (x >= a, y >= b): anything they would
-            # dominate in the future, (a, b) dominates too.
-            end = k
-            while end < len(xs) and ys[end] >= b:
-                end += 1
-            del xs[k:end]
-            del ys[k:end]
-            xs.insert(k, a)
-            ys.insert(k, b)
-            kept_idx.append(int(pos))
-            if beam_width is not None and len(kept_idx) >= beam_width:
-                truncated = True
-                break
-    else:
-        sorted_sigs = sigs[order]
-        kept_rows = np.empty((m, h), dtype=sigs.dtype)
-        n_kept = 0
-        for s in range(0, m, _DOM_BLOCK):
-            block = sorted_sigs[s:s + _DOM_BLOCK]
-            if n_kept:
-                # One comparison of the whole block against every kept
-                # signature; (h, kept, block) accumulation keeps the
-                # temporary two-dimensional.
-                dom = np.ones((n_kept, block.shape[0]), dtype=bool)
-                for i in range(h):
-                    dom &= kept_rows[:n_kept, i, None] <= block[None, :, i]
-                survivors = np.nonzero(~dom.any(axis=0))[0]
-            else:
-                survivors = np.arange(block.shape[0])
-            block_start = n_kept
-            for t in survivors:
-                sig = block[t]
-                if n_kept > block_start and bool(
-                    np.all(kept_rows[block_start:n_kept] <= sig, axis=1).any()
-                ):
-                    continue
-                kept_rows[n_kept] = sig
-                kept_idx.append(int(order[s + t]))
-                n_kept += 1
-                if beam_width is not None and n_kept >= beam_width:
-                    truncated = True
-                    break
-            if truncated:
-                break
+    kept_idx, truncated = kernels.dp_dominance_prune(
+        sigs, costs, order, -1 if beam_width is None else int(beam_width)
+    )
     if truncated:
         sums = sigs.sum(axis=1)
-        flex = np.lexsort(
-            tuple(sigs[:, i] for i in range(h - 1, -1, -1)) + (sums,)
-        )[0]
-        if int(flex) not in kept_idx:
-            kept_idx.append(int(flex))
-    return np.asarray(kept_idx, dtype=np.int64)
+        flex = int(
+            np.lexsort(
+                tuple(sigs[:, i] for i in range(h - 1, -1, -1)) + (sums,)
+            )[0]
+        )
+        if not (kept_idx == flex).any():
+            kept_idx = np.append(kept_idx, np.int64(flex))
+    return kept_idx
 
 
 # ----------------------------------------------------------------------
@@ -656,27 +617,23 @@ def _merge_node(
         buf = []
         pending = 0
 
+    # Transient per-row tile footprint: int64 sig row + float64 cost +
+    # three int64 index columns (what the pre-seam loop materialised).
+    row_bytes = 8 * h + 32
     for start in range(0, total, tile):
         stats.tiles += 1
-        idx = np.arange(start, min(total, start + tile), dtype=np.int64)
-        ii = idx // nb
-        jj = idx - ii * nb
-        costs_t = pa_cost[ii] + pb_cost[jj]
-        if budget < math.inf:
-            ok = costs_t <= budget
-            n_ok = int(np.count_nonzero(ok))
-            stats.bound_pruned += idx.size - n_ok
-            if n_ok < idx.size:
-                ii, jj, costs_t, idx = ii[ok], jj[ok], costs_t[ok], idx[ok]
-        stats.merges += int(ii.size)
-        if ii.size == 0:
+        stop = min(total, start + tile)
+        sums, costs_t, ii, jj, rank, n_ok = kernels.dp_tile_merge(
+            pa_sig, pa_cost, pb_sig, pb_cost, caps_arr, start, stop, budget
+        )
+        stats.bound_pruned += (stop - start) - n_ok
+        stats.merges += n_ok
+        if n_ok == 0:
             continue
-        sums = pa_sig[ii] + pb_sig[jj]
-        feas = (sums <= caps_arr).all(axis=1)
-        tile_bytes = sums.nbytes + costs_t.nbytes + 3 * idx.nbytes
-        if feas.any():
-            buf.append((sums[feas], costs_t[feas], ii[feas], jj[feas], idx[feas]))
-            pending += int(np.count_nonzero(feas))
+        tile_bytes = n_ok * row_bytes
+        if costs_t.size:
+            buf.append((sums, costs_t, ii, jj, rank))
+            pending += int(costs_t.size)
         live = tile_bytes + sum(
             sum(arr.nbytes for arr in part)
             for part in ([acc] if acc is not None else []) + buf
@@ -810,18 +767,21 @@ def solve_subtree_tables(payload: Dict[str, object], root: int) -> dict:
     stats = DPStats()
     tables: List[Optional[_Table]] = [None] * bt.n_nodes
     nodes = bt.subtree_postorder(root)
-    _solve_tables(
-        bt,
-        caps_arr,
-        deltas_arr,
-        payload["beam_width"],  # type: ignore[arg-type]
-        cfg,
-        stats,
-        nodes,
-        tables,
-        incumbent=float(payload["incumbent"]),  # type: ignore[arg-type]
-        outside_lb=payload["outside_lb"],  # type: ignore[arg-type]
-    )
+    # Workers inherit the parent's resolved kernel backend by name so
+    # farmed subtrees dispatch exactly like the spine.
+    with kernels.use_backend(str(payload.get("kernel_backend", "auto"))):
+        _solve_tables(
+            bt,
+            caps_arr,
+            deltas_arr,
+            payload["beam_width"],  # type: ignore[arg-type]
+            cfg,
+            stats,
+            nodes,
+            tables,
+            incumbent=float(payload["incumbent"]),  # type: ignore[arg-type]
+            outside_lb=payload["outside_lb"],  # type: ignore[arg-type]
+        )
     return {
         "root": root,
         "tables": {
@@ -870,6 +830,7 @@ def _solve_parallel(
             "cfg": cfg,
             "incumbent": incumbent,
             "outside_lb": outside_lb,
+            "kernel_backend": kernels.get_backend().name,
         }
     )
     try:

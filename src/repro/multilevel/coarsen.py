@@ -25,6 +25,7 @@ from repro.decomposition.contraction import (
     aggregate_unmatched,
     heavy_edge_matching,
     matching_labels,
+    two_hop_matching,
 )
 from repro.errors import InvalidInputError
 from repro.graph.graph import Graph
@@ -161,6 +162,18 @@ def coarsen_graph(
         if n_super >= cur.n * stall_ratio:
             # Matching stalled (hubs match one spoke per level): fall
             # back to many-to-one aggregation of the unmatched vertices.
+            labels = aggregate_unmatched(
+                cur, match, vertex_weights=d, max_weight=max_weight
+            )
+            n_super = int(labels.max()) + 1 if labels.size else 0
+        if n_super >= cur.n * stall_ratio:
+            # Still stalled — the hub cluster rides the demand cap, so
+            # joiners are rejected.  Pair the leftover spokes with each
+            # other through their common hub (cap-aware 2-hop matching),
+            # then aggregate whatever remains.
+            match = two_hop_matching(
+                cur, match, vertex_weights=d, max_weight=max_weight
+            )
             labels = aggregate_unmatched(
                 cur, match, vertex_weights=d, max_weight=max_weight
             )

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+import repro.kernels as kernels
 from repro.baselines.fm import HierarchyRefineStats, fm_refine_hierarchy
 from repro.core.config import MultilevelConfig, SolverConfig
 from repro.core.engine import EngineResult, run_pipeline, validate_instance
@@ -111,6 +112,8 @@ class MultilevelResult:
         """Freeze the whole front-end run into one :class:`RunReport`."""
         if self.run_id is not None:
             meta.setdefault("run_id", self.run_id)
+        if self.coarse.kernel_backend is not None:
+            meta.setdefault("kernel_backend", self.coarse.kernel_backend)
         meta.setdefault("multilevel", self.stats_dict())
         return self.telemetry.report(
             config=self.config.describe(), cost=self.cost, **meta
@@ -171,7 +174,12 @@ def solve_multilevel(
 
         profile_session = ProfileSession(prof_cfg, tel).start()
 
-    with tel.span("coarsen"):
+    # Coarsening runs the heavy_edge_match kernel, so it honours the
+    # configured backend; the embedded run_pipeline scopes itself.
+    kcfg = getattr(config, "kernel", None)
+    with tel.span("coarsen"), kernels.use_backend(
+        kcfg.backend if kcfg is not None else "auto"
+    ):
         levels = coarsen_graph(
             g,
             d,

@@ -371,6 +371,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._families: Dict[str, _Family] = {}
+        #: Bumped by :meth:`reset` so modules that hoist family handles
+        #: out of their hot paths can cheaply detect stale caches.
+        self.generation = 0
 
     def _register(self, cls, name: str, help: str, **kwargs) -> _Family:
         with self._lock:
@@ -430,6 +433,7 @@ class MetricsRegistry:
         """Drop every family (tests; never called by library code)."""
         with self._lock:
             self._families.clear()
+            self.generation += 1
 
     def snapshot(self) -> Dict[str, object]:
         """Picklable point-in-time dump of every family and series.

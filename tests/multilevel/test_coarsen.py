@@ -15,7 +15,11 @@ from hypothesis import strategies as st
 
 from repro import Graph
 from repro.baselines.fm import eq1_cost
-from repro.decomposition.contraction import heavy_edge_matching, matching_labels
+from repro.decomposition.contraction import (
+    heavy_edge_matching,
+    matching_labels,
+    two_hop_matching,
+)
 from repro.errors import InvalidInputError
 from repro.graph.generators import barabasi_albert, grid_2d
 from repro.hierarchy.hierarchy import Hierarchy
@@ -164,6 +168,43 @@ class TestCoarsenInvariants:
         levels = coarsen_graph(g, d, target_n=16, max_weight=1.0, rng=5)
         for dem in levels.demands:
             assert dem.max() <= 1.0 + 1e-9
+
+    def test_star_heavy_graph_coarsens_via_two_hop(self):
+        # A star with unit demands and a tight cap stalls both plain
+        # matching (the hub pairs one spoke) and many-to-one aggregation
+        # (the hub cluster rides the cap).  The cap-aware 2-hop escape
+        # pairs spokes with each other through the hub, so coarsening
+        # must make real progress instead of stopping at ~n vertices.
+        n = 201
+        g = Graph(n, [(0, i, 1.0) for i in range(1, n)])
+        d = np.ones(n)
+        levels = coarsen_graph(g, d, target_n=8, max_weight=4.0, rng=0)
+        st_ = levels.stats
+        assert st_.n_coarsest <= 60
+        assert st_.shrink_factor >= 3.0
+        for dem in levels.demands:
+            assert dem.max() <= 4.0 + 1e-9
+
+    def test_two_hop_pairs_spokes_and_respects_cap(self):
+        n = 11
+        g = Graph(n, [(0, i, 1.0) for i in range(1, n)])
+        d = np.ones(n)
+        match = heavy_edge_matching(
+            g, ensure_rng(3), vertex_weights=d, max_weight=2.0
+        )
+        out = two_hop_matching(g, match, vertex_weights=d, max_weight=2.0)
+        # Valid matching: symmetric, loopless, cap respected.
+        for v in range(n):
+            p = int(out[v])
+            if p >= 0:
+                assert p != v
+                assert int(out[p]) == v
+                assert d[v] + d[p] <= 2.0 + 1e-9
+        # The input is not mutated, previously matched pairs survive,
+        # and the escape actually pairs some of the leftover spokes.
+        assert np.all(out[match >= 0] == match[match >= 0])
+        assert int((out >= 0).sum()) > int((match >= 0).sum())
+        assert int((out >= 0).sum()) >= n - 3  # hub pair + spoke pairs
 
     def test_validates_inputs(self):
         g = grid_2d(3, 3)
