@@ -447,10 +447,18 @@ class SolverCache:
     def describe(self) -> Dict[str, object]:
         """One dict with both tiers' state + effectiveness counters."""
         with self._lock:
+            by_kind: Dict[str, Dict[str, int]] = {}
+            for key, (_value, nbytes) in self._entries.items():
+                k = by_kind.setdefault(
+                    self._kinds.get(key, "?"), {"entries": 0, "bytes": 0}
+                )
+                k["entries"] += 1
+                k["bytes"] += nbytes
             memory = {
                 "entries": len(self._entries),
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
+                "by_kind": {k: by_kind[k] for k in sorted(by_kind)},
             }
         return {
             "enabled": self.enabled,

@@ -197,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(always rebuild decomposition trees)",
     )
     solve.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="skip the subtree-DP memo (the subtree_tables cache tier) "
+        "for this run; results are bit-identical either way "
+        "(REPRO_INCREMENTAL=0 is the env equivalent)",
+    )
+    solve.add_argument(
         "--multilevel",
         action="store_true",
         help="coarsen–solve–refine front-end: coarsen to --coarsen-to "
@@ -405,7 +412,7 @@ def _run_solve(args: argparse.Namespace) -> int:
             # must not populate or consult it either.
             get_cache().enabled = False
         from repro.core.resilience import ResilienceConfig, RetryPolicy
-        from repro.core.config import MultilevelConfig
+        from repro.core.config import IncrementalConfig, MultilevelConfig
         from repro.kernels import KernelConfig
         from repro.obs.profile import ProfileConfig
 
@@ -435,6 +442,7 @@ def _run_solve(args: argparse.Namespace) -> int:
                 path=args.profile,
             ),
             kernel=KernelConfig(backend=args.kernel_backend),
+            incremental=IncrementalConfig(enabled=not args.no_incremental),
         )
         if args.multilevel:
             from repro.multilevel import solve_multilevel
@@ -539,6 +547,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"  memory tier  : {mem['entries']} entries, "
         f"{_human_bytes(mem['bytes'])} of {_human_bytes(mem['max_bytes'])} budget"
     )
+    for kind, sub in mem.get("by_kind", {}).items():
+        print(
+            f"    {kind:<12s} {sub['entries']} entries, "
+            f"{_human_bytes(sub['bytes'])}"
+        )
     disk = info["disk"]
     if disk["dir"] is None:
         print("  disk tier    : disabled (set REPRO_CACHE_DIR or --dir)")

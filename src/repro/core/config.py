@@ -17,7 +17,40 @@ from repro.hgpt.dp import DPConfig
 from repro.kernels import KernelConfig
 from repro.obs.profile import ProfileConfig
 
-__all__ = ["MultilevelConfig", "SolverConfig"]
+__all__ = ["IncrementalConfig", "MultilevelConfig", "SolverConfig"]
+
+
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """Knobs of the incremental warm path (subtree DP memoization).
+
+    Attributes
+    ----------
+    enabled:
+        Let DP solves consult the ``subtree_tables`` cache tier: every
+        internal binary-tree node's state table is content-addressed by
+        its subtree digest, so a re-solve after a local graph delta
+        rebuilds only the dirty spine.  Warm results are bit-identical
+        to cold ones by construction (a hit returns exactly what the
+        rebuild would produce).  Overridable per run with
+        ``repro solve --no-incremental`` or ``REPRO_INCREMENTAL=0``.
+    max_dirty_frac:
+        :class:`repro.streaming.online.OnlinePlacer` gate: when the
+        fraction of live tasks touched by churn since the last
+        reoptimize exceeds this, the reopt runs as a plain full solve
+        (no memo probes) — with most subtrees dirty, per-node lookups
+        are pure overhead.  The gate is a performance heuristic only;
+        placements are identical either way.
+    """
+
+    enabled: bool = True
+    max_dirty_frac: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.max_dirty_frac <= 1):
+            raise InvalidInputError(
+                f"max_dirty_frac must be in [0, 1], got {self.max_dirty_frac}"
+            )
 
 
 @dataclass(frozen=True)
@@ -151,6 +184,14 @@ class SolverConfig:
         the pure-python reference, which returns bit-identical results.
         The resolved backend is stamped into the run report as
         ``kernel_backend``.
+    incremental:
+        Incremental warm-path knobs (:class:`IncrementalConfig`):
+        whether DP solves memoise per-subtree state tables in the
+        ``subtree_tables`` cache tier, and the dirty-fraction threshold
+        above which streaming reoptimizes fall back to plain full
+        solves.  The effective mode (after the ``REPRO_INCREMENTAL``
+        env override) is stamped into the run report as
+        ``incremental``.
     """
 
     n_trees: int = 8
@@ -170,6 +211,7 @@ class SolverConfig:
     multilevel: MultilevelConfig = field(default_factory=MultilevelConfig)
     profile: ProfileConfig = field(default_factory=ProfileConfig)
     kernel: KernelConfig = field(default_factory=KernelConfig)
+    incremental: IncrementalConfig = field(default_factory=IncrementalConfig)
 
     def __post_init__(self) -> None:
         if self.n_trees < 1:

@@ -54,9 +54,9 @@ from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.hierarchy.placement import Placement
 from repro.decomposition.racke import ensemble_cache_parts, racke_ensemble
-from repro.decomposition.tree import DecompositionTree
+from repro.decomposition.tree import DecompositionTree, vertex_content_digests
 from repro.hgpt.binarize import binarize
-from repro.hgpt.dp import DPStats, solve_rhgpt
+from repro.hgpt.dp import DPStats, SubtreeMemo, solve_rhgpt
 from repro.hgpt.quantize import DemandGrid
 from repro.hgpt.repair import repair_to_placement
 from repro.core.config import SolverConfig
@@ -88,11 +88,29 @@ __all__ = [
     "run_pipeline",
     "validate_instance",
     "check_instance",
+    "incremental_enabled",
 ]
 
 #: Canonical stage-span names, in pipeline order.  Every engine run emits
 #: all five (asserted by the telemetry tests).
 STAGE_NAMES = ("trees", "quantize", "dp", "repair", "refine")
+
+
+def incremental_enabled(config: SolverConfig) -> bool:
+    """Whether this run's DP solves use the subtree-table memo.
+
+    ``REPRO_INCREMENTAL`` overrides ``config.incremental.enabled`` in
+    either direction (``0``/``false``/``off`` disable, anything else
+    enables), mirroring ``REPRO_KERNEL_BACKEND``'s precedence.  The memo
+    additionally requires the solver cache itself to be on — the
+    ``subtree_tables`` tier lives inside it.
+    """
+    inc = getattr(config, "incremental", None)
+    enabled = bool(inc.enabled) if inc is not None else False
+    env = os.environ.get("REPRO_INCREMENTAL")
+    if env is not None:
+        enabled = env.strip().lower() not in ("0", "false", "no", "off", "")
+    return enabled and config.cache.enabled
 
 
 # ----------------------------------------------------------------------
@@ -384,6 +402,13 @@ class DPStage(Stage):
 
         Returns ``(solution, escalations)`` where ``escalations`` counts
         how many beam widenings were needed before success.
+
+        When the run is incremental (:func:`incremental_enabled`), each
+        attempt carries a :class:`repro.hgpt.dp.SubtreeMemo` so clean
+        subtrees load their DP tables from the ``subtree_tables`` cache
+        tier and only the dirty spine is recomputed.  The memo changes
+        *when* tables are built, never their contents, so solutions stay
+        bit-identical to the cold path.
         """
         q = grid.quantize(demands)
         bt = binarize(tree, q)
@@ -392,11 +417,28 @@ class DPStage(Stage):
         deltas = [0.0] + [
             norm_h.cm[k - 1] - norm_h.cm[k] for k in range(1, hierarchy.h + 1)
         ]
+        digests: Optional[List[bytes]] = None
+        if incremental_enabled(config):
+            digests = bt.subtree_digests(vertex_content_digests(tree.graph))
         beams: List[Optional[int]] = [config.beam_width]
         if config.beam_width is not None:
             beams.extend([config.beam_width * 4, None])
         last_error: Optional[SolverError] = None
         for escalations, beam in enumerate(beams):
+            memo = None
+            if digests is not None:
+                # One memo per attempt: the beam width is part of the
+                # instance token (escalated attempts see different
+                # tables).  The hierarchy digest pins degrees/cm/leaf
+                # capacity beyond what caps/deltas already encode.
+                memo = SubtreeMemo(
+                    digests,
+                    caps,
+                    deltas,
+                    beam,
+                    dp_config=config.dp,
+                    extra_parts=(hierarchy.digest(),),
+                )
             try:
                 solution = solve_rhgpt(
                     bt,
@@ -405,6 +447,7 @@ class DPStage(Stage):
                     beam_width=beam,
                     stats=stats,
                     dp_config=config.dp,
+                    memo=memo,
                 )
                 return solution, escalations
             except SolverError as exc:
@@ -530,6 +573,8 @@ def solve_member(
         dp_tiles=own_stats.tiles,
         dp_bound_pruned=own_stats.bound_pruned,
         dp_table_peak_bytes=own_stats.table_peak_bytes,
+        dp_memo_hits=own_stats.memo_hits,
+        dp_memo_misses=own_stats.memo_misses,
     )
     log_records: List[dict] = []
     if run_id is not None:
@@ -583,6 +628,7 @@ class EngineResult:
     run_id: Optional[str] = None
     failures: List[MemberFailure] = field(default_factory=list)
     kernel_backend: Optional[str] = None
+    incremental: Optional[bool] = None
 
     @property
     def degraded(self) -> bool:
@@ -610,6 +656,8 @@ class EngineResult:
             meta.setdefault("run_id", self.run_id)
         if self.kernel_backend is not None:
             meta.setdefault("kernel_backend", self.kernel_backend)
+        if self.incremental is not None:
+            meta.setdefault("incremental", self.incremental)
         return self.telemetry.report(
             config=self.config.describe(), cost=self.cost, **meta
         )
@@ -835,6 +883,7 @@ def run_pipeline(
             ctx.telemetry.counter(f"kernel_backend_{kernel_backend.name}", 1)
             result = (engine or Engine()).run(ctx)
         result.kernel_backend = kernel_backend.name
+        result.incremental = incremental_enabled(config)
     finally:
         if session is not None:
             # Stamp the profile before the report below is written, so

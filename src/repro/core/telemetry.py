@@ -205,6 +205,8 @@ class MemberRecord:
     dp_tiles: int = 0
     dp_bound_pruned: int = 0
     dp_table_peak_bytes: int = 0
+    dp_memo_hits: int = 0
+    dp_memo_misses: int = 0
     #: Per-job metrics-registry delta captured in the pool worker
     #: (:func:`repro.obs.metrics.snapshot_delta` format).  The engine
     #: merges it into the parent registry and nulls it out before the

@@ -28,6 +28,8 @@ minimum-leaf-cut computation used to validate Proposition 1 in tests.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -35,7 +37,52 @@ import numpy as np
 from repro.errors import InvalidInputError, SolverError
 from repro.graph.graph import Graph
 
-__all__ = ["DecompositionTree", "TreeAssembler", "min_leaf_cut"]
+__all__ = [
+    "DecompositionTree",
+    "TreeAssembler",
+    "min_leaf_cut",
+    "vertex_content_digests",
+]
+
+
+#: Per-graph memo of :func:`vertex_content_digests`, keyed on the graph's
+#: content digest (small LRU — the streaming layer alternates between a
+#: handful of live-graph snapshots during churn).
+_VERTEX_DIGEST_CACHE: "OrderedDict[str, List[bytes]]" = OrderedDict()
+_VERTEX_DIGEST_CACHE_MAX = 8
+
+
+def vertex_content_digests(g: Graph) -> List[bytes]:
+    """Per-vertex BLAKE2b digests of each vertex's induced CSR slice.
+
+    ``digest[v]`` hashes vertex ``v``'s adjacency row — neighbour ids and
+    incident edge weights in canonical CSR order — so it changes exactly
+    when an edge incident to ``v`` appears, disappears, or is reweighted.
+    These are the graph-content leaves of the subtree digests used by the
+    incremental DP memo (see ``docs/performance.md`` §10): a subtree's
+    digest is stable under churn that touches no vertex below it.
+
+    Results are memoised per graph content digest (graphs are immutable).
+    """
+    key = g.digest()
+    cached = _VERTEX_DIGEST_CACHE.get(key)
+    if cached is not None:
+        _VERTEX_DIGEST_CACHE.move_to_end(key)
+        return cached
+    out: List[bytes] = []
+    indptr = g.indptr
+    indices = g.indices
+    weights = g.adj_weights
+    for v in range(g.n):
+        lo, hi = int(indptr[v]), int(indptr[v + 1])
+        h = hashlib.blake2b(digest_size=16)
+        h.update(indices[lo:hi].tobytes())
+        h.update(weights[lo:hi].tobytes())
+        out.append(h.digest())
+    _VERTEX_DIGEST_CACHE[key] = out
+    while len(_VERTEX_DIGEST_CACHE) > _VERTEX_DIGEST_CACHE_MAX:
+        _VERTEX_DIGEST_CACHE.popitem(last=False)
+    return out
 
 
 class DecompositionTree:

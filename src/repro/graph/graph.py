@@ -321,6 +321,37 @@ class Graph:
     # structural transforms (all return new graphs)
     # ------------------------------------------------------------------
 
+    def reweighted(self, edges_w: np.ndarray) -> "Graph":
+        """Same topology, new canonical edge weights (a new graph).
+
+        ``edges_w`` is aligned with :attr:`edges_u` / :attr:`edges_v`.
+        The structure arrays (``edges_u``, ``edges_v``, ``indptr``,
+        ``indices``, ``adj_edge_ids``) are *shared* with ``self`` — safe
+        because graphs are immutable — so a pure weight update costs one
+        ``O(m)`` gather instead of a full CSR rebuild.  The memoised
+        digest is reset: content addressing must see the new weights.
+        """
+        ew = np.asarray(edges_w, dtype=np.float64)
+        if ew.shape != (self.m,):
+            raise InvalidInputError(
+                f"edges_w must have shape ({self.m},), got {ew.shape}"
+            )
+        if ew.size and (np.any(ew <= 0) or not np.all(np.isfinite(ew))):
+            raise InvalidInputError("edge weights must be finite and > 0")
+        g = Graph.__new__(Graph)
+        g.n = self.n
+        g.m = self.m
+        g.edges_u = self.edges_u
+        g.edges_v = self.edges_v
+        g.edges_w = ew
+        g.indptr = self.indptr
+        g.indices = self.indices
+        g.adj_weights = ew[self.adj_edge_ids]
+        g.adj_edge_ids = self.adj_edge_ids
+        g._weighted_degrees = None
+        g._digest = None
+        return g
+
     def subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", np.ndarray]:
         """Induced subgraph on ``vertices``.
 

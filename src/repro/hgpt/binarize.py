@@ -13,9 +13,10 @@ same weight, so the chain is equivalent to its bottom edge.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -79,6 +80,43 @@ class BinaryTree:
             if self.right[v] >= 0:
                 stack.append(int(self.right[v]))
         return np.asarray(order[::-1], dtype=np.int64)
+
+    def subtree_digests(self, leaf_material: Sequence[bytes]) -> List[bytes]:
+        """Bottom-up BLAKE2b digest of every subtree (one per node).
+
+        ``leaf_material[vertex]`` is the graph-content hash of each
+        ``G``-vertex's induced CSR slice
+        (:func:`repro.decomposition.tree.vertex_content_digests`).  A
+        leaf digest binds the leaf's quantized demand to that material;
+        an internal digest binds both child digests *with the child
+        up-edge weights* (the only tree inputs the DP reads at a merge
+        beyond the child tables themselves).  Two subtrees with equal
+        digests therefore produce bit-identical DP tables under equal
+        capacities/deltas/beam — the correctness contract of the
+        ``subtree_tables`` cache tier.
+
+        Digests are position-independent: node ids never enter, so the
+        same subtree recurring at a different index (or in a rebuilt
+        tree after churn elsewhere) still hits the memo.
+        """
+        digests: List[bytes] = [b""] * self.n_nodes
+        for v in self.postorder():
+            if self.left[v] < 0:
+                h = hashlib.blake2b(digest_size=16)
+                h.update(b"L")
+                h.update(int(self.demand[v]).to_bytes(8, "little"))
+                h.update(leaf_material[int(self.vertex[v])])
+                digests[v] = h.digest()
+            else:
+                a, b = int(self.left[v]), int(self.right[v])
+                h = hashlib.blake2b(digest_size=16)
+                h.update(b"I")
+                h.update(digests[a])
+                h.update(np.float64(self.up_weight[a]).tobytes())
+                h.update(digests[b])
+                h.update(np.float64(self.up_weight[b]).tobytes())
+                digests[v] = h.digest()
+        return digests
 
     def subtree_sizes(self) -> np.ndarray:
         """Node count of the subtree rooted at each node (leaves = 1)."""

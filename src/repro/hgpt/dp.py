@@ -107,6 +107,7 @@ __all__ = [
     "solve_rhgpt",
     "DPConfig",
     "DPStats",
+    "SubtreeMemo",
     "compute_lower_bounds",
 ]
 
@@ -226,6 +227,14 @@ def _dp_metric_handles() -> tuple:
                 "repro_dp_bound_pruned_total",
                 "States dropped by incumbent-bound pruning",
             ),
+            metrics.counter(
+                "repro_incremental_subtree_hits_total",
+                "Subtree DP tables served from the subtree_tables memo",
+            ),
+            metrics.counter(
+                "repro_incremental_subtree_misses_total",
+                "Subtree DP tables rebuilt and stored by the memo",
+            ),
             metrics.histogram(
                 "repro_dp_states_max",
                 "Largest per-node state table of one DP solve",
@@ -253,6 +262,8 @@ def _publish_dp_metrics(stats: "DPStats", seconds: float) -> None:
         merges,
         tiles,
         bound_pruned,
+        memo_hits,
+        memo_misses,
         states_max,
         peak_bytes,
         dp_seconds,
@@ -263,6 +274,10 @@ def _publish_dp_metrics(stats: "DPStats", seconds: float) -> None:
     merges.inc(stats.merges)
     tiles.inc(stats.tiles)
     bound_pruned.inc(stats.bound_pruned)
+    if stats.memo_hits:
+        memo_hits.inc(stats.memo_hits)
+    if stats.memo_misses:
+        memo_misses.inc(stats.memo_misses)
     states_max.observe(stats.states_max)
     peak_bytes.observe(stats.table_peak_bytes)
     dp_seconds.observe(seconds)
@@ -279,6 +294,8 @@ class DPStats:
         "tiles",
         "bound_pruned",
         "table_peak_bytes",
+        "memo_hits",
+        "memo_misses",
     )
 
     def __init__(self) -> None:
@@ -289,13 +306,16 @@ class DPStats:
         self.tiles = 0
         self.bound_pruned = 0
         self.table_peak_bytes = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"DPStats(nodes={self.nodes}, states_total={self.states_total}, "
             f"states_max={self.states_max}, merges={self.merges}, "
             f"tiles={self.tiles}, bound_pruned={self.bound_pruned}, "
-            f"table_peak_bytes={self.table_peak_bytes})"
+            f"table_peak_bytes={self.table_peak_bytes}, "
+            f"memo_hits={self.memo_hits}, memo_misses={self.memo_misses})"
         )
 
     def as_dict(self) -> dict:
@@ -308,6 +328,8 @@ class DPStats:
             "tiles": self.tiles,
             "bound_pruned": self.bound_pruned,
             "table_peak_bytes": self.table_peak_bytes,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
         }
 
     def update(self, other: "DPStats") -> None:
@@ -321,6 +343,8 @@ class DPStats:
         self.table_peak_bytes = max(
             self.table_peak_bytes, other.table_peak_bytes
         )
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
 
 
 @dataclass
@@ -342,6 +366,90 @@ class _Table:
     @property
     def size(self) -> int:
         return int(self.costs.size)
+
+
+class SubtreeMemo:
+    """Content-addressed per-node DP-table memo (the ``subtree_tables``
+    cache tier).
+
+    One instance carries one solve attempt's key material: the
+    position-independent bottom-up subtree digests
+    (:meth:`repro.hgpt.binarize.BinaryTree.subtree_digests` — hierarchy
+    shape, child up-edge weights, quantized leaf demands and each leaf
+    vertex's induced CSR slice) plus an *instance token* covering every
+    remaining input the table pass reads: quantized capacities, level
+    deltas, beam width and the merge tile size.  Lookups and stores go
+    through the process-wide :mod:`repro.cache` instance, so the tier
+    shares the byte budget, disk persistence and corrupt-entry recovery
+    discipline of the existing tiers.
+
+    Correctness contract: a memoised table is byte-for-byte what
+    ``_solve_tables`` would rebuild for that node, because every input
+    of the build is folded into the digest or the token.  Only
+    *context-free* passes may memoise — exact solves with
+    incumbent-bound pruning shape tables by the global incumbent and
+    outside-subtree lower bounds, so :func:`solve_rhgpt` drops the memo
+    in that mode (see the gating there).  The kernel backend is
+    deliberately excluded from the token: backends are bit-identical by
+    the PR 8 equivalence contract, so tables interchange freely.
+    """
+
+    KIND = "subtree_tables"
+
+    __slots__ = ("_digests", "_token", "_cache", "_h")
+
+    def __init__(
+        self,
+        digests: Sequence[bytes],
+        caps: Sequence[int],
+        deltas: Sequence[float],
+        beam_width: Optional[int],
+        dp_config: Optional[DPConfig] = None,
+        extra_parts: Tuple[object, ...] = (),
+    ):
+        from repro.cache import cache_key, get_cache
+
+        cfg = dp_config if dp_config is not None else _DEFAULT_CONFIG
+        caps_arr = np.asarray(caps, dtype=np.int64)
+        deltas_arr = np.asarray(deltas, dtype=np.float64)
+        self._digests = list(digests)
+        self._h = int(caps_arr.size)
+        self._token = cache_key(
+            "subtree_token",
+            (
+                caps_arr,
+                deltas_arr,
+                -1 if beam_width is None else int(beam_width),
+                int(cfg.tile_size),
+            )
+            + tuple(extra_parts),
+        )
+        self._cache = get_cache()
+
+    def load(self, node: int) -> Optional[_Table]:
+        """The memoised table of ``node``, or ``None`` on miss.
+
+        Hit values are shape-validated before use so a corrupt disk
+        entry that survived unpickling degrades to a miss instead of
+        poisoning the solve.
+        """
+        hit, value = self._cache.lookup(
+            self.KIND, (self._digests[node], self._token)
+        )
+        if not hit:
+            return None
+        if (
+            not isinstance(value, _Table)
+            or value.sigs.ndim != 2
+            or value.sigs.shape[1] != self._h
+            or value.costs.shape != (value.sigs.shape[0],)
+        ):
+            return None
+        return value
+
+    def save(self, node: int, table: _Table) -> None:
+        """Store ``node``'s freshly built table in both cache tiers."""
+        self._cache.store(self.KIND, (self._digests[node], self._token), table)
 
 
 def _encode_rows(sigs: np.ndarray) -> Optional[np.ndarray]:
@@ -672,16 +780,26 @@ def _solve_tables(
     tables: List[Optional[_Table]],
     incumbent: float = math.inf,
     outside_lb: Optional[np.ndarray] = None,
+    memo: Optional["SubtreeMemo"] = None,
 ) -> None:
     """Fill ``tables`` for ``nodes`` (a children-before-parents order).
 
     ``tables`` entries for the children of every processed internal node
     must already be present (leaves are built on the fly), so the same
     routine serves whole trees, farmed subtrees, and the parent spine.
+
+    When ``memo`` is given, every internal node first probes the
+    ``subtree_tables`` tier; hits skip the projection/merge work
+    entirely (the children's tables are still present for the rebuild —
+    they hit the memo themselves unless they sit on the dirty spine).
+    The memo is only honoured on context-free passes
+    (``incumbent == inf``); bound-pruned passes shape tables by global
+    state and must rebuild.
     """
     h = int(caps_arr.size)
     caps_min = int(caps_arr.min())
     neg1 = np.full(1, -1, dtype=np.int64)
+    use_memo = memo is not None and incumbent == math.inf
     for node in nodes:
         if bt.is_leaf(node):
             d = int(bt.demand[node])
@@ -699,23 +817,31 @@ def _solve_tables(
                 jb=neg1.copy(),
             )
         else:
-            a, b = int(bt.left[node]), int(bt.right[node])
-            ta, tb = tables[a], tables[b]
-            assert ta is not None and tb is not None
-            pa = _project(ta, float(bt.up_weight[a]), deltas_arr, h)
-            pb = _project(tb, float(bt.up_weight[b]), deltas_arr, h)
-            budget = math.inf
-            if incumbent < math.inf and outside_lb is not None:
-                budget = incumbent - float(outside_lb[node])
-            merged = _merge_node(
-                pa, pb, caps_arr, beam_width, budget, cfg, stats
-            )
-            if merged is None:
-                raise SolverError(
-                    "no feasible merged state — capacities too tight for "
-                    "this tree (grid admission should prevent this)"
+            cached = memo.load(node) if use_memo else None
+            if cached is not None:
+                stats.memo_hits += 1
+                tables[node] = cached
+            else:
+                a, b = int(bt.left[node]), int(bt.right[node])
+                ta, tb = tables[a], tables[b]
+                assert ta is not None and tb is not None
+                pa = _project(ta, float(bt.up_weight[a]), deltas_arr, h)
+                pb = _project(tb, float(bt.up_weight[b]), deltas_arr, h)
+                budget = math.inf
+                if incumbent < math.inf and outside_lb is not None:
+                    budget = incumbent - float(outside_lb[node])
+                merged = _merge_node(
+                    pa, pb, caps_arr, beam_width, budget, cfg, stats
                 )
-            tables[node] = merged
+                if merged is None:
+                    raise SolverError(
+                        "no feasible merged state — capacities too tight for "
+                        "this tree (grid admission should prevent this)"
+                    )
+                tables[node] = merged
+                if use_memo:
+                    stats.memo_misses += 1
+                    memo.save(node, merged)  # type: ignore[union-attr]
         stats.nodes += 1
         size = tables[node].size  # type: ignore[union-attr]
         stats.states_total += size
@@ -851,6 +977,8 @@ def _solve_parallel(
         stats.table_peak_bytes = max(
             stats.table_peak_bytes, sub_stats["table_peak_bytes"]
         )
+        stats.memo_hits += sub_stats.get("memo_hits", 0)
+        stats.memo_misses += sub_stats.get("memo_misses", 0)
         for node, table in result["tables"].items():
             tables[node] = table
             covered[node] = True
@@ -889,6 +1017,7 @@ def solve_rhgpt(
     beam_width: Optional[int] = None,
     stats: Optional[DPStats] = None,
     dp_config: Optional[DPConfig] = None,
+    memo: Optional[SubtreeMemo] = None,
 ) -> TreeSolution:
     """Run the signature DP and reconstruct an optimal nice solution.
 
@@ -910,6 +1039,13 @@ def solve_rhgpt(
         Merge-kernel knobs (``None`` = the tiled, bound-pruned default;
         see :class:`DPConfig`).  All combinations return identical
         solution costs.
+    memo:
+        Optional :class:`SubtreeMemo` for the incremental warm path.
+        Honoured only when the table pass is *context-free* — beamed
+        solves, or exact solves with ``bound_pruning`` off — because
+        incumbent-bound pruning shapes tables by global state.  Memo
+        hits return exactly what a rebuild would produce, so warm
+        results are bit-identical to cold ones.
 
     Returns
     -------
@@ -973,9 +1109,21 @@ def solve_rhgpt(
         except SolverError:
             incumbent = math.inf  # beam killed feasibility: no pruning
 
+    # The memo is honoured only on context-free passes: under a beam, or
+    # on exact solves with bound pruning off.  Bound-pruned exact tables
+    # depend on the incumbent and outside-subtree lower bounds, which
+    # are global to the solve and not part of the subtree digest.
+    active_memo = memo
+    if active_memo is not None and not (
+        beam_width is not None or not cfg.bound_pruning
+    ):
+        active_memo = None
+
     tables: List[Optional[_Table]] = [None] * bt.n_nodes
     solved = False
     if cfg.parallel_subtrees and bt.n_nodes >= cfg.parallel_min_nodes:
+        # Farmed subtrees fill worker-local caches, not this process's;
+        # the memo only drives the serial path.
         solved = _solve_parallel(
             bt,
             caps_arr,
@@ -999,6 +1147,7 @@ def solve_rhgpt(
             tables,
             incumbent=incumbent,
             outside_lb=outside_lb,
+            memo=active_memo,
         )
 
     root_table = tables[bt.root]

@@ -21,6 +21,7 @@ of leaf ids (the hot path of Eq. (1) evaluation).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -192,6 +193,20 @@ class Hierarchy:
         return Hierarchy([self.k], [self.cm[0], self.cm[-1]], self.leaf_capacity)
 
     # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """Stable content hash of the hierarchy (32-char blake2b hex).
+
+        Hashes the level degrees, cost multipliers and leaf capacity —
+        the full identity of ``H``.  Used by the incremental-solve layer
+        as part of subtree-table cache keys (hierarchies are immutable,
+        so the value is computed on demand without memoisation).
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.asarray(self.degrees, dtype=np.int64).tobytes())
+        h.update(np.asarray(self.cm, dtype=np.float64).tobytes())
+        h.update(np.float64(self.leaf_capacity).tobytes())
+        return h.hexdigest()
 
     @property
     def total_capacity(self) -> float:

@@ -32,8 +32,14 @@ import numpy as np
 
 import repro.kernels as kernels
 from repro.baselines.fm import HierarchyRefineStats, fm_refine_hierarchy
+from repro.cache import resolve_cache, seed_token
 from repro.core.config import MultilevelConfig, SolverConfig
-from repro.core.engine import EngineResult, run_pipeline, validate_instance
+from repro.core.engine import (
+    EngineResult,
+    incremental_enabled,
+    run_pipeline,
+    validate_instance,
+)
 from repro.core.telemetry import MemberFailure, RunReport, Telemetry
 from repro.graph.graph import Graph
 from repro.hierarchy.hierarchy import Hierarchy
@@ -114,6 +120,8 @@ class MultilevelResult:
             meta.setdefault("run_id", self.run_id)
         if self.coarse.kernel_backend is not None:
             meta.setdefault("kernel_backend", self.coarse.kernel_backend)
+        if self.coarse.incremental is not None:
+            meta.setdefault("incremental", self.coarse.incremental)
         meta.setdefault("multilevel", self.stats_dict())
         return self.telemetry.report(
             config=self.config.describe(), cost=self.cost, **meta
@@ -176,20 +184,57 @@ def solve_multilevel(
 
     # Coarsening runs the heavy_edge_match kernel, so it honours the
     # configured backend; the embedded run_pipeline scopes itself.
+    #
+    # Incremental runs add a content-addressed ``coarsening`` cache tier:
+    # the full level stack is keyed by graph digest + demands + every
+    # coarsening knob, so a reoptimize on an unchanged graph (or one
+    # revisited during churn) skips re-coarsening outright.  After a
+    # local delta the digest changes and coarsening reruns — the dirty
+    # region then resolves at the *coarse solve* instead, whose DP memo
+    # reloads every coarse subtree the delta left clean.  Cached level
+    # stacks are immutable build outputs, so warm and cold runs project
+    # identical placements.
     kcfg = getattr(config, "kernel", None)
+    coarsen_cache = None
+    coarsen_parts = None
+    if incremental_enabled(config):
+        seed_parts = seed_token(config.seed)
+        if seed_parts is not None:
+            coarsen_cache = resolve_cache(config.cache)
+            coarsen_parts = (
+                g.digest(),
+                d,
+                int(ml.coarsen_to),
+                float(hierarchy.leaf_capacity),
+                seed_parts,
+                int(ml.max_levels),
+                float(ml.stall_ratio),
+                int(ml.match_rounds),
+            )
     with tel.span("coarsen"), kernels.use_backend(
         kcfg.backend if kcfg is not None else "auto"
     ):
-        levels = coarsen_graph(
-            g,
-            d,
-            target_n=ml.coarsen_to,
-            max_weight=hierarchy.leaf_capacity,
-            rng=config.seed,
-            max_levels=ml.max_levels,
-            stall_ratio=ml.stall_ratio,
-            rounds=ml.match_rounds,
-        )
+        levels = None
+        if coarsen_cache is not None:
+            hit, levels = coarsen_cache.lookup("coarsening", coarsen_parts)
+            if hit and isinstance(levels, CoarseningHierarchy):
+                tel.counter("coarsen_cache_hits", 1)
+            else:
+                levels = None
+        if levels is None:
+            levels = coarsen_graph(
+                g,
+                d,
+                target_n=ml.coarsen_to,
+                max_weight=hierarchy.leaf_capacity,
+                rng=config.seed,
+                max_levels=ml.max_levels,
+                stall_ratio=ml.stall_ratio,
+                rounds=ml.match_rounds,
+            )
+            if coarsen_cache is not None:
+                coarsen_cache.store("coarsening", coarsen_parts, levels)
+                tel.counter("coarsen_cache_misses", 1)
         st = levels.stats
         tel.counter("levels", st.levels)
         tel.counter("coarsest_n", st.n_coarsest)

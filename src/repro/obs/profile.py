@@ -205,6 +205,14 @@ class SamplingProfiler:
         if self._started_at is not None:
             self._wall_seconds += time.perf_counter() - self._started_at
             self._started_at = None
+        with self._lock:
+            empty = not self._samples
+        if empty:
+            # The run finished inside one sampling period (a fully warm
+            # cache can do that), so no tick caught a busy thread.  Take
+            # one forced sample of the stopping thread so a profiled run
+            # always yields a non-empty collapsed profile.
+            self._sample_once(-1, force=True)
 
     def __enter__(self) -> "SamplingProfiler":
         return self.start()
@@ -229,7 +237,7 @@ class SamplingProfiler:
                 # resynchronise instead of busy-spinning to catch up.
                 next_at = time.perf_counter() + interval
 
-    def _sample_once(self, sampler_ident: int) -> None:
+    def _sample_once(self, sampler_ident: int, force: bool = False) -> None:
         frames = sys._current_frames()
         spans = active_spans()
         # Our own observability threads (this sampler, exporter accept
@@ -245,7 +253,7 @@ class SamplingProfiler:
             if ident == sampler_ident or ident in infra:
                 continue
             span = spans.get(ident)
-            if span is None and _is_idle_wait(frame):
+            if span is None and _is_idle_wait(frame) and not force:
                 continue
             stack: List[str] = []
             f = frame

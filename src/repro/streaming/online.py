@@ -24,7 +24,7 @@ the simulation quantifies.
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -59,6 +59,12 @@ class OnlineCounters:
     be all hits after the first.  ``reopt_failures`` counts
     re-optimisations abandoned because the engine run degraded past its
     resilience policy — the placer keeps serving the current placement.
+    ``edge_updates`` counts :meth:`OnlinePlacer.update_edge` calls;
+    ``incremental_reopts`` / ``incremental_fallbacks`` count
+    re-optimisations that ran through the subtree-memo warm path versus
+    those forced to a plain full solve because the dirty fraction
+    exceeded ``IncrementalConfig.max_dirty_frac`` (placements are
+    identical either way — the gate is a performance heuristic).
     """
 
     arrivals: int = 0
@@ -70,6 +76,9 @@ class OnlineCounters:
     reopt_failures: int = 0
     tree_cache_hits: int = 0
     tree_cache_misses: int = 0
+    edge_updates: int = 0
+    incremental_reopts: int = 0
+    incremental_fallbacks: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view (used by churn results and experiment logs)."""
@@ -112,12 +121,25 @@ class OnlinePlacer:
         self._adj: Dict[int, Dict[int, float]] = {}
         self._leaf: Dict[int, int] = {}
         self._loads = np.zeros(hierarchy.k)
-        #: Bumped on every topology change (arrive/depart); the snapshot
-        #: cache below is keyed on it.  Migrations move tasks between
-        #: leaves but never change the graph, so re-optimisation and the
-        #: cost probe after it reuse one build.
+        #: Bumped on every topology change (arrive/depart or a new edge);
+        #: the snapshot cache below is keyed on it.  Migrations move
+        #: tasks between leaves but never change the graph, so
+        #: re-optimisation and the cost probe after it reuse one build.
         self._topology_version = 0
-        self._snapshot: Optional[Tuple[int, Graph, np.ndarray, List[int]]] = None
+        #: Bumped by pure weight updates (:meth:`update_edge` on an
+        #: existing edge).  A weight-only change keeps the snapshot's
+        #: structure arrays and patches weights via
+        #: :meth:`repro.graph.graph.Graph.reweighted` — no CSR rebuild.
+        self._weights_version = 0
+        self._snapshot: Optional[
+            Tuple[int, int, Graph, np.ndarray, List[int]]
+        ] = None
+        #: Tasks touched by churn since the last successful reoptimize:
+        #: arrivals (plus their live neighbours), departure neighbours
+        #: and edge-update endpoints.  Drives the incremental-vs-full
+        #: gate in :meth:`reoptimize`; cleared after every successful
+        #: re-optimisation.
+        self._dirty: set = set()
         #: Aggregate event counters (arrivals, departures, rejections,
         #: migrations, re-optimisation calls/seconds).
         self.counters = OnlineCounters()
@@ -152,10 +174,30 @@ class OnlinePlacer:
         The graph/demand build is cached between topology changes
         (arrivals/departures bump a version counter); only the leaf
         assignment — which migrations mutate — is re-read per call.
+        Pure weight updates (:meth:`update_edge` on an existing edge)
+        keep the snapshot's structure arrays and only regather weights
+        (:meth:`repro.graph.graph.Graph.reweighted`) — no re-sort, no
+        CSR rebuild, no new demand vector.
         """
         cached = self._snapshot
         if cached is not None and cached[0] == self._topology_version:
-            _version, g, d, tasks = cached
+            _tv, wv, g, d, tasks = cached
+            if wv != self._weights_version:
+                new_w = np.asarray(
+                    [
+                        self._adj[tasks[u]][tasks[v]]
+                        for u, v in zip(g.edges_u, g.edges_v)
+                    ],
+                    dtype=np.float64,
+                )
+                g = g.reweighted(new_w)
+                self._snapshot = (
+                    self._topology_version,
+                    self._weights_version,
+                    g,
+                    d,
+                    tasks,
+                )
         else:
             tasks = sorted(self._demand)
             index = {t: i for i, t in enumerate(tasks)}
@@ -166,7 +208,13 @@ class OnlinePlacer:
                         edges.append((index[t], index[u], w))
             g = Graph(len(tasks), edges)
             d = np.asarray([self._demand[t] for t in tasks])
-            self._snapshot = (self._topology_version, g, d, tasks)
+            self._snapshot = (
+                self._topology_version,
+                self._weights_version,
+                g,
+                d,
+                tasks,
+            )
         leaf = np.asarray([self._leaf[t] for t in tasks], dtype=np.int64)
         return g, d, leaf, tasks
 
@@ -234,6 +282,8 @@ class OnlinePlacer:
         self._leaf[task] = leaf
         self._loads[leaf] += demand
         self._topology_version += 1
+        self._dirty.add(task)
+        self._dirty.update(live_edges)
         self.counters.arrivals += 1
         metrics.counter(
             "repro_online_arrivals_total", "Tasks placed by the online placer"
@@ -250,9 +300,11 @@ class OnlinePlacer:
         self._loads[self._leaf[task]] -= self._demand[task]
         for other in list(self._adj.get(task, ())):
             del self._adj[other][task]
+            self._dirty.add(other)
         self._adj.pop(task, None)
         del self._demand[task]
         del self._leaf[task]
+        self._dirty.discard(task)
         self._topology_version += 1
         self.counters.departures += 1
         metrics = get_registry()
@@ -262,6 +314,42 @@ class OnlinePlacer:
         metrics.gauge(
             "repro_online_live_tasks", "Currently live tasks"
         ).set(self.n_tasks)
+
+    def update_edge(self, a: int, b: int, weight: float) -> None:
+        """Set the weight of the edge between two live tasks.
+
+        Reweighting an existing edge is a *pure weight update*: the live
+        graph keeps its topology, so the next :meth:`live_graph` call
+        reuses the cached snapshot's structure arrays and only regathers
+        weights.  Introducing a new edge (no current adjacency between
+        ``a`` and ``b``) is a topology change and invalidates the
+        snapshot like an arrival would.  Both endpoints join the dirty
+        set driving :meth:`reoptimize`'s incremental-vs-full decision.
+        """
+        if a not in self._demand or b not in self._demand:
+            raise InvalidInputError(
+                f"both endpoints must be live tasks, got ({a}, {b})"
+            )
+        if a == b:
+            raise InvalidInputError("self-loops are not allowed")
+        if weight <= 0 or not np.isfinite(weight):
+            raise InvalidInputError(
+                f"edge ({a}, {b}): weight must be finite and > 0, got {weight}"
+            )
+        existed = b in self._adj.get(a, {})
+        self._adj.setdefault(a, {})[b] = float(weight)
+        self._adj.setdefault(b, {})[a] = float(weight)
+        if existed:
+            self._weights_version += 1
+        else:
+            self._topology_version += 1
+        self._dirty.add(a)
+        self._dirty.add(b)
+        self.counters.edge_updates += 1
+        get_registry().counter(
+            "repro_online_edge_updates_total",
+            "Edge-weight updates applied to the live graph",
+        ).inc()
 
     # ------------------------------------------------------------------
     # re-optimisation
@@ -307,27 +395,62 @@ class OnlinePlacer:
     def _reoptimize(self, migration_budget: Optional[int]) -> int:
         """The re-optimisation itself; returns migrations performed."""
         g, d, current, tasks = self.live_graph()
-        from repro.core.engine import run_pipeline
+        from repro.core.engine import incremental_enabled, run_pipeline
         from repro.baselines.local_search import enforce_capacity
+
+        # Incremental-vs-full decision: when the fraction of live tasks
+        # touched since the last successful reoptimize exceeds
+        # ``incremental.max_dirty_frac``, per-subtree memo probes are
+        # pure overhead (most digests changed), so the solve runs plain.
+        # Placements are bit-identical either way — the memo never
+        # changes table contents, only whether they are rebuilt.
+        inc = getattr(self.config, "incremental", None)
+        warm_capable = inc is not None and incremental_enabled(self.config)
+        dirty_live = sum(1 for t in self._dirty if t in self._demand)
+        dirty_frac = dirty_live / max(1, self.n_tasks)
+        use_warm = bool(warm_capable and dirty_frac <= inc.max_dirty_frac)
+        run_cfg = self.config
+        if inc is not None and use_warm != inc.enabled:
+            run_cfg = replace(
+                self.config, incremental=replace(inc, enabled=use_warm)
+            )
 
         tel = Telemetry("streaming")
         tel.counter("live_tasks", float(g.n))
         try:
             result = run_pipeline(
-                g, self.hierarchy, d, self.config, telemetry=tel
+                g, self.hierarchy, d, run_cfg, telemetry=tel
             )
         except DegradedRunError:
             # A background re-optimisation is an *improvement* attempt:
             # losing it must never take the placer down.  Keep serving
             # the current placement and surface the failure through the
             # counter + metric; the next call retries from scratch.
+            # The dirty set is kept — the region is still unresolved.
             self.counters.reopt_failures += 1
             get_registry().counter(
                 "repro_online_reopt_failures_total",
                 "Re-optimisations abandoned after a degraded engine run",
             ).inc()
             return 0
-        self.last_report = result.report(live_tasks=g.n)
+        if warm_capable:
+            if use_warm:
+                self.counters.incremental_reopts += 1
+                get_registry().counter(
+                    "repro_incremental_reopts_total",
+                    "Re-optimisations run through the subtree-memo warm path",
+                ).inc()
+            else:
+                self.counters.incremental_fallbacks += 1
+                get_registry().counter(
+                    "repro_incremental_fallbacks_total",
+                    "Re-optimisations forced to a full solve by the "
+                    "dirty-fraction gate",
+                ).inc()
+        self._dirty.clear()
+        self.last_report = result.report(
+            live_tasks=g.n, dirty_frac=round(dirty_frac, 6)
+        )
         trees_span = tel.root.lookup("trees")
         if trees_span is not None:
             self.counters.tree_cache_hits += int(

@@ -230,6 +230,18 @@ class TestDiskTier:
         assert info["bytes"] > 0
         assert info["by_kind"]["trees"]["files"] == 1
 
+    def test_describe_breaks_memory_tier_down_by_kind(self):
+        cache = SolverCache(max_bytes=1 << 20)
+        cache.store("trees", (1,), list(range(100)))
+        cache.store("subtree_tables", (1,), "a")
+        cache.store("subtree_tables", (2,), "b")
+        mem = cache.describe()["memory"]
+        by_kind = mem["by_kind"]
+        assert by_kind["subtree_tables"]["entries"] == 2
+        assert by_kind["trees"]["entries"] == 1
+        assert sum(k["entries"] for k in by_kind.values()) == mem["entries"]
+        assert sum(k["bytes"] for k in by_kind.values()) == mem["bytes"]
+
 
 class TestConfigPlumbing:
     def test_env_configuration(self, monkeypatch, tmp_path):

@@ -329,6 +329,26 @@ class TestCacheCommands:
         assert str(target) in out
         assert "1 files" in out
 
+    def test_stats_break_memory_tier_down_by_kind(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(self._solve_args(path)) == 0
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        # Per-kind memory rows: the solve stored trees and (incremental
+        # default on) per-node subtree DP tables.
+        assert "trees" in out
+        assert "subtree_tables" in out
+
+    def test_no_incremental_flag_skips_memo(self, graph_file, capsys):
+        path, _g = graph_file
+        assert main(self._solve_args(path) + ["--no-incremental"]) == 0
+        capsys.readouterr()
+        from repro.cache import get_cache
+
+        mem = get_cache().describe()["memory"]
+        assert "subtree_tables" not in mem["by_kind"]
+        assert "trees" in mem["by_kind"]  # the rest of the cache still works
+
 
 class TestProfileFlags:
     def _solve(self, graph_file, tmp_path, extra):

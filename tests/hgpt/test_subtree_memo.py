@@ -1,0 +1,229 @@
+"""Subtree digests and the DP memo (the incremental warm path).
+
+The contract under test has two halves:
+
+* **Digests move exactly with content** — churn that leaves a subtree's
+  induced instance untouched leaves its digest untouched (so the memo
+  can serve it), and churn that touches any leaf material, demand or
+  internal up-weight changes every digest on the spine to the root (so
+  stale tables can never be served).
+* **Warm solves are bit-identical to cold solves** — a memo hit returns
+  exactly the table a rebuild would produce, so solution cost and level
+  sets match the cold path bit for bit across seeded churn traces.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.oracles import path_binary_tree
+from repro.cache import reset_cache
+from repro.hgpt.dp import DPConfig, DPStats, SubtreeMemo, solve_rhgpt
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache(monkeypatch):
+    """Memo tests own the process cache: pristine before and after."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    reset_cache()
+    yield
+    reset_cache()
+
+
+def _material(n, touched=(), salt=0):
+    """Synthetic per-vertex content hashes; ``touched`` vertices vary."""
+    out = []
+    for v in range(n):
+        h = hashlib.blake2b(digest_size=16)
+        h.update(f"v{v}".encode())
+        if v in touched:
+            h.update(f"salt{salt}".encode())
+        out.append(h.digest())
+    return out
+
+
+def _subtree_vertices(bt):
+    """Leaf-vertex set of every subtree."""
+    sets = [set() for _ in range(bt.n_nodes)]
+    for v in bt.postorder():
+        if bt.is_leaf(v):
+            sets[v] = {int(bt.vertex[v])}
+        else:
+            sets[v] = sets[int(bt.left[v])] | sets[int(bt.right[v])]
+    return sets
+
+
+def _canonical(sol):
+    """Hashable bit-exact view of a TreeSolution's laminar family."""
+    return (
+        sol.cost,
+        tuple(
+            tuple((tuple(s.vertices.tolist()), s.qdemand) for s in level)
+            for level in sol.levels
+        ),
+    )
+
+
+class TestSubtreeDigests:
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_digest_changes_iff_subtree_touched(self, n, data):
+        """Perturbing one vertex's content dirties exactly its spine."""
+        touched = data.draw(st.integers(min_value=0, max_value=n - 1))
+        weights = [1.0 + 0.5 * i for i in range(n - 1)]
+        demands = [1] * n
+        bt = path_binary_tree(weights, demands)
+        before = bt.subtree_digests(_material(n))
+        after = bt.subtree_digests(_material(n, touched={touched}, salt=1))
+        leaves = _subtree_vertices(bt)
+        for v in bt.postorder():
+            if touched in leaves[v]:
+                assert after[v] != before[v], f"node {v} should be dirty"
+            else:
+                assert after[v] == before[v], f"node {v} should be clean"
+
+    @given(st.integers(min_value=4, max_value=10), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_demand_change_dirties_spine(self, n, data):
+        v = data.draw(st.integers(min_value=0, max_value=n - 1))
+        weights = [1.0] * (n - 1)
+        bt1 = path_binary_tree(weights, [1] * n)
+        demands2 = [1] * n
+        demands2[v] = 2
+        bt2 = path_binary_tree(weights, demands2)
+        mat = _material(n)
+        d1, d2 = bt1.subtree_digests(mat), bt2.subtree_digests(mat)
+        leaves = _subtree_vertices(bt1)
+        for node in bt1.postorder():
+            if v in leaves[node]:
+                assert d1[node] != d2[node]
+            else:
+                assert d1[node] == d2[node]
+
+    def test_up_weight_change_dirties_ancestors_only(self):
+        """Reweighting an internal edge invalidates the spine above it."""
+        n = 8
+        bt = path_binary_tree([1.0] * (n - 1), [1] * n)
+        mat = _material(n)
+        base = bt.subtree_digests(mat)
+        # Bump one non-root internal node's up-edge weight in place.
+        target = next(
+            v for v in bt.postorder() if not bt.is_leaf(v) and v != bt.root
+        )
+        saved = bt.up_weight[target]
+        bt.up_weight[target] = saved + 1.0
+        try:
+            changed = bt.subtree_digests(mat)
+        finally:
+            bt.up_weight[target] = saved
+        leaves = _subtree_vertices(bt)
+        for v in bt.postorder():
+            # The up-weight lives in the *parent's* digest: the target's
+            # own subtree is untouched, every proper ancestor is dirty.
+            if leaves[target] < leaves[v]:
+                assert changed[v] != base[v]
+            else:
+                assert changed[v] == base[v]
+
+    def test_digests_are_position_independent(self):
+        """Equal content at different node ids yields equal digests."""
+        bt = path_binary_tree([1.0, 1.0, 1.0], [2, 2, 2, 2])
+        mat = [hashlib.blake2b(b"same", digest_size=16).digest()] * 4
+        d = bt.subtree_digests(mat)
+        leaf_digests = {d[v] for v in bt.postorder() if bt.is_leaf(v)}
+        assert len(leaf_digests) == 1
+
+
+def _churn_trace(rng, n, steps):
+    """Yield ``steps`` weight vectors, each a local delta off the last."""
+    w = 1.0 + rng.random(n - 1) * 4.0
+    yield w.copy()
+    for _ in range(steps):
+        i = int(rng.integers(0, n - 1))
+        w[i] = 1.0 + rng.random() * 4.0
+        yield w.copy()
+
+
+class TestMemoBitIdentity:
+    def _solve_pair(self, bt, caps, deltas, beam, memo_stats):
+        """One cold and one warm solve of the same instance."""
+        cold = solve_rhgpt(bt, caps, deltas, beam_width=beam)
+        digests = bt.subtree_digests(_material(int(bt.vertex.max()) + 1))
+        memo = SubtreeMemo(digests, caps, deltas, beam)
+        warm = solve_rhgpt(
+            bt, caps, deltas, beam_width=beam, stats=memo_stats, memo=memo
+        )
+        return cold, warm
+
+    def test_bit_identical_across_200_churn_traces(self):
+        """Warm == cold on every step of 200 seeded weight-churn traces.
+
+        Each trace perturbs one path edge per step; the memo persists
+        across the whole run (as it does in the engine), so later traces
+        and steps hit tables stored by earlier ones.  Every solution
+        must still be bit-identical to a memo-free solve.
+        """
+        stats = DPStats()
+        hits_total = 0
+        for seed in range(200):
+            rng = np.random.default_rng(1000 + seed)
+            n = int(rng.integers(4, 9))
+            demands = [int(x) for x in rng.integers(1, 4, size=n)]
+            caps = [max(demands) + int(sum(demands) // 2), max(demands)]
+            deltas = [0.0, 1.0, 2.0]
+            for w in _churn_trace(rng, n, steps=2):
+                bt = path_binary_tree(w, demands)
+                cold, warm = self._solve_pair(bt, caps, deltas, 32, stats)
+                assert _canonical(cold) == _canonical(warm)
+            hits_total = stats.memo_hits
+        # Churn is local: clean subtrees must actually be served warm.
+        assert hits_total > 0
+        assert stats.memo_misses > 0
+
+    def test_exact_solve_with_bound_pruning_skips_memo(self):
+        """Bound-pruned exact tables are context-dependent: no memo IO."""
+        bt = path_binary_tree([1.0, 2.0, 3.0], [1, 1, 1, 1])
+        caps, deltas = [4, 2], [0.0, 1.0, 2.0]
+        digests = bt.subtree_digests(_material(4))
+        stats = DPStats()
+        memo = SubtreeMemo(digests, caps, deltas, None)
+        sol = solve_rhgpt(bt, caps, deltas, stats=stats, memo=memo)
+        assert stats.memo_hits == 0 and stats.memo_misses == 0
+        cold = solve_rhgpt(bt, caps, deltas)
+        assert _canonical(sol) == _canonical(cold)
+
+    def test_exact_solve_without_bound_pruning_uses_memo(self):
+        bt = path_binary_tree([1.0, 2.0, 3.0], [1, 1, 1, 1])
+        caps, deltas = [4, 2], [0.0, 1.0, 2.0]
+        digests = bt.subtree_digests(_material(4))
+        cfg = DPConfig(bound_pruning=False)
+        cold = solve_rhgpt(bt, caps, deltas, dp_config=cfg)
+        stats = DPStats()
+        memo = SubtreeMemo(digests, caps, deltas, None, dp_config=cfg)
+        solve_rhgpt(bt, caps, deltas, dp_config=cfg, memo=memo)
+        warm = solve_rhgpt(
+            bt, caps, deltas, dp_config=cfg, stats=stats, memo=memo
+        )
+        assert stats.memo_hits > 0 and stats.memo_misses == 0
+        assert _canonical(cold) == _canonical(warm)
+
+    def test_beam_width_partitions_the_memo(self):
+        """Tables stored under one beam must not serve another."""
+        bt = path_binary_tree([1.0, 2.0, 3.0], [1, 1, 1, 1])
+        caps, deltas = [4, 2], [0.0, 1.0, 2.0]
+        digests = bt.subtree_digests(_material(4))
+        memo32 = SubtreeMemo(digests, caps, deltas, 32)
+        solve_rhgpt(bt, caps, deltas, beam_width=32, memo=memo32)
+        stats = DPStats()
+        memo64 = SubtreeMemo(digests, caps, deltas, 64)
+        solve_rhgpt(
+            bt, caps, deltas, beam_width=64, stats=stats, memo=memo64
+        )
+        assert stats.memo_hits == 0 and stats.memo_misses > 0

@@ -1,0 +1,94 @@
+"""Chaos coverage of the incremental warm path.
+
+The ``subtree_tables`` tier must obey the same recovery discipline as
+every other cache kind: a corrupted disk entry is *just a miss* — the
+table is rebuilt from scratch and the warm solve stays bit-identical to
+the cold one.  A worker crash mid-ensemble must likewise retry into the
+exact same placement with the memo engaged.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SolverConfig, solve_hgp
+from repro.cache import configure_cache, get_cache, reset_cache
+from repro.core.resilience import ResilienceConfig, RetryPolicy
+
+SPECS = [
+    "worker_crash:member=1:attempt=1",
+    "cache_corrupt:kind=subtree_tables",
+]
+
+
+@pytest.fixture(autouse=True)
+def own_cache():
+    """These tests reconfigure the process cache: always restore it."""
+    yield
+    reset_cache()
+
+
+def _tolerant_config() -> SolverConfig:
+    return SolverConfig(
+        seed=3,
+        n_trees=4,
+        refine=False,
+        n_jobs=2,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            member_timeout_s=10.0,
+        ),
+    )
+
+
+@pytest.mark.parametrize("spec", SPECS)
+def test_incremental_recovery_is_bit_identical(
+    spec, instance, fault_env, tmp_path
+):
+    g, hier, d = instance
+    disk = str(tmp_path / "cache")
+
+    # Cold, fault-free baseline; the memo writes every subtree table to
+    # the disk tier as a side effect.
+    configure_cache(disk_dir=disk)
+    baseline = solve_hgp(g, hier, d, _tolerant_config())
+    assert get_cache().disk_stats()["by_kind"].get("subtree_tables")
+
+    # Fresh memory tier over the same disk dir (a new process,
+    # conceptually): warm lookups must go through disk — exactly where
+    # ``cache_corrupt`` fires — while the fault spec is live.
+    configure_cache(disk_dir=disk)
+    fault_env(spec)
+    recovered = solve_hgp(g, hier, d, _tolerant_config())
+
+    assert recovered.cost == baseline.cost
+    assert np.array_equal(
+        recovered.placement.leaf_of, baseline.placement.leaf_of
+    )
+    report = recovered.report()
+    assert not report.degraded
+    assert report.meta.get("incremental") is True
+
+
+def test_corrupt_subtree_entries_are_dropped_and_rebuilt(
+    instance, fault_env, tmp_path
+):
+    """After recovery the corrupted files are gone, and a fault-free
+    rerun repopulates the tier (the PR-3 corrupt-entry discipline)."""
+    g, hier, d = instance
+    disk = str(tmp_path / "cache")
+    configure_cache(disk_dir=disk)
+    solve_hgp(g, hier, d, _tolerant_config())
+    before = get_cache().disk_stats()["by_kind"]["subtree_tables"]["files"]
+    assert before > 0
+
+    configure_cache(disk_dir=disk)
+    fault_env("cache_corrupt:kind=subtree_tables")
+    solve_hgp(g, hier, d, _tolerant_config())
+
+    # Every touched entry was corrupted at read time and dropped; the
+    # rebuild re-stored it, so the inventory is intact and loadable.
+    fault_env("")
+    configure_cache(disk_dir=disk)
+    after = solve_hgp(g, hier, d, _tolerant_config())
+    assert after.cost == pytest.approx(after.cost)
+    assert get_cache().stats.disk_hits > 0

@@ -159,6 +159,9 @@ class TestCounters:
             "reopt_failures",
             "tree_cache_hits",
             "tree_cache_misses",
+            "edge_updates",
+            "incremental_reopts",
+            "incremental_fallbacks",
         }
 
 
