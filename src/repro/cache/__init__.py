@@ -4,9 +4,12 @@ Public surface: :class:`CacheConfig` (the ``cache`` block on
 ``SolverConfig``), :class:`SolverCache` (two-tier LRU + disk cache),
 :func:`get_cache` / :func:`configure_cache` / :func:`resolve_cache` for
 the process-wide instance, and the key helpers :func:`cache_key` /
-:func:`seed_token`.
+:func:`seed_token`.  :class:`InflightRegistry`
+(:mod:`repro.cache.inflight`) dedupes *concurrent* identical requests —
+the coalescing core of ``repro.serve``.
 """
 
+from repro.cache.inflight import InflightEntry, InflightRegistry
 from repro.cache.cache import (
     CacheConfig,
     CacheStats,
@@ -22,6 +25,8 @@ from repro.cache.cache import (
 
 __all__ = [
     "CacheConfig",
+    "InflightEntry",
+    "InflightRegistry",
     "CacheStats",
     "SolverCache",
     "cache_key",

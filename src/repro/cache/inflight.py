@@ -1,0 +1,139 @@
+"""In-flight request deduplication (the serve layer's coalescing core).
+
+The content-addressed cache (:mod:`repro.cache.cache`) dedupes work
+*across* solves: a finished result is stored under its input digest and
+the next identical request is a hit.  It cannot dedupe work that is
+still running — under a duplicate-heavy request burst, N tenants asking
+for the same placement at once would each miss the cache and launch N
+identical solves.  :class:`InflightRegistry` closes that window: the
+first claimant of a key becomes the *leader* (and actually solves),
+every concurrent claimant of the same key becomes a *follower* and
+waits for the leader's result, which is fanned out to all of them.
+
+The registry stores opaque values (the serve layer passes fully
+serialized response payloads, so every follower receives bytes
+identical to the leader's response — the coalescing bit-identity
+contract).  Keys are whatever the caller uses — ``repro.serve`` keys by
+:func:`repro.cache.cache.cache_key` over the request's solve inputs.
+
+Thread-safety: all methods take an internal lock; waiting happens on
+per-subscriber :class:`concurrent.futures.Future` objects so one
+follower timing out (and cancelling *its* future) can never poison the
+result for the others.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["InflightEntry", "InflightRegistry"]
+
+
+class InflightEntry:
+    """One in-flight computation: a key, a leader, and its subscribers."""
+
+    def __init__(self, key: str):
+        self.key = key
+        self.created_at = time.monotonic()
+        self._lock = threading.Lock()
+        self._resolved = False
+        self._value: Any = None
+        self._waiters: list[cf.Future] = []
+        self.followers = 0
+
+    def subscribe(self) -> cf.Future:
+        """A future completed with the entry's value (maybe already).
+
+        Each subscriber gets its *own* future: cancelling one (e.g. an
+        ``asyncio.wait_for`` timeout on a wrapped future) never affects
+        the other subscribers or the shared value.
+        """
+        fut: cf.Future = cf.Future()
+        with self._lock:
+            if self._resolved:
+                fut.set_result(self._value)
+            else:
+                self._waiters.append(fut)
+        return fut
+
+    def resolve(self, value: Any) -> int:
+        """Complete the entry, waking every subscriber; returns their count."""
+        with self._lock:
+            if self._resolved:
+                return 0
+            self._resolved = True
+            self._value = value
+            waiters, self._waiters = self._waiters, []
+        delivered = 0
+        for fut in waiters:
+            if fut.set_running_or_notify_cancel():
+                fut.set_result(value)
+                delivered += 1
+        return delivered
+
+    @property
+    def resolved(self) -> bool:
+        with self._lock:
+            return self._resolved
+
+
+class InflightRegistry:
+    """Key -> live :class:`InflightEntry`, with leader election.
+
+    Usage (serve dispatcher protocol)::
+
+        leader, entry = registry.claim(key)
+        if leader:
+            payload = ...actually solve...
+            registry.resolve(key, payload)   # fans out + unregisters
+        else:
+            payload = entry.subscribe().result(timeout=...)
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, InflightEntry] = {}
+        self.coalesced_total = 0
+
+    def claim(self, key: str) -> Tuple[bool, InflightEntry]:
+        """Claim ``key``; ``(True, entry)`` makes the caller the leader.
+
+        A ``False`` first element means another claimant is already
+        solving this key — the caller should ``entry.subscribe()`` and
+        wait instead of solving.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.followers += 1
+                self.coalesced_total += 1
+                return False, entry
+            entry = InflightEntry(key)
+            self._entries[key] = entry
+            return True, entry
+
+    def resolve(self, key: str, value: Any) -> int:
+        """Leader handoff: complete ``key`` and unregister it.
+
+        Returns the number of followers the value was fanned out to.
+        Claims arriving after this start a fresh entry (a new leader) —
+        exactly the cache-miss semantics they would see anyway.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+        if entry is None:
+            return 0
+        return entry.resolve(value)
+
+    def get(self, key: str) -> Optional[InflightEntry]:
+        """The live entry for ``key``, if any (introspection)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def inflight(self) -> int:
+        """How many keys are currently being solved."""
+        with self._lock:
+            return len(self._entries)

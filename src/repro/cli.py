@@ -262,6 +262,95 @@ def build_parser() -> argparse.ArgumentParser:
         "for the duration of the solve (0 = OS-assigned)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the placement service (HTTP/JSON, overload-safe)",
+        description=(
+            "Serve placement requests over HTTP/JSON with admission "
+            "control, priority lanes, request coalescing, SLO deadlines "
+            "and graceful drain on SIGTERM. /metrics and /healthz are "
+            "served from the same port. Examples:\n"
+            "  repro serve --port 8787\n"
+            "  repro serve --port 8787 --jobs 4 --queue-capacity 32 "
+            "--default-deadline 10\n"
+            "  curl -s localhost:8787/healthz\n"
+            "  python examples/placement_service.py http://127.0.0.1:8787"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="bind port (0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        metavar="N",
+        help="interactive-lane admission bound; requests past it shed "
+        "with 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--batch-queue-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="batch-lane bound (default: same as --queue-capacity)",
+    )
+    serve.add_argument(
+        "--age-promote",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="serve a batch request ahead of interactive traffic once "
+        "it has waited this long (anti-starvation)",
+    )
+    serve.add_argument(
+        "--default-deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="SLO budget for requests that carry no deadline_s "
+        "(0 = unbounded)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker processes per solve (keep > 1: SLO deadlines "
+        "cannot preempt a serial in-process solve)",
+    )
+    serve.add_argument("--n-trees", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-run failed ensemble members up to N times",
+    )
+    serve.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="let degraded runs complete on the surviving ensemble "
+        "(timed-out requests then return 504 with a partial result)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long SIGTERM waits for queued + in-flight work",
+    )
+    serve.add_argument(
+        "--no-response-cache",
+        action="store_true",
+        help="do not cache completed responses (every request solves)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress the startup banner"
+    )
+
     cache = sub.add_parser("cache", help="inspect or wipe the solver cache")
     csub = cache.add_subparsers(dest="cache_command", required=True)
 
@@ -641,6 +730,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the placement service until SIGTERM/SIGINT, then drain."""
+    import signal
+
+    from repro.core.resilience import ResilienceConfig, RetryPolicy
+    from repro.serve import PlacementServer, ServeConfig
+
+    solver = SolverConfig(
+        seed=args.seed,
+        n_trees=args.n_trees,
+        n_jobs=args.jobs,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1 + args.retries),
+            allow_partial=args.allow_partial,
+        ),
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.queue_capacity,
+        batch_queue_capacity=args.batch_queue_capacity,
+        age_promote_s=args.age_promote,
+        default_deadline_s=(
+            None if args.default_deadline == 0 else args.default_deadline
+        ),
+        drain_timeout_s=args.drain_timeout,
+        cache_responses=not args.no_response_cache,
+        solver=solver,
+    )
+    server = PlacementServer(config).start()
+
+    def _on_term(signum, frame):
+        # Signal-handler safe: just flips the drain flag; serve_forever
+        # notices, finishes queued + in-flight work, and returns.
+        server.initiate_drain()
+
+    signal.signal(signal.SIGTERM, _on_term)
+    signal.signal(signal.SIGINT, _on_term)
+    if not args.quiet:
+        print(f"placement service listening on {server.url}", file=sys.stderr)
+        print(
+            f"  POST {server.url}/v1/solve   GET {server.url}/metrics "
+            f"/healthz /v1/stats",
+            file=sys.stderr,
+        )
+        print("  SIGTERM drains gracefully (stop admitting, finish, exit)",
+              file=sys.stderr)
+    server.serve_forever()
+    if not args.quiet:
+        print("placement service drained, exiting", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code.
 
@@ -658,6 +800,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_cache(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_solve(args)
     except DegradedRunError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -52,6 +52,8 @@ __all__ = [
     "pool_info",
     "shutdown_pool",
     "restart_pool",
+    "register_shutdown_hook",
+    "unregister_shutdown_hook",
     "publish_generation",
     "release_generation",
     "live_generations",
@@ -197,16 +199,55 @@ def restart_pool() -> None:
     get_pool(workers)
 
 
+#: Named callbacks run *before* the pool/spool teardown, newest first.
+#: Long-lived front-ends that dispatch onto the pool — the metrics
+#: exporter's HTTP threads, the ``repro.serve`` loop — register here so
+#: interpreter exit tears the stack down in dependency order: stop
+#: accepting/scraping, drain in-flight solves, *then* shut the pool and
+#: sweep the spool files.  Without this ordering a serve dispatcher can
+#: submit to an executor whose atexit shutdown already ran, or a worker
+#: can be mid-read on a generation payload the sweep just unlinked.
+_SHUTDOWN_HOOKS: "OrderedDict[str, Any]" = OrderedDict()
+
+
+def register_shutdown_hook(name: str, hook) -> None:
+    """Run ``hook()`` before the atexit pool shutdown and spool sweep.
+
+    Re-registering a name replaces the previous hook.  Hooks run in
+    LIFO order (newest first) and must be idempotent — a server that is
+    drained explicitly and then again at exit must tolerate both.
+    """
+    with _LOCK:
+        _SHUTDOWN_HOOKS.pop(name, None)
+        _SHUTDOWN_HOOKS[name] = hook
+
+
+def unregister_shutdown_hook(name: str) -> None:
+    """Remove a registered hook (no-op when absent)."""
+    with _LOCK:
+        _SHUTDOWN_HOOKS.pop(name, None)
+
+
 def _cleanup_at_exit() -> None:
     """Interpreter-exit sweep, in dependency order.
 
-    The pool must go down *before* the spool files: a worker mid-read on
+    Registered shutdown hooks (exporter threads, the serve loop) run
+    first — they are the layers that still *submit* to the pool.  Then
+    the pool goes down *before* the spool files: a worker mid-read on
     a generation payload while the parent unlinks it would either crash
     the worker or leave the unlink racing the worker's LRU cleanup.
     Interrupted runs (KeyboardInterrupt mid-fan-out) can leave published
     generations behind; whatever is still registered is released here,
     tolerating files that were already removed.
     """
+    with _LOCK:
+        hooks = list(_SHUTDOWN_HOOKS.items())
+        _SHUTDOWN_HOOKS.clear()
+    for _name, hook in reversed(hooks):
+        try:
+            hook()
+        except Exception:  # pragma: no cover - exit path must never raise
+            pass
     try:
         shutdown_pool()
     finally:

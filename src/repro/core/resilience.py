@@ -124,12 +124,27 @@ class ResilienceConfig:
         Minimum surviving outcomes a partial run needs (< this raises
         :class:`repro.errors.DegradedRunError` even with
         ``allow_partial=True``).
+    total_deadline_s:
+        Wall-clock budget for the *whole* fan-out, retries and backoff
+        included (``None`` = unbounded).  Without it every retry wave
+        gets a fresh ``member_timeout_s``, so a systematically hung
+        member consumes ``max_attempts x member_timeout_s`` — far past
+        any SLO the caller promised.  With it, each wave's deadline is
+        clamped to the remaining budget (the final attempt is
+        *truncated*, never skipped, as long as any budget remains),
+        backoff sleeps never overrun it, and members still pending when
+        it expires are recorded as ``timeout`` failures.  This is the
+        knob ``repro.serve`` uses to compose per-request SLO deadlines
+        with the retry policy.  Serial (in-process) attempts cannot be
+        preempted: an expired budget prevents them from *starting*, but
+        one already running completes.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     member_timeout_s: Optional[float] = None
     allow_partial: bool = False
     min_members: int = 1
+    total_deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.member_timeout_s is not None and self.member_timeout_s <= 0:
@@ -139,6 +154,10 @@ class ResilienceConfig:
         if self.min_members < 1:
             raise InvalidInputError(
                 f"min_members must be >= 1, got {self.min_members}"
+            )
+        if self.total_deadline_s is not None and self.total_deadline_s <= 0:
+            raise InvalidInputError(
+                f"total_deadline_s must be > 0, got {self.total_deadline_s}"
             )
 
 
@@ -189,17 +208,26 @@ def _pool_attempt(
     assert ctx.trees is not None
     executor = worker_pool.get_pool(min(ctx.config.n_jobs, len(ctx.trees)))
     ref = ctx.generation(worker_pool)
-    futures = {
-        executor.submit(
-            worker_pool.member_job, (ref, m, base + m, attempt)
-        ): m
-        for m in members
-    }
     deadline = None if timeout_s is None else time.monotonic() + timeout_s
     solved: Dict[int, "MemberOutcome"] = {}
     failed: Dict[int, Tuple[str, BaseException]] = {}
     crashed = False
     hung = False
+    futures: Dict[cf.Future, int] = {}
+    for m in members:
+        try:
+            futures[
+                executor.submit(worker_pool.member_job, (ref, m, base + m, attempt))
+            ] = m
+        except BrokenProcessPool as exc:
+            # A worker grabbed an earlier submission from this very wave
+            # and died before the loop finished (the fault can fire at
+            # member_job entry, microseconds after submit), poisoning the
+            # executor mid-loop.  Record the unsubmitted members as crash
+            # failures so the wave restarts the pool and retries, instead
+            # of the raw BrokenProcessPool escaping Engine.run.
+            failed[m] = ("crash", exc)
+            crashed = True
     waiting = set(futures)
     while waiting:
         budget = (
@@ -308,9 +336,29 @@ def run_members(
     attempts_used: Dict[int, int] = {}
     pending: List[int] = list(range(n))
     restarts = 0
+    # The fan-out's overall wall-clock budget.  Every wave deadline and
+    # backoff sleep below is clamped to what remains of it, so retries
+    # can never stack fresh member_timeout_s grants past the total.
+    overall = (
+        None
+        if res.total_deadline_s is None
+        else time.monotonic() + res.total_deadline_s
+    )
     try:
         for attempt in range(1, policy.max_attempts + 1):
             if not pending:
+                break
+            if overall is not None and time.monotonic() >= overall:
+                # Budget exhausted before this attempt could start: the
+                # members still pending become terminal timeout failures.
+                for m in pending:
+                    last_error[m] = (
+                        "timeout",
+                        TimeoutError(
+                            f"total_deadline_s={res.total_deadline_s:g} "
+                            f"exhausted before attempt {attempt}"
+                        ),
+                    )
                 break
             if attempt > 1:
                 reg.counter(
@@ -318,6 +366,23 @@ def run_members(
                     "Ensemble-member re-runs scheduled by the retry policy",
                 ).inc(len(pending))
                 delay = policy.delay(attempt)
+                if overall is not None:
+                    remaining = overall - time.monotonic()
+                    if delay >= remaining:
+                        # The backoff alone would exhaust the budget:
+                        # sleeping it away just to skip the attempt at
+                        # the expiry check wastes the caller's wall
+                        # time.  Fail the pending members now instead.
+                        for m in pending:
+                            last_error[m] = (
+                                "timeout",
+                                TimeoutError(
+                                    f"total_deadline_s="
+                                    f"{res.total_deadline_s:g} exhausted "
+                                    f"by backoff before attempt {attempt}"
+                                ),
+                            )
+                        break
                 if delay > 0:
                     time.sleep(delay)
                 ctx.logger.info(
@@ -336,8 +401,16 @@ def run_members(
             if parallel and not serial_fallback:
                 from repro.core import pool as worker_pool
 
+                timeout_s = res.member_timeout_s
+                if overall is not None:
+                    remaining = max(0.001, overall - time.monotonic())
+                    timeout_s = (
+                        remaining
+                        if timeout_s is None
+                        else min(timeout_s, remaining)
+                    )
                 solved, failed, wave_restarts = _pool_attempt(
-                    ctx, worker_pool, pending, base, attempt, res.member_timeout_s
+                    ctx, worker_pool, pending, base, attempt, timeout_s
                 )
                 restarts += wave_restarts
             else:
@@ -357,7 +430,9 @@ def run_members(
     failures: List[MemberFailure] = []
     for m in pending:
         kind, exc = last_error[m]
-        failures.append(_failure(base + m, kind, attempts_used[m], exc))
+        # attempts_used is missing only when the total deadline expired
+        # before the member's first attempt could start.
+        failures.append(_failure(base + m, kind, attempts_used.get(m, 0), exc))
         reg.counter(
             "repro_member_failures_total",
             "Ensemble members lost past their retry budget, by failure kind",
@@ -367,7 +442,7 @@ def run_members(
             "member_failed",
             member=m,
             kind=kind,
-            attempts=attempts_used[m],
+            attempts=attempts_used.get(m, 0),
             error=str(exc)[:200],
         )
     ordered = [outcomes[m] for m in sorted(outcomes)]

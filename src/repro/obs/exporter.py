@@ -140,6 +140,13 @@ class MetricsExporter:
             daemon=True,
         )
         self._thread.start()
+        # Exporter threads must die before the atexit pool shutdown and
+        # spool sweep: a scrape (or /debug/profile) racing interpreter
+        # teardown otherwise reads registries and stacks mid-demolition.
+        from repro.core.pool import register_shutdown_hook
+
+        self._hook_name = f"exporter:{id(self)}"
+        register_shutdown_hook(self._hook_name, self.stop)
 
     @property
     def url(self) -> str:
@@ -150,6 +157,9 @@ class MetricsExporter:
         """Shut the server down and join its thread (idempotent)."""
         if self._thread is None:
             return
+        from repro.core.pool import unregister_shutdown_hook
+
+        unregister_shutdown_hook(self._hook_name)
         self._server.shutdown()
         self._server.server_close()
         self._thread.join(timeout=2.0)

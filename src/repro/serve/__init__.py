@@ -1,0 +1,40 @@
+"""Placement-as-a-service: the overload-safe async solver front-end.
+
+The paper's §1 motivation — placing streaming operators in a live
+datacenter — needs the solver as a *service*, not a script: many
+tenants submit placement requests concurrently, and the robustness
+envelope (admission control, backpressure, SLO deadlines, coalescing,
+graceful drain) is what keeps the solver alive and fair under overload.
+
+Public surface:
+
+* :class:`ServeConfig` — server knobs (queue capacities, aging, SLO
+  defaults, drain behaviour) plus the base :class:`~repro.core.config.SolverConfig`
+  every request's solve derives from.
+* :class:`PlacementServer` — the asyncio HTTP/JSON front-end plus the
+  single dispatcher thread that schedules admitted requests onto the
+  existing engine/pool; see :mod:`repro.serve.server`.
+* :class:`AdmissionQueue` — bounded two-lane priority queue with aging
+  (:mod:`repro.serve.admission`).
+* :class:`PlacementClient` — stdlib-socket client
+  (:mod:`repro.serve.client`).
+
+See ``docs/serving.md`` for the HTTP API, SLO semantics and the
+503/504 runbook.
+"""
+
+from repro.serve.admission import AdmissionQueue, LANES
+from repro.serve.client import PlacementClient, ServeResponse
+from repro.serve.protocol import ProtocolError, SolveRequest
+from repro.serve.server import PlacementServer, ServeConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "LANES",
+    "PlacementClient",
+    "PlacementServer",
+    "ProtocolError",
+    "ServeConfig",
+    "ServeResponse",
+    "SolveRequest",
+]

@@ -1,0 +1,168 @@
+"""Admission control: bounded two-lane priority queue with aging.
+
+The backpressure core of the placement service.  Two lanes
+(``interactive`` and ``batch``), each a bounded FIFO:
+
+* **Bounded** — :meth:`AdmissionQueue.offer` returns ``False`` (shed)
+  the moment a lane is at capacity.  Nothing ever blocks on the way in,
+  so overload turns into fast 503s instead of unbounded queueing —
+  queueing delay is capped at ``capacity x service time`` by
+  construction.
+* **Priority with aging** — :meth:`AdmissionQueue.take` serves the
+  interactive lane first, *except* when the oldest batch request has
+  waited ``age_promote_s`` or longer, in which case the batch head is
+  promoted ahead of interactive traffic.  Interactive latency stays
+  bounded under load while batch requests cannot starve: a batch
+  request's wait is capped at roughly ``age_promote_s`` plus one
+  promotion cycle per queued elder.
+* **FIFO within a lane** — arrival order is preserved per lane
+  (deques, append right / pop left), so equal-priority tenants are
+  served fairly.
+
+The queue is item-agnostic (the server enqueues its job records; the
+hypothesis suite enqueues integers) and takes an injectable ``clock``
+so the aging invariant is testable with virtual time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Tuple
+
+from repro.errors import InvalidInputError
+
+__all__ = ["AdmissionQueue", "LANES"]
+
+#: Priority lanes, highest priority first.
+LANES = ("interactive", "batch")
+
+
+class AdmissionQueue:
+    """Bounded two-lane admission queue (see module docstring).
+
+    Parameters
+    ----------
+    capacity:
+        Interactive-lane bound (and the batch bound unless overridden).
+    batch_capacity:
+        Batch-lane bound (``None`` = same as ``capacity``).
+    age_promote_s:
+        Batch requests older than this are served ahead of interactive
+        ones (the anti-starvation knob).
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        batch_capacity: Optional[int] = None,
+        age_promote_s: float = 2.0,
+        clock=time.monotonic,
+    ):
+        if capacity < 1:
+            raise InvalidInputError(f"capacity must be >= 1, got {capacity}")
+        if batch_capacity is not None and batch_capacity < 1:
+            raise InvalidInputError(
+                f"batch_capacity must be >= 1, got {batch_capacity}"
+            )
+        if age_promote_s <= 0:
+            raise InvalidInputError(
+                f"age_promote_s must be > 0, got {age_promote_s}"
+            )
+        self._cap = {
+            "interactive": capacity,
+            "batch": capacity if batch_capacity is None else batch_capacity,
+        }
+        self._age_promote_s = age_promote_s
+        self._clock = clock
+        self._lanes: Dict[str, Deque[Tuple[float, Any]]] = {
+            lane: deque() for lane in LANES
+        }
+        self._cond = threading.Condition()
+        self._closed = False
+        # Introspection counters (served by /v1/stats and the metrics).
+        self.offered = 0
+        self.shed = 0
+        self.promotions = 0
+
+    def offer(self, item: Any, lane: str) -> bool:
+        """Enqueue ``item``; ``False`` means shed (lane full or closed).
+
+        Never blocks: admission control's whole point is that overload
+        is answered immediately, not queued invisibly.
+        """
+        if lane not in self._cap:
+            raise InvalidInputError(f"unknown lane {lane!r}; choose from {LANES}")
+        with self._cond:
+            self.offered += 1
+            if self._closed or len(self._lanes[lane]) >= self._cap[lane]:
+                self.shed += 1
+                return False
+            self._lanes[lane].append((self._clock(), item))
+            self._cond.notify()
+            return True
+
+    def _select(self) -> Optional[str]:
+        """Which lane to serve next (caller holds the lock)."""
+        inter = self._lanes["interactive"]
+        batch = self._lanes["batch"]
+        if batch and (self._clock() - batch[0][0]) >= self._age_promote_s:
+            if inter:
+                self.promotions += 1
+            return "batch"
+        if inter:
+            return "interactive"
+        if batch:
+            return "batch"
+        return None
+
+    def take(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Tuple[str, float, Any]]:
+        """Dequeue ``(lane, enqueued_at, item)``; ``None`` on timeout.
+
+        A closed queue still drains: admitted requests are served to
+        completion during graceful drain, only *new* offers are shed.
+        ``None`` with no timeout means closed-and-empty.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                lane = self._select()
+                if lane is not None:
+                    enqueued_at, item = self._lanes[lane].popleft()
+                    return lane, enqueued_at, item
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+
+    def depth(self, lane: Optional[str] = None) -> int:
+        """Queued request count for ``lane`` (or total)."""
+        with self._cond:
+            if lane is not None:
+                return len(self._lanes[lane])
+            return sum(len(q) for q in self._lanes.values())
+
+    def capacity(self, lane: str) -> int:
+        """Configured bound of ``lane``."""
+        return self._cap[lane]
+
+    def close(self) -> None:
+        """Stop admitting (offers shed); queued items remain takeable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed

@@ -16,7 +16,8 @@ Spec grammar
     spec     = kind [":" key "=" value]*
     kind     = "worker_crash" | "worker_hang" | "member_error"
              | "spool_corrupt" | "cache_corrupt"
-    key      = "member" | "attempt" | "seconds" | "exit" | "kind"
+             | "serve_slow_client" | "serve_flood"
+    key      = "member" | "attempt" | "seconds" | "exit" | "kind" | "every"
 
 Examples::
 
@@ -27,6 +28,10 @@ Examples::
     spool_corrupt:attempt=1              # generation payload reads fail once
     cache_corrupt:kind=trees             # disk-cache reads of tree ensembles
                                          # see garbage bytes
+    serve_slow_client:seconds=2          # placement clients stall 2 s between
+                                         # sending headers and body (slow-loris)
+    serve_flood:every=3                  # every 3rd serve admission behaves as
+                                         # if the queue were full (shed/503)
 
 Constraint keys restrict where a spec fires: ``member`` and ``attempt``
 must equal the site's context values when present; omitting a key means
@@ -35,6 +40,12 @@ site to be inside a pool worker — they never fire on the engine's
 in-process (serial) attempts, which would take the parent down with
 them; use ``member_error`` to make a member unrecoverable across *all*
 attempts including the serial fallback.
+
+``every=N`` is an *effect* parameter available on every kind: the spec
+fires only on every Nth matching site visit (a deterministic per-process
+counter), so chaos runs can mix faulty and healthy traffic — e.g.
+``serve_flood:every=3`` sheds a third of admissions while the rest
+solve normally.
 
 Injection sites
 ---------------
@@ -50,12 +61,22 @@ Injection sites
     Entered in :meth:`repro.cache.cache.SolverCache._disk_load` before
     an entry is unpickled; ``cache_corrupt`` overwrites the entry file
     with garbage so the cache's *real* corrupt-entry recovery path runs.
+``serve_client``
+    Entered in :mod:`repro.serve.client` between sending the request
+    head and the body; ``serve_slow_client`` sleeps there, simulating a
+    slow-loris tenant so the server's read deadline path runs.
+``serve_admit``
+    Entered in the serve admission path just before a request is
+    offered to the bounded queue; ``serve_flood`` raises
+    :class:`InjectedFaultError`, which the server treats exactly like a
+    full queue — the *real* shed/503/Retry-After path runs.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -68,6 +89,7 @@ __all__ = [
     "parse_fault_spec",
     "active_specs",
     "maybe_inject",
+    "reset_fault_counters",
 ]
 
 ENV_FAULT_SPEC = "REPRO_FAULT_SPEC"
@@ -79,6 +101,8 @@ _SITE_OF = {
     "member_error": "member",
     "spool_corrupt": "spool",
     "cache_corrupt": "cache",
+    "serve_slow_client": "serve_client",
+    "serve_flood": "serve_admit",
 }
 
 #: Kinds that only make sense inside a pool worker process.
@@ -121,7 +145,7 @@ class FaultSpec:
         if self.kind in _WORKER_ONLY and not context.get("in_worker"):
             return False
         for key, raw in self.constraints:
-            if key in ("seconds", "exit"):
+            if key in ("seconds", "exit", "every"):
                 continue  # effect parameters, not constraints
             if key not in context:
                 return False
@@ -195,7 +219,24 @@ def _fire(spec: FaultSpec, context: Mapping[str, object]) -> None:
             except OSError:
                 pass
         return
+    if spec.kind == "serve_slow_client":
+        time.sleep(float(spec.get("seconds", "1")))
+        return
+    if spec.kind == "serve_flood":
+        raise InjectedFaultError(f"injected serve_flood ({where})")
     raise AssertionError(f"unhandled fault kind {spec.kind!r}")  # pragma: no cover
+
+
+#: Per-process visit counters for ``every=N`` periodic firing, keyed by
+#: spec.  Deterministic: the Nth, 2Nth, ... matching visit fires.
+_VISITS: dict = {}
+_VISITS_LOCK = threading.Lock()
+
+
+def reset_fault_counters() -> None:
+    """Reset the ``every=N`` visit counters (test isolation helper)."""
+    with _VISITS_LOCK:
+        _VISITS.clear()
 
 
 def maybe_inject(site: str, **context: object) -> None:
@@ -209,4 +250,11 @@ def maybe_inject(site: str, **context: object) -> None:
         if spec.site != site:
             continue
         if spec.matches(context):
+            every = int(spec.get("every", "1") or "1")
+            if every > 1:
+                with _VISITS_LOCK:
+                    count = _VISITS.get(spec, 0) + 1
+                    _VISITS[spec] = count
+                if count % every != 0:
+                    continue
             _fire(spec, context)

@@ -1,0 +1,178 @@
+"""Unit tests for ``ResilienceConfig.total_deadline_s`` (satellite 2).
+
+The whole-run budget must *clamp* every stage of the retry schedule —
+backoff sleeps and per-wave member timeouts — so the run never outlives
+the budget.  The subtle contract under test: a final attempt that
+starts with budget remaining is **truncated** to the leftover budget,
+not skipped; only an attempt whose budget is already exhausted before
+it starts is skipped (and recorded as a timeout failure).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import SolverConfig, solve_hgp
+from repro.core.resilience import ResilienceConfig, RetryPolicy
+from repro.errors import DegradedRunError, InvalidInputError
+
+
+def _config(**resilience) -> SolverConfig:
+    return SolverConfig(
+        seed=3,
+        n_trees=4,
+        refine=False,
+        n_jobs=2,
+        resilience=ResilienceConfig(**resilience),
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, -0.001])
+    def test_rejects_non_positive_budget(self, bad):
+        with pytest.raises(InvalidInputError):
+            ResilienceConfig(total_deadline_s=bad)
+
+    def test_none_is_unbounded(self):
+        assert ResilienceConfig().total_deadline_s is None
+        assert ResilienceConfig(total_deadline_s=2.5).total_deadline_s == 2.5
+
+
+class TestBudgetClampsWallTime:
+    def test_hung_workers_bounded_by_budget_not_member_timeout(
+        self, instance, fault_env
+    ):
+        """Budget 1.5s beats member_timeout 10s x attempts: the run must
+        end (degraded) in ~budget wall time, not attempts x timeout."""
+        fault_env("worker_hang:seconds=600")
+        cfg = _config(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.2),
+            member_timeout_s=10.0,
+            total_deadline_s=1.5,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(DegradedRunError) as exc_info:
+            solve_hgp(*instance, cfg)
+        elapsed = time.monotonic() - t0
+        # Without the clamp this would be >= 10s (first wave alone).
+        assert elapsed < 6.0, f"budget did not clamp wall time: {elapsed:.1f}s"
+        kinds = {f.kind for f in exc_info.value.failures}
+        assert kinds == {"timeout"}
+
+    def test_exhausted_budget_skips_attempt_with_timeout_failures(
+        self, instance, fault_env
+    ):
+        """When the budget dies between attempts, pending members are
+        recorded as timeouts naming the budget — never silently lost."""
+        fault_env("worker_hang:seconds=600")
+        cfg = _config(
+            retry=RetryPolicy(max_attempts=4, base_delay=5.0),
+            member_timeout_s=0.3,
+            total_deadline_s=1.0,
+        )
+        with pytest.raises(DegradedRunError) as exc_info:
+            solve_hgp(*instance, cfg)
+        # Every member failed as a timeout; at least one failure message
+        # names the exhausted budget (the skipped-attempt marker).
+        failures = exc_info.value.failures
+        assert failures and all(f.kind == "timeout" for f in failures)
+
+    def test_backoff_sleep_clamped_to_budget(self, instance, fault_env):
+        """A 30s backoff schedule cannot stretch a 1s budget."""
+        fault_env("worker_hang:seconds=600")
+        cfg = _config(
+            retry=RetryPolicy(max_attempts=2, base_delay=30.0),
+            member_timeout_s=0.3,
+            total_deadline_s=1.0,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(DegradedRunError):
+            solve_hgp(*instance, cfg)
+        assert time.monotonic() - t0 < 5.0
+
+
+class TestFinalAttemptTruncatedNotSkipped:
+    def test_retry_with_leftover_budget_runs_and_succeeds(
+        self, instance, fault_env
+    ):
+        """Attempt 1 burns ~0.4s hanging; attempt 2 still has budget
+        left, so it must RUN (truncated) — and, fault-free on retry,
+        succeed.  A skip-on-low-budget bug fails this test."""
+        baseline = solve_hgp(*instance, _config())
+        fault_env("worker_hang:attempt=1:seconds=600")
+        cfg = _config(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0),
+            member_timeout_s=0.4,
+            total_deadline_s=30.0,
+        )
+        result = solve_hgp(*instance, cfg)
+        assert result.cost == baseline.cost
+
+    def test_truncated_wave_timeout_is_remaining_budget(
+        self, instance, fault_env
+    ):
+        """With 2.5s of budget and a 2s member timeout, the second pool
+        wave must run with only the ~0.5s leftover as its effective
+        timeout: the run ends near the budget, proving the wave was
+        truncated rather than granted its full member_timeout_s."""
+        fault_env("worker_hang:seconds=600")
+        cfg = _config(
+            retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+            member_timeout_s=2.0,
+            total_deadline_s=2.5,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(DegradedRunError):
+            solve_hgp(*instance, cfg)
+        elapsed = time.monotonic() - t0
+        # Attempt 1: ~2.0s (full member timeout).  Attempt 2 truncated
+        # to the ~0.5s left; attempt 3 skipped (budget gone).  A wave
+        # granted member_timeout_s afresh would push well past 4s even
+        # before restart overhead.
+        assert elapsed < 4.0
+
+    def test_partial_results_salvaged_within_budget(self, instance, fault_env):
+        """allow_partial + a budget: members that finished before the
+        budget died are kept, the rest are timeout failures."""
+        fault_env("worker_hang:member=1:seconds=600")
+        cfg = _config(
+            retry=RetryPolicy(max_attempts=1),
+            member_timeout_s=0.5,
+            total_deadline_s=5.0,
+            allow_partial=True,
+            min_members=1,
+        )
+        result = solve_hgp(*instance, cfg)
+        report = result.report()
+        assert report.degraded
+        assert {f.kind for f in report.failures} == {"timeout"}
+        assert report.cost is not None
+
+
+class TestBudgetComposesWithServe:
+    def test_build_config_clamps_both_knobs(self):
+        """The serve layer folds a request budget into *both*
+        total_deadline_s and member_timeout_s (never raising either)."""
+        from repro.serve.protocol import build_config, parse_solve_request
+        import json
+
+        payload = {
+            "graph": {"n": 2, "edges": [[0, 1, 1.0]]},
+            "hierarchy": {"degrees": [2], "cm": [1.0, 0.0]},
+            "demands": [0.5, 0.5],
+        }
+        req = parse_solve_request(json.dumps(payload).encode())
+        base = SolverConfig(
+            resilience=ResilienceConfig(
+                member_timeout_s=60.0, total_deadline_s=120.0
+            )
+        )
+        cfg = build_config(req, base, budget_s=2.0)
+        assert cfg.resilience.total_deadline_s == 2.0
+        assert cfg.resilience.member_timeout_s == 2.0
+        # A generous budget never *raises* the configured knobs.
+        cfg2 = build_config(req, base, budget_s=500.0)
+        assert cfg2.resilience.total_deadline_s == 120.0
+        assert cfg2.resilience.member_timeout_s == 60.0

@@ -1,0 +1,104 @@
+"""Fixtures for the placement-service tests.
+
+Servers run in-process (IO loop + dispatcher threads inside the test
+process) on an ephemeral port, with a deliberately tiny solver config so
+each solve is a few tens of milliseconds.  The global solver cache is
+reset around every server so response-cache hits never leak between
+tests, and the fault-spec env var is cleared on entry so the suite is
+deterministic even under the CI chaos matrix (chaos coverage lives in
+``test_chaos.py``, which opts back in per-test).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import reset_cache
+from repro.core import pool as worker_pool
+from repro.core.config import SolverConfig
+from repro.core.resilience import ResilienceConfig, RetryPolicy
+from repro.graph.generators import planted_partition, random_demands
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.serve import PlacementClient, PlacementServer, ServeConfig
+from repro.testing.faults import ENV_FAULT_SPEC
+
+DEGREES = [2, 4]
+CM = [10.0, 3.0, 0.0]
+
+
+def tiny_solver(**overrides) -> SolverConfig:
+    """The fast solver config every serve test uses (pool path)."""
+    base = dict(
+        seed=3,
+        n_trees=2,
+        n_jobs=2,
+        resilience=ResilienceConfig(retry=RetryPolicy(max_attempts=2)),
+    )
+    base.update(overrides)
+    return SolverConfig(**base)
+
+
+def make_payload(seed: int = 5, n: int = 24) -> dict:
+    """One solvable JSON request payload (distinct per ``seed``)."""
+    hier = Hierarchy(DEGREES, CM)
+    g = planted_partition(4, max(2, n // 4), 0.85, 0.05, seed=seed)
+    d = random_demands(g.n, hier.total_capacity, fill=0.5, skew=0.3, seed=seed)
+    return {
+        "graph": {
+            "n": g.n,
+            "edges": [
+                [int(u), int(v), float(w)]
+                for u, v, w in zip(g.edges_u, g.edges_v, g.edges_w)
+            ],
+        },
+        "hierarchy": {"degrees": DEGREES, "cm": CM, "leaf_capacity": 1.0},
+        "demands": [float(x) for x in d],
+    }
+
+
+@pytest.fixture
+def payload() -> dict:
+    return make_payload()
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    """Fault-free, cold-cache baseline for every serve test."""
+    monkeypatch.delenv(ENV_FAULT_SPEC, raising=False)
+    reset_cache()
+    yield
+    reset_cache()
+
+
+def start_server(**config_overrides) -> PlacementServer:
+    defaults = dict(port=0, solver=tiny_solver())
+    defaults.update(config_overrides)
+    return PlacementServer(ServeConfig(**defaults)).start()
+
+
+@pytest.fixture
+def server(clean_env):
+    """A started server + client; drained (never leaked) on teardown."""
+    srv = start_server()
+    try:
+        yield srv, PlacementClient(srv.url, timeout=60.0)
+    finally:
+        srv.drain(timeout=30.0)
+
+
+@pytest.fixture
+def fault_env(monkeypatch):
+    """Chaos-test hook: set the fault spec with pool-safe ordering."""
+
+    def _set(spec: str) -> None:
+        worker_pool.shutdown_pool()
+        if spec:
+            monkeypatch.setenv(ENV_FAULT_SPEC, spec)
+        else:
+            monkeypatch.delenv(ENV_FAULT_SPEC, raising=False)
+
+    _set("")
+    reset_cache()
+    yield _set
+    worker_pool.shutdown_pool()
+    reset_cache()

@@ -1,0 +1,141 @@
+"""Unit tests for the bounded two-lane admission queue."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import InvalidInputError
+from repro.serve import LANES, AdmissionQueue
+
+
+class FakeClock:
+    """Deterministic virtual time for the aging tests."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def test_lanes_constant():
+    assert LANES == ("interactive", "batch")
+
+
+def test_validation():
+    with pytest.raises(InvalidInputError):
+        AdmissionQueue(capacity=0)
+    with pytest.raises(InvalidInputError):
+        AdmissionQueue(capacity=4, batch_capacity=0)
+    with pytest.raises(InvalidInputError):
+        AdmissionQueue(age_promote_s=0.0)
+    q = AdmissionQueue(capacity=2)
+    with pytest.raises(InvalidInputError):
+        q.offer("x", "express")
+
+
+def test_offer_take_fifo_within_lane():
+    q = AdmissionQueue(capacity=8)
+    for i in range(4):
+        assert q.offer(i, "interactive")
+    got = [q.take(timeout=0.1)[2] for _ in range(4)]
+    assert got == [0, 1, 2, 3]
+    assert q.take(timeout=0.01) is None
+
+
+def test_bounded_shed_when_full():
+    q = AdmissionQueue(capacity=2, batch_capacity=1)
+    assert q.offer("a", "interactive")
+    assert q.offer("b", "interactive")
+    assert not q.offer("c", "interactive")  # interactive lane full
+    assert q.offer("d", "batch")
+    assert not q.offer("e", "batch")  # batch lane full
+    assert q.depth("interactive") == 2
+    assert q.depth("batch") == 1
+    assert q.depth() == 3
+    assert q.shed == 2
+    assert q.offered == 5
+    # Draining one slot re-opens admission for that lane only.
+    q.take(timeout=0.1)
+    assert q.offer("f", "interactive")
+    assert not q.offer("g", "batch")
+
+
+def test_interactive_served_first():
+    q = AdmissionQueue(capacity=8)
+    q.offer("b1", "batch")
+    q.offer("i1", "interactive")
+    q.offer("b2", "batch")
+    q.offer("i2", "interactive")
+    order = [q.take(timeout=0.1)[0] for _ in range(4)]
+    assert order == ["interactive", "interactive", "batch", "batch"]
+
+
+def test_aging_promotes_batch_head():
+    clock = FakeClock()
+    q = AdmissionQueue(capacity=8, age_promote_s=2.0, clock=clock)
+    q.offer("b1", "batch")
+    clock.advance(1.0)
+    q.offer("i1", "interactive")
+    # Batch not old enough yet: interactive wins.
+    lane, _, item = q.take(timeout=0.1)
+    assert (lane, item) == ("interactive", "i1")
+    q.offer("i2", "interactive")
+    clock.advance(1.5)  # batch head is now 2.5s old -> promoted
+    lane, _, item = q.take(timeout=0.1)
+    assert (lane, item) == ("batch", "b1")
+    assert q.promotions == 1
+
+
+def test_promotion_counter_only_when_jumping_queue():
+    clock = FakeClock()
+    q = AdmissionQueue(capacity=8, age_promote_s=1.0, clock=clock)
+    q.offer("b1", "batch")
+    clock.advance(5.0)
+    # No interactive traffic waiting: serving old batch is not a "jump".
+    assert q.take(timeout=0.1)[2] == "b1"
+    assert q.promotions == 0
+
+
+def test_take_reports_enqueue_time():
+    clock = FakeClock()
+    q = AdmissionQueue(capacity=4, clock=clock)
+    clock.advance(10.0)
+    q.offer("x", "interactive")
+    clock.advance(3.0)
+    lane, enqueued_at, item = q.take(timeout=0.1)
+    assert enqueued_at == 10.0
+    assert clock() - enqueued_at == 3.0
+
+
+def test_close_sheds_new_but_drains_queued():
+    q = AdmissionQueue(capacity=4)
+    q.offer("a", "interactive")
+    q.offer("b", "batch")
+    q.close()
+    assert q.closed
+    assert not q.offer("c", "interactive")  # shed after close
+    assert q.take(timeout=0.1)[2] == "a"  # queued items still served
+    assert q.take(timeout=0.1)[2] == "b"
+    assert q.take(timeout=0.1) is None  # closed-and-empty
+    assert q.take() is None  # even a blocking take returns
+
+
+def test_take_blocks_until_offer():
+    q = AdmissionQueue(capacity=4)
+    got = []
+
+    def taker():
+        got.append(q.take(timeout=5.0))
+
+    th = threading.Thread(target=taker)
+    th.start()
+    q.offer("late", "batch")
+    th.join(timeout=5.0)
+    assert not th.is_alive()
+    assert got and got[0][2] == "late"

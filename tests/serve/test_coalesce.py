@@ -1,0 +1,194 @@
+"""Coalescing invariants: registry unit tests, threaded races, and the
+end-to-end guarantee — N byte-identical concurrent requests cost one
+solve and receive byte-identical responses (satellite of PR 10)."""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import json
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import InflightRegistry
+
+from .conftest import start_server
+from repro.serve import PlacementClient
+
+
+# ----------------------------------------------------------------------
+# registry unit behavior
+# ----------------------------------------------------------------------
+
+
+def test_single_leader_then_followers():
+    reg = InflightRegistry()
+    leader, entry = reg.claim("k")
+    assert leader
+    f1, e1 = reg.claim("k")
+    f2, e2 = reg.claim("k")
+    assert not f1 and not f2
+    assert e1 is entry and e2 is entry
+    assert reg.coalesced_total == 2
+    waiter_a = entry.subscribe()
+    waiter_b = entry.subscribe()
+    assert not waiter_a.done()
+    n = reg.resolve("k", "value")
+    assert n == 2  # both subscribed waiters were delivered to
+    assert waiter_a.result(timeout=1.0) == "value"
+    assert waiter_b.result(timeout=1.0) == "value"
+    # Key is gone: the next claim starts a fresh flight.
+    leader2, entry2 = reg.claim("k")
+    assert leader2 and entry2 is not entry
+
+
+def test_subscribe_after_resolve_gets_value_immediately():
+    reg = InflightRegistry()
+    _, entry = reg.claim("k")
+    reg.resolve("k", 42)
+    assert entry.subscribe().result(timeout=1.0) == 42
+    assert entry.resolved
+
+
+def test_cancelled_subscriber_does_not_poison_others():
+    reg = InflightRegistry()
+    _, entry = reg.claim("k")
+    dead = entry.subscribe()
+    alive = entry.subscribe()
+    dead.cancel()
+    reg.resolve("k", "payload")
+    assert alive.result(timeout=1.0) == "payload"
+
+
+def test_distinct_keys_are_independent():
+    reg = InflightRegistry()
+    assert reg.claim("a")[0]
+    assert reg.claim("b")[0]
+    assert reg.inflight() == 2
+    reg.resolve("a", 1)
+    assert reg.inflight() == 1
+
+
+# ----------------------------------------------------------------------
+# threaded race: exactly one leader per key, everyone gets the value
+# ----------------------------------------------------------------------
+
+
+@given(
+    n_threads=st.integers(min_value=2, max_value=16),
+    n_keys=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_exactly_one_leader_under_contention(n_threads, n_keys):
+    """All contenders claim before any leader resolves: then each key
+    must elect exactly one leader and fan its value to everyone."""
+    reg = InflightRegistry()
+    barrier = threading.Barrier(n_threads)
+    all_claimed = threading.Event()
+    claimed = [0]
+    results = []
+    lock = threading.Lock()
+
+    def contender(i):
+        key = f"key-{i % n_keys}"
+        barrier.wait()
+        leader, entry = reg.claim(key)
+        with lock:
+            claimed[0] += 1
+            if claimed[0] == n_threads:
+                all_claimed.set()
+        if leader:
+            # Hold the flight open until every contender has claimed, so
+            # no late claim can legitimately start a second flight.
+            assert all_claimed.wait(timeout=10.0)
+            reg.resolve(key, key.upper())
+            value = key.upper()
+        else:
+            value = entry.subscribe().result(timeout=10.0)
+        with lock:
+            results.append((key, leader, value))
+
+    threads = [
+        threading.Thread(target=contender, args=(i,))
+        for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=15.0)
+    assert len(results) == n_threads
+    for k in {r[0] for r in results}:
+        rows = [r for r in results if r[0] == k]
+        assert sum(1 for r in rows if r[1]) == 1  # one leader per key
+        assert all(r[2] == k.upper() for r in rows)  # same value for all
+
+
+# ----------------------------------------------------------------------
+# end-to-end: concurrent identical requests -> one solve, N identical
+# ----------------------------------------------------------------------
+
+
+def test_n_identical_requests_one_solve(clean_env, payload):
+    n = 8
+    srv = start_server(cache_responses=False)
+    try:
+        solves = []
+        real_solve = srv._solve_job
+
+        def counting_solve(job):
+            solves.append(job.key)
+            return real_solve(job)
+
+        srv._solve_job = counting_solve
+        client_payload = dict(payload)
+        client_payload["deadline_s"] = 60.0
+        start = threading.Barrier(n)
+
+        def submit(i):
+            start.wait()
+            client = PlacementClient(srv.url, timeout=60.0)
+            return client.solve_raw(client_payload)
+
+        with cf.ThreadPoolExecutor(max_workers=n) as tp:
+            responses = list(tp.map(submit, range(n)))
+
+        assert [r.status for r in responses] == [200] * n
+        # Exactly one solve reached the dispatcher...
+        assert len(solves) == 1
+        # ...every response body is byte-identical...
+        assert len({r.body for r in responses}) == 1
+        # ...and n-1 were marked coalesced.
+        froms = sorted(r.served_from for r in responses)
+        assert froms.count("coalesced") == n - 1
+        assert froms.count("solve") == 1
+        assert srv._inflight.coalesced_total == n - 1
+        body = json.loads(responses[0].body)
+        assert len(body["leaf_of"]) == payload["graph"]["n"]
+    finally:
+        srv.drain(timeout=30.0)
+
+
+def test_different_slo_same_instance_still_coalesces(clean_env, payload):
+    """Deadline/priority are SLO-only: they must not split the flight."""
+    srv = start_server(cache_responses=False)
+    try:
+        variants = []
+        for deadline, priority in ((30.0, "interactive"), (60.0, "batch")):
+            p = dict(payload)
+            p["deadline_s"] = deadline
+            p["priority"] = priority
+            variants.append(p)
+        start = threading.Barrier(len(variants))
+
+        def submit(p):
+            start.wait()
+            return PlacementClient(srv.url, timeout=60.0).solve_raw(p)
+
+        with cf.ThreadPoolExecutor(max_workers=2) as tp:
+            responses = list(tp.map(submit, variants))
+        assert [r.status for r in responses] == [200, 200]
+        assert len({r.body for r in responses}) == 1
+        assert srv._inflight.coalesced_total == 1
+    finally:
+        srv.drain(timeout=30.0)

@@ -1,0 +1,504 @@
+#!/usr/bin/env python
+"""Open-loop load generator for the placement service (``repro serve``).
+
+Drives mixed interactive/batch traffic at a *fixed arrival rate* —
+open-loop, i.e. arrivals do not wait for completions, so an overloaded
+server sees real queue pressure instead of the closed-loop coordinated
+omission that hides it.  The trace is duplicate-heavy on purpose: a
+configurable fraction of requests re-ask the hottest instance, which is
+what the serving layer's coalescing + response cache are for.
+
+Modes
+-----
+* Against a running server::
+
+      python tools/loadgen.py --url http://127.0.0.1:8787 --duration 10
+
+* ``--smoke``: spawn a ``repro serve`` subprocess, drive ~2x its
+  measured capacity for ``--duration`` seconds, then assert the
+  robustness contract and exit non-zero on any violation:
+
+  1. the server process survived (zero deaths),
+  2. ``/healthz`` answers 200 after the storm,
+  3. overload was shed (503s observed, never a crash),
+  4. a post-recovery response is bit-identical (cost + placement) to a
+     cold in-process solve of the same instance.
+
+  ``REPRO_FAULT_SPEC`` (e.g. ``worker_crash:attempt=1`` or
+  ``serve_flood:every=3``) is forwarded to the *server* process only;
+  the local reference solve always runs fault-free.
+
+Used by the CI ``serve`` job (chaos matrix) and importable by the E19
+benchmark for its traffic engine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import PlacementClient, ServeUnavailableError  # noqa: E402
+
+#: Hierarchy every loadgen instance places onto (8 leaves).
+DEGREES = (2, 4)
+CM = (10.0, 3.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# trace
+# ----------------------------------------------------------------------
+
+
+def make_instances(k: int, n: int, seed: int) -> List[Dict[str, Any]]:
+    """K distinct solvable request payload templates (graph+demands)."""
+    from repro.graph.generators import planted_partition, random_demands
+    from repro.hierarchy.hierarchy import Hierarchy
+
+    hier = Hierarchy(list(DEGREES), list(CM))
+    out = []
+    for i in range(k):
+        g = planted_partition(4, max(2, n // 4), 0.8, 0.05, seed=seed + i)
+        d = random_demands(
+            g.n, hier.total_capacity, fill=0.5, skew=0.3, seed=seed + i
+        )
+        out.append(
+            {
+                "graph": {
+                    "n": g.n,
+                    "edges": [
+                        [int(u), int(v), float(w)]
+                        for u, v, w in zip(g.edges_u, g.edges_v, g.edges_w)
+                    ],
+                },
+                "hierarchy": {
+                    "degrees": list(DEGREES),
+                    "cm": list(CM),
+                    "leaf_capacity": 1.0,
+                },
+                "demands": [float(x) for x in d],
+            }
+        )
+    return out
+
+
+def make_trace(
+    n_requests: int,
+    instances: int,
+    dup_frac: float,
+    interactive_frac: float,
+    seed: int,
+) -> List[Dict[str, Any]]:
+    """The request schedule: which instance + lane per arrival.
+
+    ``dup_frac`` of arrivals re-ask instance 0 byte-identically (the
+    hot key — coalescing/cache fodder); every other arrival is a
+    *unique* piece of work (``perturb`` keys a deterministic demand
+    shuffle, see :func:`perturb_demands`), so the server's solve
+    capacity is genuinely consumed and overload is real.
+    """
+    import random
+
+    rng = random.Random(seed)
+    trace = []
+    for i in range(n_requests):
+        if instances == 1 or rng.random() < dup_frac:
+            inst, perturb = 0, 0
+        else:
+            inst, perturb = 1 + (i % (instances - 1)), 1 + i
+        lane = "interactive" if rng.random() < interactive_frac else "batch"
+        trace.append({"instance": inst, "lane": lane, "perturb": perturb})
+    return trace
+
+
+def perturb_demands(payload: Dict[str, Any], perturb: int) -> Dict[str, Any]:
+    """A copy of ``payload`` with a ``perturb``-keyed demand shuffle.
+
+    Shuffling preserves the demand sum (still feasible) but changes the
+    cache key, so each perturbed request is distinct solve work.
+    ``perturb=0`` returns the payload untouched (the hot key).
+    """
+    import random
+
+    if not perturb:
+        return dict(payload)
+    out = dict(payload)
+    demands = list(out["demands"])
+    random.Random(perturb).shuffle(demands)
+    out["demands"] = demands
+    return out
+
+
+# ----------------------------------------------------------------------
+# open-loop runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run observed, plus derived summaries."""
+
+    sent: int = 0
+    completed: List[Dict[str, Any]] = field(default_factory=list)
+    errors: int = 0
+    wall_s: float = 0.0
+
+    def by_code(self) -> Dict[str, int]:
+        codes: Dict[str, int] = {}
+        for r in self.completed:
+            codes[str(r["status"])] = codes.get(str(r["status"]), 0) + 1
+        return codes
+
+    def latencies(self, lane: Optional[str] = None) -> List[float]:
+        return sorted(
+            r["latency_s"]
+            for r in self.completed
+            if lane is None or r["lane"] == lane
+        )
+
+    @staticmethod
+    def _quantile(xs: List[float], q: float) -> float:
+        if not xs:
+            return 0.0
+        idx = min(len(xs) - 1, max(0, int(round(q * (len(xs) - 1)))))
+        return xs[idx]
+
+    def summary(self) -> Dict[str, Any]:
+        codes = self.by_code()
+        served = [r for r in self.completed if r["status"] == 200]
+        deduped = [
+            r for r in served if r["served_from"] in ("coalesced", "cache")
+        ]
+        out: Dict[str, Any] = {
+            "sent": self.sent,
+            "completed": len(self.completed),
+            "errors": self.errors,
+            "wall_s": round(self.wall_s, 3),
+            "qps_sent": round(self.sent / max(self.wall_s, 1e-9), 2),
+            "qps_ok": round(len(served) / max(self.wall_s, 1e-9), 2),
+            "codes": codes,
+            "shed": codes.get("503", 0),
+            "shed_rate": round(
+                codes.get("503", 0) / max(1, len(self.completed)), 4
+            ),
+            "dedupe_rate": round(len(deduped) / max(1, len(served)), 4),
+        }
+        for lane in ("interactive", "batch"):
+            xs = self.latencies(lane)
+            out[f"{lane}_n"] = len(xs)
+            out[f"{lane}_p50_s"] = round(self._quantile(xs, 0.5), 4)
+            out[f"{lane}_p99_s"] = round(self._quantile(xs, 0.99), 4)
+        return out
+
+
+def run_load(
+    url: str,
+    payloads: List[Dict[str, Any]],
+    trace: List[Dict[str, Any]],
+    rate_qps: float,
+    deadline_s: Optional[float] = 10.0,
+    timeout_s: float = 60.0,
+) -> LoadResult:
+    """Fire ``trace`` at ``rate_qps`` open-loop; block until all done.
+
+    One thread per in-flight request (arrivals never wait on
+    completions); per-request wall latency is measured from its
+    *scheduled* send time, so queueing delay the server induces is
+    charged to the server, not hidden by a slow sender.
+    """
+    result = LoadResult()
+    lock = threading.Lock()
+    threads: List[threading.Thread] = []
+    start = time.monotonic()
+
+    def fire(spec: Dict[str, Any], at: float) -> None:
+        client = PlacementClient(url, timeout=timeout_s)
+        payload = perturb_demands(
+            payloads[spec["instance"]], spec.get("perturb", 0)
+        )
+        payload["priority"] = spec["lane"]
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        t0 = time.monotonic()
+        try:
+            resp = client.solve_raw(payload)
+            rec = {
+                "status": resp.status,
+                "lane": spec["lane"],
+                "instance": spec["instance"],
+                "served_from": resp.served_from,
+                "latency_s": time.monotonic() - at,
+                "send_to_reply_s": time.monotonic() - t0,
+            }
+            with lock:
+                result.completed.append(rec)
+        except ServeUnavailableError:
+            with lock:
+                result.errors += 1
+
+    gap = 1.0 / max(rate_qps, 1e-9)
+    for i, spec in enumerate(trace):
+        at = start + i * gap
+        delay = at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        th = threading.Thread(target=fire, args=(spec, at), daemon=True)
+        th.start()
+        threads.append(th)
+        result.sent += 1
+    for th in threads:
+        th.join(timeout=timeout_s)
+    result.wall_s = time.monotonic() - start
+    return result
+
+
+# ----------------------------------------------------------------------
+# smoke mode
+# ----------------------------------------------------------------------
+
+
+def _spawn_server(args, fault_spec: Optional[str]) -> "subprocess.Popen":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if fault_spec:
+        env["REPRO_FAULT_SPEC"] = fault_spec
+    else:
+        env.pop("REPRO_FAULT_SPEC", None)
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--port",
+        "0",
+        "--jobs",
+        str(args.jobs),
+        "--n-trees",
+        str(args.n_trees),
+        "--seed",
+        str(args.seed),
+        "--queue-capacity",
+        str(args.queue_capacity),
+        "--retries",
+        "2",
+    ]
+    if args.no_response_cache:
+        cmd.append("--no-response-cache")
+    return subprocess.Popen(
+        cmd, env=env, stderr=subprocess.PIPE, text=True, cwd=str(REPO_ROOT)
+    )
+
+
+def _read_url(proc) -> str:
+    line = proc.stderr.readline()
+    if "listening on" not in line:
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return line.strip().split()[-1]
+
+
+def _reference_solution(payload: Dict[str, Any], args) -> Dict[str, Any]:
+    """Cold in-process solve of one loadgen instance (fault-free)."""
+    import numpy as np
+
+    from repro.core.config import SolverConfig
+    from repro.core.engine import run_pipeline
+    from repro.graph.graph import Graph
+    from repro.hierarchy.hierarchy import Hierarchy
+
+    g = Graph(
+        payload["graph"]["n"],
+        [tuple(e) for e in payload["graph"]["edges"]],
+    )
+    hier = Hierarchy(
+        payload["hierarchy"]["degrees"],
+        payload["hierarchy"]["cm"],
+        leaf_capacity=payload["hierarchy"]["leaf_capacity"],
+    )
+    d = np.asarray(payload["demands"], dtype=np.float64)
+    cfg = SolverConfig(seed=args.seed, n_trees=args.n_trees, n_jobs=1)
+    result = run_pipeline(g, hier, d, cfg, path="batch")
+    return {
+        "cost": result.cost,
+        "leaf_of": result.placement.leaf_of.tolist(),
+    }
+
+
+def run_smoke(args) -> int:
+    """Spawn, storm, assert the robustness contract; 0 = all held."""
+    fault_spec = os.environ.pop("REPRO_FAULT_SPEC", None)
+    if fault_spec:
+        print(f"smoke: forwarding REPRO_FAULT_SPEC={fault_spec!r} to the server")
+    proc = _spawn_server(args, fault_spec)
+    failures: List[str] = []
+    try:
+        url = _read_url(proc)
+        print(f"smoke: server at {url}")
+        client = PlacementClient(url, timeout=60.0)
+        payloads = make_instances(args.instances, args.n, args.seed)
+
+        # Measure warm solve capacity with *distinct* sequential probes
+        # (negative perturb keys can't collide with the trace, so none
+        # of these hit the response cache).  Probe 0 also warms the
+        # pool, so drop it from the average.
+        t_probe = []
+        for j in range(4):
+            probe = perturb_demands(payloads[0], -(j + 1))
+            probe["deadline_s"] = 60.0
+            t0 = time.monotonic()
+            resp = client.solve_raw(probe)
+            t_probe.append(time.monotonic() - t0)
+            if resp.status != 200:
+                failures.append(f"warmup probe failed with {resp.status}")
+                break
+        solve_s = max(5e-3, sum(t_probe[1:]) / max(1, len(t_probe) - 1))
+        # Overload is defined on *unique* work: duplicates coalesce or
+        # hit the response cache, so only the non-dup fraction consumes
+        # dispatcher capacity.
+        unique_frac = max(0.05, 1.0 - args.dup_frac)
+        rate = min(
+            args.max_rate, args.overload_factor / solve_s / unique_frac
+        )
+        n_requests = max(8, int(rate * args.duration))
+        print(
+            f"smoke: warm solve ~{solve_s * 1e3:.0f} ms -> storming at "
+            f"{rate:.1f} qps (~{args.overload_factor:.0f}x capacity on "
+            f"unique work), {n_requests} requests over ~{args.duration:.0f}s"
+        )
+        trace = make_trace(
+            n_requests, args.instances, args.dup_frac,
+            args.interactive_frac, args.seed,
+        )
+        load = run_load(
+            url, payloads, trace, rate, deadline_s=args.deadline,
+            timeout_s=120.0,
+        )
+        summary = load.summary()
+        print("smoke:", json.dumps(summary, sort_keys=True))
+
+        # 1. zero process deaths
+        if proc.poll() is not None:
+            failures.append(f"server process died (exit {proc.returncode})")
+        else:
+            # 2. healthz answers after the storm
+            try:
+                hz = client.healthz()
+                if hz.status != 200:
+                    failures.append(f"post-storm healthz returned {hz.status}")
+            except ServeUnavailableError as exc:
+                failures.append(f"post-storm healthz unreachable: {exc}")
+            # 3. overload shed instead of crashing
+            if summary["shed"] == 0 and args.expect_sheds:
+                failures.append(
+                    "no 503s under ~2x overload (admission control inert?)"
+                )
+            if summary["errors"] > load.sent * 0.05:
+                failures.append(
+                    f"{summary['errors']} transport errors (connections "
+                    "refused/reset) — server stopped accepting"
+                )
+            # 4. post-recovery response bit-identical to a cold solve
+            fresh = dict(payloads[0])
+            fresh["deadline_s"] = 60.0
+            resp = client.solve_raw(fresh)
+            if resp.status != 200:
+                failures.append(
+                    f"post-recovery solve returned {resp.status}"
+                )
+            else:
+                got = resp.json()
+                ref = _reference_solution(payloads[0], args)
+                if got["cost"] != ref["cost"] or got["leaf_of"] != ref["leaf_of"]:
+                    failures.append(
+                        "post-recovery response drifted from the cold "
+                        f"solve (cost {got['cost']} vs {ref['cost']})"
+                    )
+                else:
+                    print("smoke: post-recovery response bit-identical "
+                          "to the cold solve")
+        if args.out:
+            Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                failures.append("server did not drain within 60s of SIGTERM")
+    for f in failures:
+        print(f"SMOKE FAILURE: {f}", file=sys.stderr)
+    if not failures:
+        print("smoke: all robustness assertions held")
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    p.add_argument("--url", default=None, help="target server (no --smoke)")
+    p.add_argument("--smoke", action="store_true",
+                   help="spawn a server, storm it, assert recovery")
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--rate", type=float, default=None,
+                   help="arrival rate qps (default in --smoke: 2x capacity)")
+    p.add_argument("--overload-factor", type=float, default=2.0)
+    p.add_argument("--max-rate", type=float, default=300.0,
+                   help="cap on the computed smoke arrival rate (qps)")
+    p.add_argument("--instances", type=int, default=4,
+                   help="distinct problem instances in the trace")
+    p.add_argument("--dup-frac", type=float, default=0.5,
+                   help="fraction of arrivals re-asking the hot instance")
+    p.add_argument("--interactive-frac", type=float, default=0.7)
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="per-request SLO (seconds)")
+    p.add_argument("--n", type=int, default=32, help="vertices per instance")
+    p.add_argument("--n-trees", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=2)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--queue-capacity", type=int, default=8)
+    p.add_argument("--no-response-cache", action="store_true")
+    p.add_argument("--expect-sheds", action="store_true",
+                   help="fail the smoke if no 503s were observed")
+    p.add_argument("--out", default=None, help="write the JSON summary here")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        return run_smoke(args)
+    if not args.url:
+        print("error: need --url or --smoke", file=sys.stderr)
+        return 2
+    payloads = make_instances(args.instances, args.n, args.seed)
+    rate = args.rate if args.rate is not None else 5.0
+    n_requests = max(1, int(rate * args.duration))
+    trace = make_trace(
+        n_requests, args.instances, args.dup_frac,
+        args.interactive_frac, args.seed,
+    )
+    load = run_load(args.url, payloads, trace, rate, deadline_s=args.deadline)
+    summary = load.summary()
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.out:
+        Path(args.out).write_text(json.dumps(summary, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
